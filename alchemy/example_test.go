@@ -1,0 +1,59 @@
+package alchemy_test
+
+import (
+	"fmt"
+
+	"repro/alchemy"
+)
+
+// ExampleNewModel shows the Figure-3 model declaration.
+func ExampleNewModel() {
+	loader := alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+		return &alchemy.Data{
+			TrainX: [][]float64{{0, 0}, {1, 1}},
+			TrainY: []int{0, 1},
+			TestX:  [][]float64{{0.1, 0.1}},
+			TestY:  []int{0},
+		}, nil
+	})
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name:               "anomaly_detection",
+		OptimizationMetric: "f1",
+		Algorithms:         []string{"dnn"},
+		DataLoader:         loader,
+	})
+	fmt.Println(model.Spec.Name, model.Spec.OptimizationMetric, *model.Spec.Normalize)
+	// Output: anomaly_detection f1 true
+}
+
+// ExampleSeq demonstrates the > and | composition operators.
+func ExampleSeq() {
+	loader := alchemy.DataLoaderFunc(func() (*alchemy.Data, error) { return nil, nil })
+	mk := func(name string) *alchemy.Model {
+		return alchemy.NewModel(alchemy.ModelSpec{Name: name, DataLoader: loader})
+	}
+	prefilter, deep1, deep2 := mk("prefilter"), mk("deep1"), mk("deep2")
+	// prefilter > (deep1 | deep2): a cascade feeding an ensemble.
+	schedule := alchemy.Seq(prefilter, alchemy.Par(deep1, deep2))
+	for _, m := range schedule.Models() {
+		fmt.Println(m.Spec.Name)
+	}
+	// Output:
+	// prefilter
+	// deep1
+	// deep2
+}
+
+// ExamplePlatform_Constrain mirrors Figure 3's platform block.
+func ExamplePlatform_Constrain() {
+	platform := alchemy.Taurus()
+	platform.Constrain(alchemy.Constraints{
+		Performance: alchemy.Performance{
+			ThroughputGPkts: 1,   // GPkt/s
+			LatencyNS:       500, // ns
+		},
+		Resources: alchemy.Resources{Rows: 16, Cols: 16},
+	})
+	fmt.Println(platform.Kind, platform.Constraints.Performance.LatencyNS)
+	// Output: taurus 500
+}

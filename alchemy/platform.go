@@ -1,0 +1,151 @@
+package alchemy
+
+import (
+	"fmt"
+)
+
+// PlatformKind identifies a backend family.
+type PlatformKind int
+
+// Supported platforms (the Platforms class: Taurus, Tofino, FPGA).
+const (
+	PlatformTaurus PlatformKind = iota
+	PlatformTofino
+	PlatformFPGA
+)
+
+// String names the platform.
+func (k PlatformKind) String() string {
+	switch k {
+	case PlatformTaurus:
+		return "taurus"
+	case PlatformTofino:
+		return "tofino"
+	case PlatformFPGA:
+		return "fpga"
+	default:
+		return fmt.Sprintf("PlatformKind(%d)", int(k))
+	}
+}
+
+// Performance holds the network constraints the operator declares
+// ("performance": {"throughput": 1, "latency": 500}).
+type Performance struct {
+	ThroughputGPkts float64 // minimum, GPkt/s
+	LatencyNS       float64 // maximum, nanoseconds
+}
+
+// Resources holds the platform resource declaration. Fields apply per
+// platform: Rows/Cols for Taurus grids, Tables for MAT switches,
+// MaxLUTPct/MaxPowerW for FPGAs. Zero values select platform defaults.
+type Resources struct {
+	Rows, Cols int     // Taurus CGRA grid
+	Tables     int     // MAT table budget
+	MaxLUTPct  float64 // FPGA utilization cap
+	MaxPowerW  float64 // FPGA power cap
+}
+
+// Constraints pairs performance and resource declarations (the < operator
+// of Table 1: Platforms < (performance, resources)).
+type Constraints struct {
+	Performance Performance
+	Resources   Resources
+}
+
+// Platform is a declared deployment target plus its constraints and
+// scheduled models.
+type Platform struct {
+	Kind        PlatformKind
+	Constraints Constraints
+	Sched       *Schedule
+}
+
+// Taurus declares a Taurus switch target with the evaluation defaults
+// (1 GPkt/s, 500 ns, 16×16 grid).
+func Taurus() *Platform {
+	return &Platform{
+		Kind: PlatformTaurus,
+		Constraints: Constraints{
+			Performance: Performance{ThroughputGPkts: 1, LatencyNS: 500},
+			Resources:   Resources{Rows: 16, Cols: 16},
+		},
+	}
+}
+
+// Tofino declares a MAT-pipeline switch target.
+func Tofino() *Platform {
+	return &Platform{
+		Kind: PlatformTofino,
+		Constraints: Constraints{
+			Performance: Performance{ThroughputGPkts: 1, LatencyNS: 1000},
+			Resources:   Resources{Tables: 32},
+		},
+	}
+}
+
+// FPGA declares an FPGA NIC/accelerator target (Alveo U250 testbed).
+func FPGA() *Platform {
+	return &Platform{
+		Kind: PlatformFPGA,
+		Constraints: Constraints{
+			Performance: Performance{ThroughputGPkts: 0.1, LatencyNS: 2000},
+			Resources:   Resources{MaxLUTPct: 100, MaxPowerW: 1e9},
+		},
+	}
+}
+
+// Constrain overrides the platform constraints (platform.constrain(...)).
+// Zero-valued fields keep the current setting.
+func (p *Platform) Constrain(c Constraints) *Platform {
+	if c.Performance.ThroughputGPkts > 0 {
+		p.Constraints.Performance.ThroughputGPkts = c.Performance.ThroughputGPkts
+	}
+	if c.Performance.LatencyNS > 0 {
+		p.Constraints.Performance.LatencyNS = c.Performance.LatencyNS
+	}
+	if c.Resources.Rows > 0 {
+		p.Constraints.Resources.Rows = c.Resources.Rows
+	}
+	if c.Resources.Cols > 0 {
+		p.Constraints.Resources.Cols = c.Resources.Cols
+	}
+	if c.Resources.Tables > 0 {
+		p.Constraints.Resources.Tables = c.Resources.Tables
+	}
+	if c.Resources.MaxLUTPct > 0 {
+		p.Constraints.Resources.MaxLUTPct = c.Resources.MaxLUTPct
+	}
+	if c.Resources.MaxPowerW > 0 {
+		p.Constraints.Resources.MaxPowerW = c.Resources.MaxPowerW
+	}
+	return p
+}
+
+// Schedule installs a model or composition on the platform
+// (platform.schedule(model) / platform.schedule(m1 > m2)).
+func (p *Platform) Schedule(item interface {
+	node() *Schedule
+}) *Platform {
+	if item == nil {
+		p.Sched = nil
+		return p
+	}
+	p.Sched = item.node()
+	return p
+}
+
+// Validate reports declaration errors.
+func (p *Platform) Validate() error {
+	if p == nil {
+		return fmt.Errorf("alchemy: nil platform")
+	}
+	switch p.Kind {
+	case PlatformTaurus, PlatformTofino, PlatformFPGA:
+	default:
+		return fmt.Errorf("alchemy: unknown platform kind %d", int(p.Kind))
+	}
+	if p.Sched == nil {
+		return fmt.Errorf("alchemy: platform %s has no scheduled models", p.Kind)
+	}
+	return p.Sched.Validate()
+}

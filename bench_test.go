@@ -1,0 +1,498 @@
+package homunculus
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5) at the Quick budget and reports the headline quantities
+// as custom benchmark metrics, so `go test -bench=. -benchmem` doubles as
+// the reproduction driver. One benchmark per table/figure, plus ablations
+// for the design choices DESIGN.md calls out (BO vs random search,
+// feasibility pruning, fixed-point width) and micro-benchmarks of the hot
+// substrates.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fixed"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/packet"
+	"repro/internal/rf"
+	"repro/internal/synth/botnet"
+	"repro/internal/synth/nslkdd"
+	"repro/internal/taurus"
+)
+
+// ---- Tables ----
+
+func BenchmarkTable2BaselinesVsHomunculus(b *testing.B) {
+	budget := experiments.Quick()
+	budget.Epochs = 10
+	budget.BOIters = 6
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Application {
+		case "Base-AD":
+			b.ReportMetric(r.F1, "baseAD_F1")
+		case "Hom-AD":
+			b.ReportMetric(r.F1, "homAD_F1")
+		case "Base-BD":
+			b.ReportMetric(r.F1, "baseBD_F1")
+		case "Hom-BD":
+			b.ReportMetric(r.F1, "homBD_F1")
+		}
+	}
+}
+
+func BenchmarkTable3AppChaining(b *testing.B) {
+	budget := experiments.Quick()
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].CUs), "chain_CUs")
+	b.ReportMetric(float64(rows[0].MUs), "chain_MUs")
+	spread := float64(rows[0].CUs - rows[1].CUs) // 0 when strategy-independent
+	b.ReportMetric(math.Abs(spread), "strategy_CU_spread")
+}
+
+func BenchmarkTable4ModelFusion(b *testing.B) {
+	budget := experiments.Quick()
+	budget.Epochs = 8
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table4(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].PCUs+rows[1].PCUs), "parts_CUs")
+	b.ReportMetric(float64(rows[2].PCUs), "fused_CUs")
+}
+
+func BenchmarkTable5FPGAUtilization(b *testing.B) {
+	budget := experiments.Quick()
+	budget.Epochs = 8
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table5(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].PowerW, "loopback_W")
+	var maxLUT float64
+	for _, r := range rows[1:] {
+		if r.LUTPct > maxLUT {
+			maxLUT = r.LUTPct
+		}
+	}
+	b.ReportMetric(maxLUT, "max_LUT_pct")
+}
+
+// ---- Figures ----
+
+func BenchmarkFigure4BORegret(b *testing.B) {
+	budget := experiments.Quick()
+	budget.BOIters = 6
+	var data experiments.Figure4Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = experiments.Figure4(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(data.Best[len(data.Best)-1], "final_F1")
+	b.ReportMetric(data.Best[0], "first_F1")
+}
+
+func BenchmarkFigure6Histograms(b *testing.B) {
+	budget := experiments.Quick()
+	var data experiments.Figure6Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = experiments.Figure6(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var benignLarge, botnetLarge float64
+	for i := 16; i < 23; i++ {
+		benignLarge += data.BenignPL[i]
+		botnetLarge += data.BotnetPL[i]
+	}
+	b.ReportMetric(benignLarge, "benign_largePL")
+	b.ReportMetric(botnetLarge, "botnet_largePL")
+}
+
+func BenchmarkFigure7KMeansBudgets(b *testing.B) {
+	budget := experiments.Quick()
+	budget.BOIters = 5
+	var series []experiments.Figure7Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure7(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		if len(s.VScore) > 0 && (s.Tables == 1 || s.Tables == 5) {
+			name := "V_1table"
+			if s.Tables == 5 {
+				name = "V_5tables"
+			}
+			b.ReportMetric(s.VScore[len(s.VScore)-1], name)
+		}
+	}
+}
+
+func BenchmarkReactionTime(b *testing.B) {
+	budget := experiments.Quick()
+	budget.Epochs = 10
+	var res experiments.ReactionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ReactionTime(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanDetectionPackets, "detect_pkts")
+	b.ReportMetric(res.InferenceLatencyNS, "decision_ns")
+	b.ReportMetric(res.FlowLevelReaction.Seconds(), "flowlevel_s")
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationRandomVsBO compares the searched best F1 under the same
+// evaluation budget with the RF-surrogate BO against pure random sampling
+// (averaged across seeds).
+func BenchmarkAblationRandomVsBO(b *testing.B) {
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 1500
+	train, test, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := core.App{Name: "ad", Train: train, Test: test, Normalize: true}
+	target := core.NewTaurusTarget()
+
+	var boBest, randBest float64
+	seeds := []int64{1, 2, 3}
+	for i := 0; i < b.N; i++ {
+		boBest, randBest = 0, 0
+		for _, seed := range seeds {
+			sc := core.DefaultSearchConfig()
+			sc.Algorithms = []ir.Kind{ir.DNN}
+			sc.BO.InitSamples = 3
+			sc.BO.Iterations = 6
+			sc.TrainEpochs = 6
+			sc.MaxHiddenLayers = 3
+			sc.MaxNeurons = 16
+			sc.Seed = seed
+			res, err := core.Search(app, target, sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Best != nil {
+				boBest += res.Best.Metric
+			}
+			// Random search: same budget, init-only (no BO iterations).
+			rc := sc
+			rc.BO.InitSamples = 9
+			rc.BO.Iterations = 0
+			res2, err := core.Search(app, target, rc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res2.Best != nil {
+				randBest += res2.Best.Metric
+			}
+		}
+	}
+	b.ReportMetric(100*boBest/float64(len(seeds)), "bo_F1")
+	b.ReportMetric(100*randBest/float64(len(seeds)), "random_F1")
+}
+
+// BenchmarkAblationFeasibility measures how much feasibility-aware pruning
+// matters: the same search against a tight 6×6 grid with and without the
+// resource constraints surfaced to the optimizer (without them, infeasible
+// high-F1 models win the search and are rejected at deployment).
+func BenchmarkAblationFeasibility(b *testing.B) {
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 1500
+	train, test, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := core.App{Name: "ad", Train: train, Test: test, Normalize: true}
+	tight := core.NewTaurusTarget()
+	tight.Grid.Rows, tight.Grid.Cols = 6, 6
+
+	var withFeas, deployable float64
+	for i := 0; i < b.N; i++ {
+		sc := core.DefaultSearchConfig()
+		sc.Algorithms = []ir.Kind{ir.DNN}
+		sc.BO.InitSamples = 4
+		sc.BO.Iterations = 8
+		sc.TrainEpochs = 6
+		res, err := core.Search(app, tight, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withFeas, deployable = 0, 0
+		if res.Best != nil {
+			withFeas = res.Best.Metric
+			deployable = 1
+		}
+	}
+	b.ReportMetric(100*withFeas, "feasible_F1")
+	b.ReportMetric(deployable, "deployable")
+}
+
+// BenchmarkAblationQuant quantifies the accuracy cost of fixed-point
+// inference across formats (Q8.8 vs Q4.12 vs float reference).
+func BenchmarkAblationQuant(b *testing.B) {
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 2000
+	train, test, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm := dataset.FitNormalizer(train)
+	trn, tst := train.Clone(), test.Clone()
+	norm.Apply(trn)
+	norm.Apply(tst)
+	nc := nn.Config{
+		Inputs: 7, Hidden: []int{16, 12}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.Adam,
+		LearnRate: 0.01, BatchSize: 32, Epochs: 12, Seed: 1,
+	}
+	net, err := nn.New(nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Train(trn); err != nil {
+		b.Fatal(err)
+	}
+
+	score := func(m *ir.Model, quantized bool) float64 {
+		pred := make([]int, tst.Len())
+		for i := 0; i < tst.Len(); i++ {
+			var y int
+			var err error
+			if quantized {
+				y, err = m.InferQ(tst.X.Row(i))
+			} else {
+				y, err = m.Infer(tst.X.Row(i))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			pred[i] = y
+		}
+		return 100 * metrics.FromLabels(tst.Y, pred, 2).F1(1)
+	}
+
+	var floatF1, q88F1, q412F1 float64
+	for i := 0; i < b.N; i++ {
+		m88 := ir.FromNN("ad", net, fixed.Q8_8)
+		m412 := ir.FromNN("ad", net, fixed.Q4_12)
+		floatF1 = score(m88, false)
+		q88F1 = score(m88, true)
+		q412F1 = score(m412, true)
+	}
+	b.ReportMetric(floatF1, "float_F1")
+	b.ReportMetric(q88F1, "q8.8_F1")
+	b.ReportMetric(q412F1, "q4.12_F1")
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkNNTrainEpoch(b *testing.B) {
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 1000
+	train, _, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nc := nn.Config{
+			Inputs: 7, Hidden: []int{12, 6}, Outputs: 2,
+			Activation: nn.ReLU, Optimizer: nn.Adam,
+			LearnRate: 0.01, BatchSize: 32, Epochs: 1, Seed: int64(i),
+		}
+		net, _ := nn.New(nc)
+		if _, err := net.Train(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantizedInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.New(256, 7)
+	for i := range d.X.Data {
+		d.X.Data[i] = rng.NormFloat64()
+	}
+	nc := nn.Config{
+		Inputs: 7, Hidden: []int{12, 6, 3}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.SGD,
+		LearnRate: 0.1, BatchSize: 32, Epochs: 1, Seed: 1,
+	}
+	net, _ := nn.New(nc)
+	m := ir.FromNN("ad", net, fixed.Q8_8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.InferQ(d.X.Row(i % 256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTaurusEstimate(b *testing.B) {
+	nc := nn.Config{
+		Inputs: 30, Hidden: []int{10, 10, 10, 10}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.SGD,
+		LearnRate: 0.1, BatchSize: 32, Epochs: 1, Seed: 1,
+	}
+	net, _ := nn.New(nc)
+	m := ir.FromNN("bd", net, fixed.Q8_8)
+	g, c := taurus.DefaultGrid(), taurus.DefaultConstraints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taurus.Estimate(g, c, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRFSurrogate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		ys[i] = xs[i][0]*2 - xs[i][1]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := rf.Train(rf.DefaultConfig(), xs, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.PredictVar([]float64{0.5, 0.5, 0.5})
+	}
+}
+
+func BenchmarkBOIteration(b *testing.B) {
+	space := bo.Space{Params: []bo.Param{
+		{Name: "x", Kind: bo.Real, Min: -5, Max: 5},
+		{Name: "y", Kind: bo.Real, Min: -5, Max: 5},
+	}}
+	for i := 0; i < b.N; i++ {
+		cfg := bo.DefaultConfig()
+		cfg.InitSamples = 5
+		cfg.Iterations = 5
+		cfg.Candidates = 200
+		cfg.Seed = int64(i)
+		_, err := bo.Maximize(space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+			return -(x[0]*x[0] + x[1]*x[1]), true, nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowTableStreaming(b *testing.B) {
+	flows, err := botnet.Generate(botnet.Config{Flows: 100, BotnetP: 0.4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := botnet.MergePackets(flows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := packet.NewFlowTable(packet.PaperBD)
+		for _, p := range stream {
+			table.Observe(p)
+		}
+	}
+	b.ReportMetric(float64(len(stream)), "packets")
+}
+
+func BenchmarkParetoSearch(b *testing.B) {
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 1200
+	train, test, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := core.App{Name: "ad", Train: train, Test: test, Normalize: true}
+	var res *core.ParetoSearchResult
+	for i := 0; i < b.N; i++ {
+		sc := core.DefaultSearchConfig()
+		sc.BO.InitSamples = 4
+		sc.BO.Iterations = 6
+		sc.TrainEpochs = 6
+		sc.MaxHiddenLayers = 3
+		sc.MaxNeurons = 16
+		res, err = core.SearchPareto(app, core.NewTaurusTarget(), sc, ir.DNN)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Front)), "front_size")
+	if len(res.Front) > 0 {
+		b.ReportMetric(100*res.Front[len(res.Front)-1].Metric, "best_F1")
+		b.ReportMetric(res.Front[0].Resource, "cheapest_CUs")
+	}
+}
+
+func BenchmarkSimPipeline(b *testing.B) {
+	nc := nn.Config{
+		Inputs: 7, Hidden: []int{12, 6, 3}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.SGD,
+		LearnRate: 0.1, BatchSize: 32, Epochs: 1, Seed: 1,
+	}
+	net, _ := nn.New(nc)
+	m := ir.FromNN("ad", net, fixed.Q8_8)
+	sim, err := taurus.NewSim(taurus.DefaultGrid(), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.Process(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sim.Stages()), "stages")
+}

@@ -1,0 +1,109 @@
+// Command datagen materializes the synthetic datasets as CSV files so they
+// can be inspected, plotted, or fed back through cmd/homunculus via
+// train_csv/test_csv specs.
+//
+//	go run ./cmd/datagen -dataset nslkdd -out data/
+//	go run ./cmd/datagen -dataset botnet -samples 500 -out data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/packet"
+	"repro/internal/synth/botnet"
+	"repro/internal/synth/iottc"
+	"repro/internal/synth/nslkdd"
+)
+
+func main() {
+	log.SetFlags(0)
+	name := flag.String("dataset", "nslkdd", "dataset: nslkdd | iottc | botnet")
+	samples := flag.Int("samples", 0, "sample count (flows for botnet); 0 = generator default")
+	seed := flag.Int64("seed", 0, "generator seed; 0 = generator default")
+	out := flag.String("out", "data", "output directory")
+	flag.Parse()
+
+	if err := run(*name, *samples, *seed, *out); err != nil {
+		log.Fatalf("datagen: %v", err)
+	}
+}
+
+func run(name string, samples int, seed int64, out string) error {
+	var train, test *dataset.Dataset
+	var err error
+	switch name {
+	case "nslkdd":
+		cfg := nslkdd.DefaultConfig()
+		if samples > 0 {
+			cfg.Samples = samples
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		train, test, err = nslkdd.TrainTest(cfg)
+	case "iottc":
+		cfg := iottc.DefaultConfig()
+		if samples > 0 {
+			cfg.Samples = samples
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		train, test, err = iottc.TrainTest(cfg)
+	case "botnet":
+		cfg := botnet.DefaultConfig()
+		if samples > 0 {
+			cfg.Flows = samples
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		var flows []botnet.Flow
+		flows, err = botnet.Generate(cfg)
+		if err != nil {
+			break
+		}
+		cut := len(flows) * 3 / 4
+		train, err = botnet.FlowmarkerDataset(flows[:cut], packet.PaperBD)
+		if err != nil {
+			break
+		}
+		test, err = botnet.PartialDataset(flows[cut:], packet.PaperBD, 8)
+	default:
+		return fmt.Errorf("unknown dataset %q (have nslkdd, iottc, botnet)", name)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	trainPath := filepath.Join(out, fmt.Sprintf("train_%s.csv", name))
+	testPath := filepath.Join(out, fmt.Sprintf("test_%s.csv", name))
+	if err := writeCSV(trainPath, train); err != nil {
+		return err
+	}
+	if err := writeCSV(testPath, test); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d samples) and %s (%d samples), %d features\n",
+		trainPath, train.Len(), testPath, test.Len(), train.Features())
+	return nil
+}
+
+func writeCSV(path string, d *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunAllGenerators(t *testing.T) {
+	for _, name := range []string{"nslkdd", "iottc", "botnet"} {
+		out := t.TempDir()
+		if err := run(name, 200, 5, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		trainPath := filepath.Join(out, "train_"+name+".csv")
+		f, err := os.Open(trainPath)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reread: %v", name, err)
+		}
+		if d.Len() == 0 || d.Features() == 0 {
+			t.Fatalf("%s: empty dataset written", name)
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("zzz", 0, 0, t.TempDir()); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the
+// Homunculus evaluation (§5) and prints paper-style rows. Use -run to
+// select one experiment and -quick for the reduced bench budget.
+//
+//	go run ./cmd/experiments            # everything, full budget
+//	go run ./cmd/experiments -run table2
+//	go run ./cmd/experiments -quick -run fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	run := flag.String("run", "all", "experiment: table2|table3|table4|table5|fig4|fig6|fig7|reaction|all")
+	quick := flag.Bool("quick", false, "use the reduced budget (faster, noisier)")
+	seed := flag.Int64("seed", 1, "global experiment seed")
+	flag.Parse()
+
+	budget := experiments.Full()
+	if *quick {
+		budget = experiments.Quick()
+	}
+	budget.Seed = *seed
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+
+	if want("table2") {
+		ran = true
+		rows, err := experiments.Table2(budget)
+		if err != nil {
+			log.Fatalf("table2: %v", err)
+		}
+		section("Table 2: hand-tuned baselines vs Homunculus-generated models")
+		fmt.Print(experiments.FormatTable2(rows))
+	}
+	if want("table3") {
+		ran = true
+		rows, err := experiments.Table3(budget)
+		if err != nil {
+			log.Fatalf("table3: %v", err)
+		}
+		section("Table 3: resource scaling for application chaining strategies")
+		fmt.Print(experiments.FormatTable3(rows))
+	}
+	if want("table4") {
+		ran = true
+		rows, err := experiments.Table4(budget)
+		if err != nil {
+			log.Fatalf("table4: %v", err)
+		}
+		section("Table 4: fused resource usage")
+		fmt.Print(experiments.FormatTable4(rows))
+	}
+	if want("table5") {
+		ran = true
+		rows, err := experiments.Table5(budget)
+		if err != nil {
+			log.Fatalf("table5: %v", err)
+		}
+		section("Table 5: FPGA testbed resource consumption")
+		fmt.Print(experiments.FormatTable5(rows))
+	}
+	if want("fig4") {
+		ran = true
+		data, err := experiments.Figure4(budget)
+		if err != nil {
+			log.Fatalf("fig4: %v", err)
+		}
+		section("Figure 4: BO regret (F1 per iteration, anomaly-detection DNN)")
+		fmt.Print(experiments.FormatFigure4(data))
+	}
+	if want("fig6") {
+		ran = true
+		data, err := experiments.Figure6(budget)
+		if err != nil {
+			log.Fatalf("fig6: %v", err)
+		}
+		section("Figure 6: botnet vs benign flow-level histograms")
+		fmt.Print(experiments.FormatFigure6(data))
+	}
+	if want("fig7") {
+		ran = true
+		series, err := experiments.Figure7(budget)
+		if err != nil {
+			log.Fatalf("fig7: %v", err)
+		}
+		section("Figure 7: KMeans V-measure under MAT budgets")
+		fmt.Print(experiments.FormatFigure7(series))
+	}
+	if want("reaction") {
+		ran = true
+		res, err := experiments.ReactionTime(budget)
+		if err != nil {
+			log.Fatalf("reaction: %v", err)
+		}
+		section("§5.1.1: reaction time — per-packet vs flow-level botnet detection")
+		fmt.Print(experiments.FormatReaction(res))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}

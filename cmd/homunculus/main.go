@@ -1,0 +1,373 @@
+// Command homunculus compiles a declarative pipeline specification — the
+// JSON equivalent of an Alchemy program — into data-plane code: it runs
+// design-space exploration, training, and feasibility testing, then writes
+// the generated Spatial/P4 source and the serialized model next to a
+// printed report.
+//
+//	homunculus -spec pipeline.json -out build/
+//
+// Spec format (see cmd/homunculus/testdata/ad.json for a full example):
+//
+//	{
+//	  "name": "anomaly_detection",
+//	  "metric": "f1",
+//	  "algorithms": ["dnn"],
+//	  "data": {"generator": "nslkdd", "samples": 6000, "seed": 1},
+//	  "platform": {"kind": "taurus", "throughput_gpkts": 1,
+//	               "latency_ns": 500, "rows": 16, "cols": 16},
+//	  "search": {"init": 5, "iterations": 15, "epochs": 14,
+//	             "max_layers": 4, "max_neurons": 24, "seed": 1}
+//	}
+//
+// Data can come from the bundled generators ("nslkdd", "iottc", "botnet")
+// or from CSV files written by the dataset package ("train_csv"/"test_csv").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/alchemy"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ir"
+	"repro/internal/packet"
+	"repro/internal/synth/botnet"
+	"repro/internal/synth/iottc"
+	"repro/internal/synth/nslkdd"
+
+	homunculus "repro"
+)
+
+// Spec is the on-disk pipeline specification.
+type Spec struct {
+	Name       string       `json:"name"`
+	Metric     string       `json:"metric"`
+	Algorithms []string     `json:"algorithms"`
+	Data       DataSpec     `json:"data"`
+	Platform   PlatformSpec `json:"platform"`
+	Search     SearchSpec   `json:"search"`
+}
+
+// DataSpec selects a bundled generator or CSV pair.
+type DataSpec struct {
+	Generator string `json:"generator,omitempty"`
+	Samples   int    `json:"samples,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	TrainCSV  string `json:"train_csv,omitempty"`
+	TestCSV   string `json:"test_csv,omitempty"`
+}
+
+// PlatformSpec mirrors alchemy.Platform constraints.
+type PlatformSpec struct {
+	Kind            string  `json:"kind"`
+	ThroughputGPkts float64 `json:"throughput_gpkts,omitempty"`
+	LatencyNS       float64 `json:"latency_ns,omitempty"`
+	Rows            int     `json:"rows,omitempty"`
+	Cols            int     `json:"cols,omitempty"`
+	Tables          int     `json:"tables,omitempty"`
+	MaxLUTPct       float64 `json:"max_lut_pct,omitempty"`
+	MaxPowerW       float64 `json:"max_power_w,omitempty"`
+}
+
+// SearchSpec mirrors core.SearchConfig knobs.
+type SearchSpec struct {
+	Init       int   `json:"init,omitempty"`
+	Iterations int   `json:"iterations,omitempty"`
+	Epochs     int   `json:"epochs,omitempty"`
+	MaxLayers  int   `json:"max_layers,omitempty"`
+	MaxNeurons int   `json:"max_neurons,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	specPath := flag.String("spec", "", "path to the pipeline spec JSON (required)")
+	outDir := flag.String("out", "build", "output directory for generated artifacts")
+	flag.Parse()
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*specPath, *outDir); err != nil {
+		log.Fatalf("homunculus: %v", err)
+	}
+}
+
+func run(specPath, outDir string) error {
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		return fmt.Errorf("read spec: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parse spec: %w", err)
+	}
+	if spec.Name == "" {
+		return fmt.Errorf("spec needs a name")
+	}
+
+	loader, err := buildLoader(spec.Data, filepath.Dir(specPath))
+	if err != nil {
+		return err
+	}
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name:               spec.Name,
+		OptimizationMetric: orDefault(spec.Metric, "f1"),
+		Algorithms:         spec.Algorithms,
+		DataLoader:         loader,
+	})
+	platform, err := buildPlatform(spec.Platform)
+	if err != nil {
+		return err
+	}
+	platform.Schedule(model)
+
+	search := core.DefaultSearchConfig()
+	if spec.Search.Init > 0 {
+		search.BO.InitSamples = spec.Search.Init
+	}
+	if spec.Search.Iterations > 0 {
+		search.BO.Iterations = spec.Search.Iterations
+	}
+	if spec.Search.Epochs > 0 {
+		search.TrainEpochs = spec.Search.Epochs
+	}
+	if spec.Search.MaxLayers > 0 {
+		search.MaxHiddenLayers = spec.Search.MaxLayers
+	}
+	if spec.Search.MaxNeurons > 0 {
+		search.MaxNeurons = spec.Search.MaxNeurons
+	}
+	if spec.Search.Seed != 0 {
+		search.Seed = spec.Search.Seed
+	}
+
+	pipe, err := homunculus.Generate(platform, homunculus.WithSearchConfig(search))
+	if err != nil {
+		return err
+	}
+	app := pipe.Apps[0]
+	if app.Model == nil {
+		fmt.Println("no feasible model found under the given constraints; candidates:")
+		for _, c := range app.Candidates {
+			if c.Skipped != "" {
+				fmt.Printf("  %-8s skipped: %s\n", c.Algorithm, c.Skipped)
+			} else {
+				fmt.Printf("  %-8s explored %d configurations, none feasible\n", c.Algorithm, len(c.BO.History))
+			}
+		}
+		return fmt.Errorf("compilation produced no deployable pipeline")
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	ext := ".spatial"
+	if pipe.Platform == "tofino" {
+		ext = ".p4"
+	}
+	codePath := filepath.Join(outDir, spec.Name+ext)
+	if err := os.WriteFile(codePath, []byte(app.Code), 0o644); err != nil {
+		return fmt.Errorf("write code: %w", err)
+	}
+	// Emit the design-space description the optimizer searched — the
+	// HyperMapper-style JSON interface of §4.
+	if len(spec.Algorithms) > 0 {
+		if kind, err := ir.ParseKind(spec.Algorithms[0]); err == nil {
+			train, test, derr := loaderDatasets(loader)
+			if derr == nil {
+				space := core.DesignSpace(core.App{Name: spec.Name, Train: train, Test: test}, search, kind)
+				spacePath := filepath.Join(outDir, spec.Name+".space.json")
+				if sf, err := os.Create(spacePath); err == nil {
+					if err := space.WriteJSON(sf, spec.Name); err != nil {
+						sf.Close()
+						return err
+					}
+					sf.Close()
+					fmt.Printf("space artifact: %s\n", spacePath)
+				}
+			}
+		}
+	}
+
+	modelPath := filepath.Join(outDir, spec.Name+".model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		return fmt.Errorf("create model file: %w", err)
+	}
+	defer f.Close()
+	if err := app.Model.WriteJSON(f); err != nil {
+		return err
+	}
+
+	fmt.Printf("pipeline %q compiled for %s\n", spec.Name, pipe.Platform)
+	fmt.Printf("  algorithm:  %s\n", app.Algorithm)
+	fmt.Printf("  metric:     %.4f (%s, quantized)\n", app.Metric, orDefault(spec.Metric, "f1"))
+	fmt.Printf("  params:     %d\n", app.Model.ParamCount())
+	fmt.Printf("  verdict:    feasible=%v", app.Verdict.Feasible)
+	for _, k := range []string{"cus", "mus", "tables", "latency_ns", "throughput_gpkts", "lut_pct", "power_w"} {
+		if v, ok := app.Verdict.Metrics[k]; ok {
+			fmt.Printf(" %s=%.2f", k, v)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("  code:       %s\n", codePath)
+	fmt.Printf("  model:      %s\n", modelPath)
+	return nil
+}
+
+// loaderDatasets materializes a loader's output as internal datasets.
+func loaderDatasets(l alchemy.DataLoader) (*dataset.Dataset, *dataset.Dataset, error) {
+	data, err := l.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	return data.Datasets()
+}
+
+func buildLoader(d DataSpec, baseDir string) (alchemy.DataLoader, error) {
+	if d.TrainCSV != "" || d.TestCSV != "" {
+		if d.TrainCSV == "" || d.TestCSV == "" {
+			return nil, fmt.Errorf("both train_csv and test_csv are required")
+		}
+		trainPath := resolve(baseDir, d.TrainCSV)
+		testPath := resolve(baseDir, d.TestCSV)
+		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+			train, err := readCSV(trainPath)
+			if err != nil {
+				return nil, err
+			}
+			test, err := readCSV(testPath)
+			if err != nil {
+				return nil, err
+			}
+			return toData(train, test), nil
+		}), nil
+	}
+	switch d.Generator {
+	case "nslkdd":
+		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+			cfg := nslkdd.DefaultConfig()
+			if d.Samples > 0 {
+				cfg.Samples = d.Samples
+			}
+			if d.Seed != 0 {
+				cfg.Seed = d.Seed
+			}
+			train, test, err := nslkdd.TrainTest(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return toData(train, test), nil
+		}), nil
+	case "iottc":
+		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+			cfg := iottc.DefaultConfig()
+			if d.Samples > 0 {
+				cfg.Samples = d.Samples
+			}
+			if d.Seed != 0 {
+				cfg.Seed = d.Seed
+			}
+			train, test, err := iottc.TrainTest(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return toData(train, test), nil
+		}), nil
+	case "botnet":
+		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+			cfg := botnet.DefaultConfig()
+			if d.Samples > 0 {
+				cfg.Flows = d.Samples
+			}
+			if d.Seed != 0 {
+				cfg.Seed = d.Seed
+			}
+			flows, err := botnet.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			cut := len(flows) * 3 / 4
+			train, err := botnet.FlowmarkerDataset(flows[:cut], packet.PaperBD)
+			if err != nil {
+				return nil, err
+			}
+			test, err := botnet.PartialDataset(flows[cut:], packet.PaperBD, 8)
+			if err != nil {
+				return nil, err
+			}
+			return toData(train, test), nil
+		}), nil
+	case "":
+		return nil, fmt.Errorf("spec needs data.generator or data.train_csv/test_csv")
+	default:
+		return nil, fmt.Errorf("unknown generator %q (have nslkdd, iottc, botnet)", d.Generator)
+	}
+}
+
+func buildPlatform(p PlatformSpec) (*alchemy.Platform, error) {
+	var plat *alchemy.Platform
+	switch p.Kind {
+	case "taurus", "":
+		plat = alchemy.Taurus()
+	case "tofino":
+		plat = alchemy.Tofino()
+	case "fpga":
+		plat = alchemy.FPGA()
+	default:
+		return nil, fmt.Errorf("unknown platform %q (have taurus, tofino, fpga)", p.Kind)
+	}
+	plat.Constrain(alchemy.Constraints{
+		Performance: alchemy.Performance{
+			ThroughputGPkts: p.ThroughputGPkts,
+			LatencyNS:       p.LatencyNS,
+		},
+		Resources: alchemy.Resources{
+			Rows: p.Rows, Cols: p.Cols, Tables: p.Tables,
+			MaxLUTPct: p.MaxLUTPct, MaxPowerW: p.MaxPowerW,
+		},
+	})
+	return plat, nil
+}
+
+func readCSV(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+func toData(train, test *dataset.Dataset) *alchemy.Data {
+	data := &alchemy.Data{FeatureNames: train.FeatureNames}
+	for i := 0; i < train.Len(); i++ {
+		data.TrainX = append(data.TrainX, append([]float64{}, train.X.Row(i)...))
+		data.TrainY = append(data.TrainY, train.Y[i])
+	}
+	for i := 0; i < test.Len(); i++ {
+		data.TestX = append(data.TestX, append([]float64{}, test.X.Row(i)...))
+		data.TestY = append(data.TestY, test.Y[i])
+	}
+	return data
+}
+
+func resolve(baseDir, p string) string {
+	if filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(baseDir, p)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

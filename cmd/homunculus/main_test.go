@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/synth/nslkdd"
+)
+
+func TestRunTaurusSpec(t *testing.T) {
+	out := t.TempDir()
+	if err := run("testdata/ad.json", out); err != nil {
+		t.Fatal(err)
+	}
+	code, err := os.ReadFile(filepath.Join(out, "anomaly_detection.spatial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "@spatial") {
+		t.Fatal("generated code must be Spatial")
+	}
+	f, err := os.Open(filepath.Join(out, "anomaly_detection.model.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := ir.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != ir.DNN || m.Inputs != 7 {
+		t.Fatalf("persisted model wrong: %v %d", m.Kind, m.Inputs)
+	}
+}
+
+func TestRunTofinoSpec(t *testing.T) {
+	out := t.TempDir()
+	if err := run("testdata/tc_tofino.json", out); err != nil {
+		t.Fatal(err)
+	}
+	code, err := os.ReadFile(filepath.Join(out, "traffic_class.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "v1model") {
+		t.Fatal("generated code must be P4")
+	}
+}
+
+func TestRunCSVSpec(t *testing.T) {
+	dir := t.TempDir()
+	// Write a small CSV dataset pair.
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 800
+	train, test, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainF, err := os.Create(filepath.Join(dir, "train.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := train.WriteCSV(trainF); err != nil {
+		t.Fatal(err)
+	}
+	trainF.Close()
+	testF, err := os.Create(filepath.Join(dir, "test.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := test.WriteCSV(testF); err != nil {
+		t.Fatal(err)
+	}
+	testF.Close()
+
+	spec := `{
+	  "name": "csv_pipeline",
+	  "algorithms": ["dtree"],
+	  "data": {"train_csv": "train.csv", "test_csv": "test.csv"},
+	  "platform": {"kind": "taurus"},
+	  "search": {"init": 3, "iterations": 3, "seed": 4}
+	}`
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if err := run(specPath, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "csv_pipeline.spatial")); err != nil {
+		t.Fatal("code artifact missing")
+	}
+}
+
+func TestRunSpecErrors(t *testing.T) {
+	out := t.TempDir()
+	if err := run("testdata/does_not_exist.json", out); err == nil {
+		t.Fatal("missing spec must fail")
+	}
+	dir := t.TempDir()
+	badPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(badPath, []byte("not json"), 0o644)
+	if err := run(badPath, out); err == nil {
+		t.Fatal("garbage spec must fail")
+	}
+	noName := filepath.Join(dir, "noname.json")
+	os.WriteFile(noName, []byte(`{"data": {"generator": "nslkdd"}}`), 0o644)
+	if err := run(noName, out); err == nil {
+		t.Fatal("nameless spec must fail")
+	}
+	badGen := filepath.Join(dir, "badgen.json")
+	os.WriteFile(badGen, []byte(`{"name": "x", "data": {"generator": "zzz"}}`), 0o644)
+	if err := run(badGen, out); err == nil {
+		t.Fatal("unknown generator must fail")
+	}
+	badPlat := filepath.Join(dir, "badplat.json")
+	os.WriteFile(badPlat, []byte(`{"name": "x", "data": {"generator": "nslkdd"}, "platform": {"kind": "abacus"}}`), 0o644)
+	if err := run(badPlat, out); err == nil {
+		t.Fatal("unknown platform must fail")
+	}
+}
+
+func TestBuildLoaderValidation(t *testing.T) {
+	if _, err := buildLoader(DataSpec{TrainCSV: "a.csv"}, "."); err == nil {
+		t.Fatal("half a CSV pair must fail")
+	}
+	if _, err := buildLoader(DataSpec{}, "."); err == nil {
+		t.Fatal("empty data spec must fail")
+	}
+}

@@ -1,0 +1,103 @@
+// Quickstart: the paper's Figure-3 program, in Go. An operator declares
+// the anomaly-detection dataset, an F1 objective, and a Taurus switch
+// constrained to 1 GPkt/s and 500 ns on a 16×16 grid — and Homunculus
+// searches, trains, and generates the data-plane pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/alchemy"
+	"repro/internal/synth/nslkdd"
+
+	homunculus "repro"
+)
+
+// adLoader plays the role of Figure 3's ad_loader module: it loads and
+// preprocesses the train/test CSVs. Here the "files" come from the
+// bundled NSL-KDD-like generator; swap in dataset.ReadCSV for real CSVs.
+func adLoader() (*alchemy.Data, error) {
+	train, test, err := nslkdd.TrainTest(nslkdd.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	data := &alchemy.Data{FeatureNames: train.FeatureNames}
+	for i := 0; i < train.Len(); i++ {
+		data.TrainX = append(data.TrainX, append([]float64{}, train.X.Row(i)...))
+		data.TrainY = append(data.TrainY, train.Y[i])
+	}
+	for i := 0; i < test.Len(); i++ {
+		data.TestX = append(data.TestX, append([]float64{}, test.X.Row(i)...))
+		data.TestY = append(data.TestY, test.Y[i])
+	}
+	return data, nil
+}
+
+func main() {
+	// Specify the model of choice (Figure 3, lines 17–21).
+	modelSpec := alchemy.NewModel(alchemy.ModelSpec{
+		OptimizationMetric: "f1",
+		Algorithms:         []string{"dnn"},
+		Name:               "anomaly_detection",
+		DataLoader:         alchemy.DataLoaderFunc(adLoader),
+	})
+
+	// Load platform (lines 24–29).
+	platform := alchemy.Taurus()
+	platform.Constrain(alchemy.Constraints{
+		Performance: alchemy.Performance{
+			ThroughputGPkts: 1,   // GPkt/s
+			LatencyNS:       500, // ns
+		},
+		Resources: alchemy.Resources{Rows: 16, Cols: 16},
+	})
+
+	// Schedule model and generate code (lines 32–33).
+	platform.Schedule(modelSpec)
+	pipeline, err := homunculus.Generate(platform)
+	if err != nil {
+		log.Fatalf("homunculus: %v", err)
+	}
+
+	app := pipeline.Apps[0]
+	if app.Model == nil {
+		log.Fatalf("no feasible model found under the given constraints")
+	}
+	fmt.Printf("selected algorithm:  %s\n", app.Algorithm)
+	fmt.Printf("architecture:        %d -> %v -> %d\n",
+		app.Model.Inputs, app.Model.HiddenWidths(), app.Model.Outputs)
+	fmt.Printf("parameters:          %d\n", app.Model.ParamCount())
+	fmt.Printf("F1 (quantized):      %.2f%%\n", app.Metric*100)
+	fmt.Printf("resources:           %.0f CUs, %.0f MUs\n",
+		app.Verdict.Metrics["cus"], app.Verdict.Metrics["mus"])
+	fmt.Printf("latency:             %.0f ns at %.1f GPkt/s\n",
+		app.Verdict.Metrics["latency_ns"], app.Verdict.Metrics["throughput_gpkts"])
+	fmt.Printf("\n--- generated Spatial (first lines) ---\n")
+	printed := 0
+	for _, line := range splitLines(app.Code) {
+		fmt.Println(line)
+		printed++
+		if printed >= 12 {
+			fmt.Println("...")
+			break
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i, r := range s {
+		if r == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

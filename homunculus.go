@@ -1,0 +1,248 @@
+// Package homunculus is the public entry point of the Homunculus
+// framework (Swamy et al., ASPLOS 2023 — "Homunculus: Auto-Generating
+// Efficient Data-Plane ML Pipelines for Datacenter Networks"): declare
+// datasets, objectives, and a target with the alchemy DSL, then call
+// Generate to run design-space exploration, training, feasibility testing,
+// and backend code generation in one step.
+//
+//	platform := alchemy.Taurus()
+//	platform.Constrain(alchemy.Constraints{ ... })
+//	platform.Schedule(model)
+//	pipeline, err := homunculus.Generate(platform)
+//
+// The returned Pipeline carries, per scheduled model, the selected
+// algorithm and architecture, the achieved objective metric (measured with
+// bit-accurate fixed-point inference), the backend resource verdict, and
+// the generated Spatial or P4 source.
+package homunculus
+
+import (
+	"fmt"
+
+	"repro/alchemy"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Option customizes Generate.
+type Option func(*options)
+
+type options struct {
+	search   core.SearchConfig
+	override bool
+}
+
+// WithSearchConfig replaces the default search configuration (BO budget,
+// design-space bounds, seed) — the knob the experiment harness uses.
+func WithSearchConfig(cfg core.SearchConfig) Option {
+	return func(o *options) {
+		o.search = cfg
+		o.override = true
+	}
+}
+
+// WithSeed sets the global search seed, keeping other defaults.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.search.Seed = seed }
+}
+
+// AppResult is the outcome for one scheduled model.
+type AppResult struct {
+	Name string
+	// Algorithm is the selected family ("dnn", "svm", ...).
+	Algorithm string
+	// Metric is the achieved objective (F1 / accuracy / V-measure) under
+	// quantized inference.
+	Metric float64
+	// Model is the deployable IR.
+	Model *ir.Model
+	// Verdict is the backend resource/performance report.
+	Verdict core.Verdict
+	// Code is the generated backend source (Spatial or P4).
+	Code string
+	// Candidates summarizes every algorithm family tried.
+	Candidates []core.CandidateResult
+}
+
+// Pipeline is the compiled data-plane ML pipeline.
+type Pipeline struct {
+	Platform string
+	Apps     []AppResult
+	// Composition is the whole-pipeline resource verdict when more than
+	// one model is scheduled on a Taurus target.
+	Composition *core.Verdict
+}
+
+// Generate compiles the platform's scheduled models: for each model it
+// runs the optimization core (design-space creation, BO-guided DSE,
+// training, feasibility testing) and code generation; for compositions it
+// additionally checks whole-pipeline resources (§3.2.1 consistency rules).
+func Generate(p *alchemy.Platform, opts ...Option) (*Pipeline, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := options{search: core.DefaultSearchConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	target, err := buildTarget(p)
+	if err != nil {
+		return nil, err
+	}
+
+	pipe := &Pipeline{Platform: p.Kind.String()}
+	models := p.Sched.Models()
+	// Memoize by *alchemy.Model so a model scheduled several times (e.g.
+	// the Table-3 chaining experiment) is searched once.
+	cache := map[*alchemy.Model]AppResult{}
+	var leaves []*core.Composition
+	for _, m := range models {
+		res, ok := cache[m]
+		if !ok {
+			var err error
+			res, err = generateOne(m, target, o.search)
+			if err != nil {
+				return nil, err
+			}
+			cache[m] = res
+		}
+		pipe.Apps = append(pipe.Apps, res)
+		if res.Model != nil {
+			leaves = append(leaves, core.Leaf(res.Model))
+		}
+	}
+
+	// Whole-pipeline feasibility for multi-model Taurus schedules.
+	if tt, ok := target.(*core.TaurusTarget); ok && len(leaves) > 1 {
+		comp := buildComposition(p.Sched, pipe.Apps)
+		if comp != nil {
+			v, err := core.EstimateComposition(tt, comp)
+			if err != nil {
+				return nil, err
+			}
+			pipe.Composition = &v
+		}
+	}
+	return pipe, nil
+}
+
+func generateOne(m *alchemy.Model, target core.Target, search core.SearchConfig) (AppResult, error) {
+	data, err := m.Spec.DataLoader.Load()
+	if err != nil {
+		return AppResult{}, fmt.Errorf("homunculus: load data for %q: %w", m.Spec.Name, err)
+	}
+	train, test, err := data.Datasets()
+	if err != nil {
+		return AppResult{}, fmt.Errorf("homunculus: model %q: %w", m.Spec.Name, err)
+	}
+	app := core.App{
+		Name:      m.Spec.Name,
+		Train:     train,
+		Test:      test,
+		Normalize: m.Spec.Normalize == nil || *m.Spec.Normalize,
+	}
+	cfg := search
+	cfg.Metric = core.Metric(m.Spec.OptimizationMetric)
+	cfg.Algorithms = nil
+	for _, a := range m.Spec.Algorithms {
+		kind, err := ir.ParseKind(a)
+		if err != nil {
+			return AppResult{}, fmt.Errorf("homunculus: model %q: %w", m.Spec.Name, err)
+		}
+		cfg.Algorithms = append(cfg.Algorithms, kind)
+	}
+	res, err := core.Search(app, target, cfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	out := AppResult{Name: m.Spec.Name, Candidates: res.Candidates}
+	if res.Best == nil {
+		// No feasible model exists under the constraints: surface it as a
+		// result with empty model rather than an error, so multi-app
+		// schedules can report partial success.
+		return out, nil
+	}
+	out.Algorithm = res.Best.Algorithm.String()
+	out.Metric = res.Best.Metric
+	out.Model = res.Best.Model
+	out.Verdict = res.Best.Verdict
+	out.Code = res.Code
+	return out, nil
+}
+
+// buildTarget translates the Alchemy platform declaration into a core
+// backend target.
+func buildTarget(p *alchemy.Platform) (core.Target, error) {
+	switch p.Kind {
+	case alchemy.PlatformTaurus:
+		t := core.NewTaurusTarget()
+		if p.Constraints.Resources.Rows > 0 {
+			t.Grid.Rows = p.Constraints.Resources.Rows
+		}
+		if p.Constraints.Resources.Cols > 0 {
+			t.Grid.Cols = p.Constraints.Resources.Cols
+		}
+		if p.Constraints.Performance.ThroughputGPkts > 0 {
+			t.Constraints.ThroughputGPkts = p.Constraints.Performance.ThroughputGPkts
+		}
+		if p.Constraints.Performance.LatencyNS > 0 {
+			t.Constraints.LatencyNS = p.Constraints.Performance.LatencyNS
+		}
+		return t, nil
+	case alchemy.PlatformTofino:
+		return core.NewMATTarget(p.Constraints.Resources.Tables), nil
+	case alchemy.PlatformFPGA:
+		t := core.NewFPGATarget()
+		if p.Constraints.Resources.MaxLUTPct > 0 {
+			t.MaxLUTPct = p.Constraints.Resources.MaxLUTPct
+		}
+		if p.Constraints.Resources.MaxPowerW > 0 {
+			t.MaxPowerW = p.Constraints.Resources.MaxPowerW
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("homunculus: unsupported platform %v", p.Kind)
+	}
+}
+
+// buildComposition mirrors the alchemy schedule tree over the searched
+// models (dropping models the search could not satisfy).
+func buildComposition(s *alchemy.Schedule, apps []AppResult) *core.Composition {
+	byName := map[string]*ir.Model{}
+	for _, a := range apps {
+		if a.Model != nil {
+			byName[a.Name] = a.Model
+		}
+	}
+	var build func(s *alchemy.Schedule) *core.Composition
+	build = func(s *alchemy.Schedule) *core.Composition {
+		if s == nil {
+			return nil
+		}
+		if s.Model != nil {
+			if m := byName[s.Model.Spec.Name]; m != nil {
+				return core.Leaf(m)
+			}
+			return nil
+		}
+		var children []*core.Composition
+		for _, ch := range s.Children {
+			if c := build(ch); c != nil {
+				children = append(children, c)
+			}
+		}
+		if len(children) == 0 {
+			return nil
+		}
+		if len(children) == 1 {
+			return children[0]
+		}
+		op := core.Seq
+		if s.Op == alchemy.OpPar {
+			op = core.Par
+		}
+		return &core.Composition{Op: op, Children: children}
+	}
+	return build(s)
+}

@@ -1,0 +1,227 @@
+package homunculus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/alchemy"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func sampleLoader(seed int64) alchemy.DataLoader {
+	return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) ([][]float64, []int) {
+			x := make([][]float64, n)
+			y := make([]int, n)
+			for i := 0; i < n; i++ {
+				c := i % 2
+				x[i] = []float64{
+					float64(c)*1.5 + rng.NormFloat64()*0.5,
+					float64(c)*-1.0 + rng.NormFloat64()*0.5,
+					rng.NormFloat64(),
+				}
+				y[i] = c
+			}
+			return x, y
+		}
+		d := &alchemy.Data{FeatureNames: []string{"fa", "fb", "fc"}}
+		d.TrainX, d.TrainY = mk(400)
+		d.TestX, d.TestY = mk(150)
+		return d, nil
+	})
+}
+
+func fastConfig() core.SearchConfig {
+	cfg := core.DefaultSearchConfig()
+	cfg.BO.InitSamples = 3
+	cfg.BO.Iterations = 3
+	cfg.BO.Candidates = 80
+	cfg.MaxHiddenLayers = 2
+	cfg.MaxNeurons = 10
+	cfg.TrainEpochs = 5
+	return cfg
+}
+
+func TestGenerateSingleModelTaurus(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name:               "anomaly_detection",
+		OptimizationMetric: "f1",
+		Algorithms:         []string{"dnn"},
+		DataLoader:         sampleLoader(1),
+	})
+	platform := alchemy.Taurus()
+	platform.Constrain(alchemy.Constraints{
+		Performance: alchemy.Performance{ThroughputGPkts: 1, LatencyNS: 500},
+		Resources:   alchemy.Resources{Rows: 16, Cols: 16},
+	})
+	platform.Schedule(model)
+
+	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Platform != "taurus" {
+		t.Fatalf("platform %q", pipe.Platform)
+	}
+	if len(pipe.Apps) != 1 {
+		t.Fatalf("apps = %d", len(pipe.Apps))
+	}
+	app := pipe.Apps[0]
+	if app.Model == nil {
+		t.Fatal("must produce a model")
+	}
+	if app.Algorithm != "dnn" {
+		t.Fatalf("algorithm %q", app.Algorithm)
+	}
+	if app.Metric < 0.8 {
+		t.Fatalf("metric %v too low", app.Metric)
+	}
+	if !strings.Contains(app.Code, "@spatial") {
+		t.Fatal("generated code must be Spatial")
+	}
+	if !app.Verdict.Feasible {
+		t.Fatal("model must be feasible")
+	}
+}
+
+func TestGenerateTofinoKMeans(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name:               "traffic_class",
+		OptimizationMetric: "vmeasure",
+		Algorithms:         []string{"kmeans"},
+		DataLoader:         sampleLoader(2),
+	})
+	platform := alchemy.Tofino()
+	platform.Constrain(alchemy.Constraints{Resources: alchemy.Resources{Tables: 4}})
+	platform.Schedule(model)
+
+	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := pipe.Apps[0]
+	if app.Model == nil {
+		t.Fatal("must produce a clustering")
+	}
+	if app.Verdict.Metrics["tables"] > 4 {
+		t.Fatalf("table budget violated: %v", app.Verdict.Metrics["tables"])
+	}
+	if !strings.Contains(app.Code, "v1model") {
+		t.Fatal("generated code must be P4")
+	}
+}
+
+func TestGenerateComposition(t *testing.T) {
+	m1 := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "m1", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(3)})
+	m2 := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "m2", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(4)})
+	platform := alchemy.Taurus()
+	platform.Schedule(alchemy.Seq(m1, m2))
+
+	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Apps) != 2 {
+		t.Fatalf("apps = %d", len(pipe.Apps))
+	}
+	if pipe.Composition == nil {
+		t.Fatal("composition verdict missing")
+	}
+	if pipe.Composition.Metrics["models"] != 2 || pipe.Composition.Metrics["chain_depth"] != 2 {
+		t.Fatalf("composition metrics: %+v", pipe.Composition.Metrics)
+	}
+}
+
+func TestGenerateMemoizesRepeatedModel(t *testing.T) {
+	loads := 0
+	loader := alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+		loads++
+		return sampleLoader(5).Load()
+	})
+	m := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "ad", Algorithms: []string{"dtree"}, DataLoader: loader})
+	platform := alchemy.Taurus()
+	platform.Schedule(alchemy.Seq(m, m, m, m)) // Table-3 style: 4 copies
+
+	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1 (memoized)", loads)
+	}
+	if len(pipe.Apps) != 4 {
+		t.Fatalf("apps = %d", len(pipe.Apps))
+	}
+	if pipe.Composition == nil || pipe.Composition.Metrics["models"] != 4 {
+		t.Fatal("composition must cover 4 instances")
+	}
+}
+
+func TestGenerateValidationErrors(t *testing.T) {
+	if _, err := Generate(alchemy.Taurus()); err == nil {
+		t.Fatal("unscheduled platform must fail")
+	}
+	bad := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "x", Algorithms: []string{"not_an_algo"}, DataLoader: sampleLoader(6)})
+	p := alchemy.Taurus()
+	p.Schedule(bad)
+	if _, err := Generate(p, WithSearchConfig(fastConfig())); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+}
+
+func TestGenerateInfeasibleReturnsEmptyApp(t *testing.T) {
+	// A 1-table Tofino cannot host a 2-cluster KMeans (needs 2 tables) —
+	// but K=1 fits; constrain to vmeasure where K=1 scores 0. The search
+	// still returns its best feasible (trivial) model. Use a 0-table-like
+	// minimal budget by demanding dtree with depth tables > budget:
+	// simplest robust check: DNN on Tofino is pruned and yields no model.
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "d", Algorithms: []string{"dnn"}, DataLoader: sampleLoader(7)})
+	p := alchemy.Tofino()
+	p.Schedule(model)
+	pipe, err := Generate(p, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Apps[0].Model != nil {
+		t.Fatal("DNN on MAT must yield no model")
+	}
+	if len(pipe.Apps[0].Candidates) != 1 || pipe.Apps[0].Candidates[0].Skipped == "" {
+		t.Fatal("candidate must be recorded as skipped")
+	}
+}
+
+func TestWithSeed(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "s", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(8)})
+	p := alchemy.Taurus()
+	p.Schedule(model)
+	cfg := fastConfig()
+	a, err := Generate(p, WithSearchConfig(cfg), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, WithSearchConfig(cfg), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Apps[0].Metric != b.Apps[0].Metric {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []ir.Kind{ir.DNN, ir.SVM, ir.KMeans, ir.DTree} {
+		back, err := ir.ParseKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("kind %v round trip", k)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package bo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON design-space interchange. The paper's implementation section (§4)
+// describes exactly this boundary: "The design-space restrictions are
+// parsed from the application's program (written in Alchemy) and formed
+// into a JSON configuration file describing searchable parameters. This
+// JSON file is fed to HyperMapper to start the optimization process."
+// The format below mirrors HyperMapper's input_parameters schema closely
+// enough that a space serialized here is recognizable to HyperMapper
+// users, while staying self-contained.
+
+// jsonSpace is the wire format.
+type jsonSpace struct {
+	ApplicationName string               `json:"application_name,omitempty"`
+	Parameters      map[string]jsonParam `json:"input_parameters"`
+	Order           []string             `json:"parameter_order,omitempty"`
+}
+
+type jsonParam struct {
+	Type   string    `json:"parameter_type"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// WriteJSON serializes the space (validated first) to w, preserving
+// parameter order.
+func (s Space) WriteJSON(w io.Writer, appName string) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("bo: refusing to serialize invalid space: %w", err)
+	}
+	js := jsonSpace{
+		ApplicationName: appName,
+		Parameters:      map[string]jsonParam{},
+	}
+	for _, p := range s.Params {
+		jp := jsonParam{}
+		switch p.Kind {
+		case Real:
+			jp.Type = "real"
+			jp.Min, jp.Max = p.Min, p.Max
+		case Integer:
+			jp.Type = "integer"
+			jp.Min, jp.Max = p.Min, p.Max
+		case Ordinal:
+			jp.Type = "ordinal"
+			jp.Values = p.Values
+		case Categorical:
+			jp.Type = "categorical"
+			jp.Values = p.Values
+		}
+		js.Parameters[p.Name] = jp
+		js.Order = append(js.Order, p.Name)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(js); err != nil {
+		return fmt.Errorf("bo: encode space: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONSpace parses a design space written by WriteJSON (or a
+// HyperMapper-style input_parameters block). Parameter order follows the
+// parameter_order field when present, else map-key sorted order is NOT
+// guaranteed — files written by this package always carry the order.
+func ReadJSONSpace(r io.Reader) (Space, string, error) {
+	var js jsonSpace
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return Space{}, "", fmt.Errorf("bo: decode space: %w", err)
+	}
+	if len(js.Parameters) == 0 {
+		return Space{}, "", fmt.Errorf("bo: space has no input_parameters")
+	}
+	order := js.Order
+	if len(order) == 0 {
+		for name := range js.Parameters {
+			order = append(order, name)
+		}
+	}
+	if len(order) != len(js.Parameters) {
+		return Space{}, "", fmt.Errorf("bo: parameter_order lists %d names for %d parameters", len(order), len(js.Parameters))
+	}
+	var space Space
+	for _, name := range order {
+		jp, ok := js.Parameters[name]
+		if !ok {
+			return Space{}, "", fmt.Errorf("bo: parameter_order names unknown parameter %q", name)
+		}
+		p := Param{Name: name}
+		switch jp.Type {
+		case "real":
+			p.Kind, p.Min, p.Max = Real, jp.Min, jp.Max
+		case "integer":
+			p.Kind, p.Min, p.Max = Integer, jp.Min, jp.Max
+		case "ordinal":
+			p.Kind, p.Values = Ordinal, jp.Values
+		case "categorical":
+			p.Kind, p.Values = Categorical, jp.Values
+		default:
+			return Space{}, "", fmt.Errorf("bo: parameter %q has unknown type %q", name, jp.Type)
+		}
+		space.Params = append(space.Params, p)
+	}
+	if err := space.Validate(); err != nil {
+		return Space{}, "", fmt.Errorf("bo: loaded space invalid: %w", err)
+	}
+	return space, js.ApplicationName, nil
+}

@@ -1,0 +1,82 @@
+package bo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoSpace() Space {
+	return Space{Params: []Param{
+		{Name: "layers", Kind: Integer, Min: 1, Max: 4},
+		{Name: "lr", Kind: Ordinal, Values: []float64{0.001, 0.01, 0.1}},
+		{Name: "activation", Kind: Categorical, Values: []float64{0, 1, 2}},
+		{Name: "dropout", Kind: Real, Min: 0, Max: 0.5},
+	}}
+}
+
+func TestSpaceJSONRoundTrip(t *testing.T) {
+	s := demoSpace()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, "anomaly_detection"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "input_parameters") {
+		t.Fatal("must emit HyperMapper-style schema")
+	}
+	back, app, err := ReadJSONSpace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != "anomaly_detection" {
+		t.Fatalf("app name %q", app)
+	}
+	if len(back.Params) != 4 {
+		t.Fatalf("params = %d", len(back.Params))
+	}
+	// Order must be preserved.
+	for i, p := range back.Params {
+		if p.Name != s.Params[i].Name || p.Kind != s.Params[i].Kind {
+			t.Fatalf("param %d mismatch: %+v vs %+v", i, p, s.Params[i])
+		}
+	}
+	if back.Params[1].Values[2] != 0.1 || back.Params[3].Max != 0.5 {
+		t.Fatal("bounds/values lost")
+	}
+}
+
+func TestWriteJSONRejectsInvalidSpace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Space{}).WriteJSON(&buf, "x"); err == nil {
+		t.Fatal("empty space must not serialize")
+	}
+}
+
+func TestReadJSONSpaceErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"input_parameters": {}}`,
+		`{"input_parameters": {"a": {"parameter_type": "warp"}}}`,
+		`{"input_parameters": {"a": {"parameter_type": "real", "min": 0, "max": 1}}, "parameter_order": ["a", "b"]}`,
+		`{"input_parameters": {"a": {"parameter_type": "real", "min": 0, "max": 1}}, "parameter_order": ["zz"]}`,
+		`{"input_parameters": {"a": {"parameter_type": "ordinal"}}}`, // no values
+	}
+	for i, c := range cases {
+		if _, _, err := ReadJSONSpace(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d must fail: %s", i, c)
+		}
+	}
+}
+
+func TestReadJSONSpaceWithoutOrder(t *testing.T) {
+	// A hand-written file without parameter_order still loads (single
+	// param avoids order ambiguity).
+	in := `{"input_parameters": {"x": {"parameter_type": "real", "min": -1, "max": 1}}}`
+	s, _, err := ReadJSONSpace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Params) != 1 || s.Params[0].Name != "x" {
+		t.Fatalf("loaded %+v", s.Params)
+	}
+}

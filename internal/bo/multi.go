@@ -1,0 +1,205 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Multi-objective optimization support. HyperMapper — the optimizer the
+// paper builds on — is "a framework for constrained multi-objective
+// optimization" (§4); Homunculus's single-model searches use one
+// objective, but the framework exposes the general form (accuracy vs
+// resource cost is the canonical data-plane trade-off). The implementation
+// follows the random-scalarization approach of Paria et al. (UAI 2019,
+// the paper's [72]): each BO round optimizes a randomly weighted
+// combination of the objectives, which in aggregate covers the Pareto
+// front.
+
+// MultiObjective evaluates a point and returns one value per objective
+// (all maximized), feasibility, and auxiliary metrics.
+type MultiObjective func(x []float64) (values []float64, feasible bool, metrics map[string]float64, err error)
+
+// MultiEvaluation is one observed point in a multi-objective run.
+type MultiEvaluation struct {
+	X        []float64
+	Values   []float64
+	Feasible bool
+	Metrics  map[string]float64
+}
+
+// MultiResult is the outcome of a multi-objective optimization run.
+type MultiResult struct {
+	History []MultiEvaluation
+	// Front is the feasible Pareto-optimal subset of History (maximal in
+	// every objective direction), in evaluation order.
+	Front []MultiEvaluation
+}
+
+// Dominates reports whether a dominates b: no worse in every objective
+// and strictly better in at least one.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bo: dominance over mismatched lengths %d vs %d", len(a), len(b)))
+	}
+	strictly := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// ParetoFront filters evals to the feasible non-dominated subset.
+func ParetoFront(evals []MultiEvaluation) []MultiEvaluation {
+	var front []MultiEvaluation
+	for i, e := range evals {
+		if !e.Feasible {
+			continue
+		}
+		dominated := false
+		for j, other := range evals {
+			if i == j || !other.Feasible {
+				continue
+			}
+			if Dominates(other.Values, e.Values) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, e)
+		}
+	}
+	return front
+}
+
+// MaximizeMulti runs constrained multi-objective BO over space with
+// nObjectives objectives. Each iteration draws a random weight vector on
+// the simplex and runs the single-objective acquisition against the
+// weighted sum; the returned result carries the full history and its
+// Pareto front.
+func MaximizeMulti(space Space, cfg Config, nObjectives int, obj MultiObjective) (MultiResult, error) {
+	if err := space.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	if nObjectives < 2 {
+		return MultiResult{}, fmt.Errorf("bo: MaximizeMulti needs >= 2 objectives, got %d", nObjectives)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res MultiResult
+
+	evaluate := func(x []float64) (MultiEvaluation, error) {
+		values, feasible, metrics, err := obj(x)
+		if err != nil {
+			return MultiEvaluation{}, fmt.Errorf("bo: multi-objective evaluation failed: %w", err)
+		}
+		if len(values) != nObjectives {
+			return MultiEvaluation{}, fmt.Errorf("bo: objective returned %d values, want %d", len(values), nObjectives)
+		}
+		ev := MultiEvaluation{
+			X:        append([]float64{}, x...),
+			Values:   append([]float64{}, values...),
+			Feasible: feasible,
+			Metrics:  metrics,
+		}
+		res.History = append(res.History, ev)
+		return ev, nil
+	}
+
+	// Warm-up.
+	for i := 0; i < cfg.InitSamples; i++ {
+		if _, err := evaluate(space.Sample(rng)); err != nil {
+			return res, err
+		}
+	}
+
+	// Scalarized BO rounds. The scalarization rescales each objective by
+	// the observed range so weights are meaningful across magnitudes.
+	for it := 0; it < cfg.Iterations; it++ {
+		weights := sampleSimplex(rng, nObjectives)
+		lo, hi := objectiveRanges(res.History, nObjectives)
+		scalarHistory := Result{}
+		for _, ev := range res.History {
+			scalarHistory.History = append(scalarHistory.History, Evaluation{
+				X:         ev.X,
+				Objective: scalarize(ev.Values, weights, lo, hi),
+				Feasible:  ev.Feasible,
+			})
+		}
+		for _, ev := range scalarHistory.History {
+			if ev.Feasible && (scalarHistory.Best == nil || ev.Objective > scalarHistory.Best.Objective) {
+				best := ev
+				scalarHistory.Best = &best
+			}
+		}
+		var next []float64
+		if it%4 == 3 {
+			next = space.Sample(rng)
+		} else {
+			var err error
+			next, err = suggest(space, cfg, rng, scalarHistory)
+			if err != nil {
+				return res, err
+			}
+		}
+		if _, err := evaluate(next); err != nil {
+			return res, err
+		}
+	}
+	res.Front = ParetoFront(res.History)
+	return res, nil
+}
+
+// sampleSimplex draws a uniform random weight vector summing to 1.
+func sampleSimplex(rng *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = -math.Log(1 - rng.Float64())
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+func objectiveRanges(history []MultiEvaluation, n int) (lo, hi []float64) {
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	for _, ev := range history {
+		for i, v := range ev.Values {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func scalarize(values, weights, lo, hi []float64) float64 {
+	var s float64
+	for i, v := range values {
+		span := hi[i] - lo[i]
+		if span < 1e-12 {
+			span = 1
+		}
+		s += weights[i] * (v - lo[i]) / span
+	}
+	return s
+}

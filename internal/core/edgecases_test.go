@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ir"
+)
+
+// Edge-case hardening: degenerate datasets and adversarial configurations
+// must produce graceful results (empty Best, infeasible verdicts), never
+// panics or hangs.
+
+func TestSearchSingleClassDataset(t *testing.T) {
+	// All samples share one label: every classifier collapses to the
+	// majority class. F1 for the absent class is 0 but nothing crashes.
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.New(200, 3)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 3; j++ {
+			d.X.Set(i, j, rng.NormFloat64())
+		}
+	}
+	train, test := d.Split(rng, 0.75)
+	app := App{Name: "degenerate", Train: train, Test: test, Normalize: true}
+	cfg := fastSearchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DTree}
+	res, err := Search(app, NewTaurusTarget(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("a trivial model still deploys")
+	}
+	// With one observed class the macro-F1 degenerates to 1 (every
+	// prediction correct); the point of the test is graceful handling.
+	if res.Best.Metric != 1 {
+		t.Fatalf("single-class macro-F1 should be 1, got %v", res.Best.Metric)
+	}
+}
+
+func TestSearchConstantFeatures(t *testing.T) {
+	// Zero-variance features: normalization must not divide by zero and
+	// training must proceed.
+	d := dataset.New(200, 2)
+	for i := 0; i < 200; i++ {
+		d.X.Set(i, 0, 5) // constant
+		d.X.Set(i, 1, float64(i%2))
+		d.Y[i] = i % 2
+	}
+	rng := rand.New(rand.NewSource(2))
+	train, test := d.StratifiedSplit(rng, 0.75)
+	app := App{Name: "constfeat", Train: train, Test: test, Normalize: true}
+	cfg := fastSearchConfig()
+	cfg.Algorithms = []ir.Kind{ir.SVM}
+	res, err := Search(app, NewTaurusTarget(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Metric < 0.95 {
+		t.Fatalf("separable-by-f1 task must be solved: %+v", res.Best)
+	}
+}
+
+func TestSearchTinyDataset(t *testing.T) {
+	// Fewer samples than the batch size and than MaxClusters.
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.New(12, 2)
+	for i := 0; i < 12; i++ {
+		c := i % 2
+		d.X.Set(i, 0, float64(c)*2+rng.NormFloat64()*0.1)
+		d.X.Set(i, 1, rng.NormFloat64())
+		d.Y[i] = c
+	}
+	train, test := d.StratifiedSplit(rng, 0.75)
+	app := App{Name: "tiny", Train: train, Test: test, Normalize: true}
+	cfg := fastSearchConfig()
+	cfg.Algorithms = []ir.Kind{ir.KMeans} // K may exceed sample count: those evals are infeasible, not fatal
+	cfg.Metric = MetricVMeasure
+	res, err := Search(app, NewMATTarget(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least K=1..len(train) candidates are trainable.
+	if res.Best == nil {
+		t.Fatal("some clustering must be feasible")
+	}
+}
+
+func TestSearchImpossibleGrid(t *testing.T) {
+	// A 1×1 grid fits nothing; the search must return no model, not error.
+	app := smallApp(t, 30)
+	cfg := fastSearchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DNN}
+	target := NewTaurusTarget()
+	target.Grid.Rows, target.Grid.Cols = 1, 1
+	res, err := Search(app, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Fatal("nothing fits a 1x1 grid")
+	}
+	for _, c := range res.Candidates {
+		if c.Skipped == "" && len(c.BO.History) == 0 {
+			t.Fatal("non-skipped candidate must still record its exploration")
+		}
+	}
+}
+
+func TestFuseDisjointLabelsStillValid(t *testing.T) {
+	// Fusing apps whose samples emphasize different classes must yield a
+	// structurally valid app.
+	a, b := twoOverlappingApps(t, 31)
+	for i := range a.Train.Y {
+		a.Train.Y[i] = 0
+	}
+	fused, err := Fuse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

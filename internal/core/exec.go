@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/tensor"
+)
+
+// Composition execution: besides resource estimation, a composed pipeline
+// can be *run* — the semantics the IOMap construct wires up (§3.1.1:
+// "IOMap describes how different components connect with each other...
+// connects the inputs and outputs of these components and to the outside
+// world").
+//
+// Execution rules:
+//   - A leaf scores the incoming vector with quantized inference.
+//   - Sequential (>): stages run in order. Each edge may carry an IOMapper
+//     that transforms (packet features, upstream scores) into the next
+//     stage's input; without a mapper the next stage re-reads the packet
+//     features (the common cascade pattern, where each model inspects the
+//     packet and the last stage's verdict wins).
+//   - Parallel (|): children all read the same input; their score vectors
+//     concatenate (downstream mappers or the final arg-max combine them).
+
+// IOMapper transforms the data flowing across one composition edge.
+// packet is the original feature vector entering the composition; scores
+// is the upstream stage's output.
+type IOMapper func(packet, scores []float64) []float64
+
+// Exec is a compiled, runnable composition.
+type Exec struct {
+	root *Composition
+	// mappers[node] is the mapper applied after each sequential child
+	// (edge i connects child i's output to child i+1's input).
+	mappers map[*Composition][]IOMapper
+}
+
+// NewExec compiles a composition for execution. mappers may be nil.
+func NewExec(c *Composition, mappers map[*Composition][]IOMapper) (*Exec, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if mappers == nil {
+		mappers = map[*Composition][]IOMapper{}
+	}
+	for node, ms := range mappers {
+		if node.Model != nil {
+			return nil, fmt.Errorf("core: IOMappers attach to operators, not leaves")
+		}
+		if node.Op == Seq && len(ms) > len(node.Children)-1 {
+			return nil, fmt.Errorf("core: %d mappers for %d sequential edges", len(ms), len(node.Children)-1)
+		}
+	}
+	return &Exec{root: c, mappers: mappers}, nil
+}
+
+// Run pushes one packet's feature vector through the composition and
+// returns the final score vector.
+func (e *Exec) Run(x []float64) ([]float64, error) {
+	return e.run(e.root, x, x)
+}
+
+// Classify runs the composition and returns the arg-max class of the
+// final stage.
+func (e *Exec) Classify(x []float64) (int, error) {
+	scores, err := e.Run(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("core: composition produced no scores")
+	}
+	return tensor.ArgMax(scores), nil
+}
+
+func (e *Exec) run(c *Composition, packet, input []float64) ([]float64, error) {
+	if c.Model != nil {
+		return scoreLeaf(c.Model, input)
+	}
+	switch c.Op {
+	case Seq:
+		mappers := e.mappers[c]
+		cur := input
+		var scores []float64
+		for i, ch := range c.Children {
+			var err error
+			scores, err = e.run(ch, packet, cur)
+			if err != nil {
+				return nil, err
+			}
+			if i == len(c.Children)-1 {
+				break
+			}
+			if i < len(mappers) && mappers[i] != nil {
+				cur = mappers[i](packet, scores)
+			} else {
+				cur = packet // default: next stage re-reads the packet
+			}
+		}
+		return scores, nil
+	default: // Par
+		var out []float64
+		for _, ch := range c.Children {
+			s, err := e.run(ch, packet, input)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	}
+}
+
+func scoreLeaf(m *ir.Model, input []float64) ([]float64, error) {
+	if len(input) != m.Inputs {
+		return nil, fmt.Errorf("core: stage %q expects %d inputs, got %d (add an IOMap on the edge)",
+			m.Name, m.Inputs, len(input))
+	}
+	return m.ScoresQ(input)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// trainLeaf builds a small trained DNN over `features` inputs.
+func trainLeaf(t *testing.T, d *dataset.Dataset, seed int64) *ir.Model {
+	t.Helper()
+	cfg := nn.Config{
+		Inputs: d.Features(), Hidden: []int{10}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.Adam,
+		LearnRate: 0.01, BatchSize: 16, Epochs: 20, Seed: seed,
+	}
+	net, err := nn.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	return ir.FromNN("leaf", net, fixed.Q8_8)
+}
+
+func execData(t *testing.T, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(400, 3)
+	for i := 0; i < 400; i++ {
+		c := i % 2
+		for j := 0; j < 3; j++ {
+			d.X.Set(i, j, float64(c)*1.5+rng.NormFloat64()*0.4)
+		}
+		d.Y[i] = c
+	}
+	return d
+}
+
+func TestExecLeafMatchesInferQ(t *testing.T) {
+	d := execData(t, 1)
+	m := trainLeaf(t, d, 1)
+	exec, err := NewExec(Leaf(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		want, _ := m.InferQ(d.X.Row(i))
+		got, err := exec.Classify(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("leaf exec diverges at %d", i)
+		}
+	}
+}
+
+func TestExecCascadeDefaultsToPacket(t *testing.T) {
+	// Seq without mappers: each stage re-reads the packet; final verdict
+	// comes from the last stage.
+	d := execData(t, 2)
+	m1 := trainLeaf(t, d, 2)
+	m2 := trainLeaf(t, d, 3)
+	exec, err := NewExec(Chain(Leaf(m1), Leaf(m2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < d.Len(); i++ {
+		got, err := exec.Classify(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := m2.InferQ(d.X.Row(i))
+		if got == want {
+			agree++
+		}
+	}
+	if agree != d.Len() {
+		t.Fatalf("cascade verdict must be last stage's: %d/%d", agree, d.Len())
+	}
+}
+
+func TestExecIOMapFeedsScoresForward(t *testing.T) {
+	// An IOMap that hands the upstream scores to a 2-input downstream
+	// model (score-stacking).
+	d := execData(t, 4)
+	m1 := trainLeaf(t, d, 4)
+
+	// Downstream model consumes m1's 2 scores.
+	scored := dataset.New(d.Len(), 2)
+	for i := 0; i < d.Len(); i++ {
+		s, err := m1.ScoresQ(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(scored.X.Row(i), s)
+		scored.Y[i] = d.Y[i]
+	}
+	m2 := trainLeaf(t, scored, 5)
+
+	comp := Chain(Leaf(m1), Leaf(m2))
+	mappers := map[*Composition][]IOMapper{
+		comp: {func(packet, scores []float64) []float64 { return scores }},
+	}
+	exec, err := NewExec(comp, mappers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]int, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		c, err := exec.Classify(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred[i] = c
+	}
+	acc := metrics.FromLabels(d.Y, pred, 2).Accuracy()
+	if acc < 0.9 {
+		t.Fatalf("stacked cascade accuracy %v", acc)
+	}
+}
+
+func TestExecParallelConcatenates(t *testing.T) {
+	d := execData(t, 6)
+	m1 := trainLeaf(t, d, 6)
+	m2 := trainLeaf(t, d, 7)
+	exec, err := NewExec(Parallel(Leaf(m1), Leaf(m2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := exec.Run(d.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 { // 2 classes × 2 models
+		t.Fatalf("parallel scores = %d, want 4", len(scores))
+	}
+}
+
+func TestExecDimensionMismatchWithoutMapper(t *testing.T) {
+	d := execData(t, 8)
+	m1 := trainLeaf(t, d, 8)
+	small := dataset.New(50, 2)
+	for i := 0; i < 50; i++ {
+		small.X.Set(i, 0, float64(i%2))
+		small.Y[i] = i % 2
+	}
+	m2 := trainLeaf(t, small, 9)
+	// Mapper feeding 2 scores into the 2-input m2 works; removing it and
+	// letting m2 re-read the 3-feature packet must fail loudly.
+	exec, err := NewExec(Chain(Leaf(m1), Leaf(m2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Classify(d.X.Row(0)); err == nil {
+		t.Fatal("dimension mismatch must surface as an error")
+	}
+}
+
+func TestNewExecValidation(t *testing.T) {
+	if _, err := NewExec(&Composition{}, nil); err == nil {
+		t.Fatal("invalid composition must fail")
+	}
+	d := execData(t, 10)
+	m := trainLeaf(t, d, 10)
+	leaf := Leaf(m)
+	if _, err := NewExec(leaf, map[*Composition][]IOMapper{leaf: {nil}}); err == nil {
+		t.Fatal("mapper on a leaf must fail")
+	}
+	chain := Chain(Leaf(m), Leaf(m))
+	tooMany := map[*Composition][]IOMapper{chain: {nil, nil, nil}}
+	if _, err := NewExec(chain, tooMany); err == nil {
+		t.Fatal("too many mappers must fail")
+	}
+}

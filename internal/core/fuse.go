@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// FusionOverlapThreshold is the minimum feature-name Jaccard similarity at
+// which two applications become fusion candidates (§3.2.5: "Homunculus
+// will assess the feature sets for similarities and if there are a certain
+// number of features in common, it will attempt to build a single model to
+// serve both datasets").
+const FusionOverlapThreshold = 0.5
+
+// FusionCandidate reports whether two apps' datasets overlap enough to
+// attempt fusion, and the overlap score.
+func FusionCandidate(a, b App) (bool, float64) {
+	overlap := dataset.FeatureOverlap(a.Train, b.Train)
+	return overlap >= FusionOverlapThreshold, overlap
+}
+
+// Fuse merges two applications into a single one over the union of their
+// feature sets: samples from each app are projected into the union space
+// (absent features zero-filled), and the label spaces must agree (both
+// apps predict the same classes — the Table-4 experiment splits one AD
+// dataset in two, so labels align by construction).
+func Fuse(a, b App) (App, error) {
+	if err := a.Validate(); err != nil {
+		return App{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return App{}, err
+	}
+	if a.Train.FeatureNames == nil || b.Train.FeatureNames == nil {
+		return App{}, fmt.Errorf("core: fusion requires named features")
+	}
+	union := unionFeatures(a.Train.FeatureNames, b.Train.FeatureNames)
+	trainA, err := project(a.Train, union)
+	if err != nil {
+		return App{}, err
+	}
+	trainB, err := project(b.Train, union)
+	if err != nil {
+		return App{}, err
+	}
+	testA, err := project(a.Test, union)
+	if err != nil {
+		return App{}, err
+	}
+	testB, err := project(b.Test, union)
+	if err != nil {
+		return App{}, err
+	}
+	train, err := dataset.Concat(trainA, trainB)
+	if err != nil {
+		return App{}, err
+	}
+	test, err := dataset.Concat(testA, testB)
+	if err != nil {
+		return App{}, err
+	}
+	return App{
+		Name:      a.Name + "+" + b.Name,
+		Train:     train,
+		Test:      test,
+		Normalize: a.Normalize || b.Normalize,
+	}, nil
+}
+
+func unionFeatures(a, b []string) []string {
+	seen := map[string]bool{}
+	var union []string
+	for _, n := range a {
+		if !seen[n] {
+			seen[n] = true
+			union = append(union, n)
+		}
+	}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			union = append(union, n)
+		}
+	}
+	return union
+}
+
+// project maps d into the union feature space by name, zero-filling
+// features d does not carry.
+func project(d *dataset.Dataset, union []string) (*dataset.Dataset, error) {
+	pos := map[string]int{}
+	for i, n := range d.FeatureNames {
+		pos[n] = i
+	}
+	out := dataset.New(d.Len(), len(union))
+	out.FeatureNames = append([]string{}, union...)
+	for i := 0; i < d.Len(); i++ {
+		src := d.X.Row(i)
+		dst := out.X.Row(i)
+		for j, name := range union {
+			if k, ok := pos[name]; ok {
+				dst[j] = src[k]
+			}
+		}
+		out.Y[i] = d.Y[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ir"
+)
+
+// twoOverlappingApps builds apps over feature sets {a,b,c} and {b,c,d}
+// with the same binary labeling rule (driven by shared features b,c).
+func twoOverlappingApps(t *testing.T, seed int64) (App, App) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	build := func(names []string, n int) *dataset.Dataset {
+		d := dataset.New(n, len(names))
+		d.FeatureNames = append([]string{}, names...)
+		for i := 0; i < n; i++ {
+			c := i % 2
+			for j, name := range names {
+				switch name {
+				case "b":
+					d.X.Set(i, j, float64(c)*1.6+rng.NormFloat64()*0.5)
+				case "c":
+					d.X.Set(i, j, float64(c)*-1.3+rng.NormFloat64()*0.5)
+				default:
+					d.X.Set(i, j, rng.NormFloat64())
+				}
+			}
+			d.Y[i] = c
+		}
+		return d
+	}
+	mk := func(name string, names []string) App {
+		d := build(names, 500)
+		train, test := d.StratifiedSplit(rng, 0.75)
+		return App{Name: name, Train: train, Test: test, Normalize: true}
+	}
+	return mk("part1", []string{"a", "b", "c"}), mk("part2", []string{"b", "c", "d"})
+}
+
+func TestFusionCandidate(t *testing.T) {
+	a, b := twoOverlappingApps(t, 1)
+	ok, overlap := FusionCandidate(a, b)
+	if !ok {
+		t.Fatalf("overlap %v should qualify for fusion", overlap)
+	}
+	// Disjoint features: not a candidate.
+	c := a
+	other := a.Train.Clone()
+	other.FeatureNames = []string{"x", "y", "z"}
+	c.Train = other
+	ok2, _ := FusionCandidate(c, b)
+	if ok2 {
+		t.Fatal("disjoint features must not fuse")
+	}
+}
+
+func TestFuseShapes(t *testing.T) {
+	a, b := twoOverlappingApps(t, 2)
+	fused, err := Fuse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Union of {a,b,c} and {b,c,d} = 4 features.
+	if fused.Train.Features() != 4 {
+		t.Fatalf("fused features = %d", fused.Train.Features())
+	}
+	if fused.Train.Len() != a.Train.Len()+b.Train.Len() {
+		t.Fatal("fused train must concatenate samples")
+	}
+	if fused.Name != "part1+part2" {
+		t.Fatalf("fused name %q", fused.Name)
+	}
+}
+
+func TestFuseRequiresNames(t *testing.T) {
+	a, b := twoOverlappingApps(t, 3)
+	a.Train.FeatureNames = nil
+	if _, err := Fuse(a, b); err == nil {
+		t.Fatal("fusion without names must error")
+	}
+}
+
+func TestTable4FusedResourcesNearOneModel(t *testing.T) {
+	// The Table-4 property: a fused model serving both halves costs about
+	// as much as one split model, not the sum of two.
+	a, b := twoOverlappingApps(t, 4)
+	cfg := fastSearchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DNN}
+	target := NewTaurusTarget()
+
+	resA, err := Search(a, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Search(b, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Fuse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resF, err := Search(fused, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Best == nil || resB.Best == nil || resF.Best == nil {
+		t.Fatal("all three searches must succeed")
+	}
+	sumCUs := resA.Best.Verdict.Metrics["cus"] + resB.Best.Verdict.Metrics["cus"]
+	fusedCUs := resF.Best.Verdict.Metrics["cus"]
+	if fusedCUs >= sumCUs {
+		t.Fatalf("fused CUs (%v) must undercut the sum of parts (%v)", fusedCUs, sumCUs)
+	}
+	// Fused model must still classify well (shared features carry the
+	// signal).
+	if resF.Best.Metric < 0.75 {
+		t.Fatalf("fused F1 %v too low", resF.Best.Metric)
+	}
+}

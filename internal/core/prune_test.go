@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/svm"
+)
+
+// wideApp builds a task with many features of decaying usefulness.
+func wideApp(t *testing.T, features int, seed int64) App {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(600, features)
+	names := make([]string, features)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	d.FeatureNames = names
+	for i := 0; i < 600; i++ {
+		c := i % 2
+		for j := 0; j < features; j++ {
+			// Feature j carries signal scaled by 1/(j+1): early features
+			// matter, late ones are mostly noise.
+			signal := float64(c) * 2.0 / float64(j+1)
+			d.X.Set(i, j, signal+rng.NormFloat64()*0.5)
+		}
+		d.Y[i] = c
+	}
+	train, test := d.StratifiedSplit(rng, 0.75)
+	return App{Name: "wide", Train: train, Test: test, Normalize: true}
+}
+
+func svmCfgFor(app App) svm.Config {
+	return svm.Config{
+		Features:  app.Train.Features(),
+		Classes:   2,
+		LearnRate: 0.1,
+		Lambda:    0.001,
+		Epochs:    8,
+		Seed:      1,
+	}
+}
+
+func TestPruneFitsLooseBudget(t *testing.T) {
+	app := wideApp(t, 6, 1)
+	// 8 tables: 6 features + decision fits without pruning.
+	res, err := PruneSVMToFit(app, NewMATTarget(8), fastSearchConfig(), svmCfgFor(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil {
+		t.Fatal("must fit")
+	}
+	if len(res.Kept) != 6 || len(res.Dropped) != 0 {
+		t.Fatalf("no pruning expected: kept %v dropped %v", res.Kept, res.Dropped)
+	}
+	if res.Metric < 0.8 {
+		t.Fatalf("metric %v too low", res.Metric)
+	}
+}
+
+func TestPruneDropsLeastImpactfulFirst(t *testing.T) {
+	app := wideApp(t, 6, 2)
+	// 4 tables: only 3 features + decision fit; must drop 3.
+	res, err := PruneSVMToFit(app, NewMATTarget(4), fastSearchConfig(), svmCfgFor(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil {
+		t.Fatal("pruned model must fit")
+	}
+	if len(res.Kept) != 3 {
+		t.Fatalf("kept %d features, want 3", len(res.Kept))
+	}
+	if res.Verdict.Metrics["tables"] > 4 {
+		t.Fatalf("budget violated: %v tables", res.Verdict.Metrics["tables"])
+	}
+	// Feature 0 carries the strongest signal and must survive.
+	found := false
+	for _, k := range res.Kept {
+		if k == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strongest feature pruned: kept %v", res.Kept)
+	}
+	// Dropped features must be the weak tail.
+	for _, dropped := range res.Dropped {
+		if dropped == 0 || dropped == 1 {
+			t.Fatalf("strong feature %d dropped before weak ones", dropped)
+		}
+	}
+	// The pruned model should still classify usefully.
+	if res.Metric < 0.7 {
+		t.Fatalf("pruned metric %v too low", res.Metric)
+	}
+}
+
+func TestPruneImpossibleBudget(t *testing.T) {
+	app := wideApp(t, 4, 3)
+	// 1 table cannot host even a single-feature SVM (needs feature +
+	// decision tables).
+	res, err := PruneSVMToFit(app, NewMATTarget(1), fastSearchConfig(), svmCfgFor(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != nil {
+		t.Fatal("nothing should fit one table")
+	}
+	if len(res.Dropped) != 4 {
+		t.Fatalf("all features should be recorded dropped: %v", res.Dropped)
+	}
+}
+
+func TestPruneErrors(t *testing.T) {
+	app := wideApp(t, 4, 4)
+	if _, err := PruneSVMToFit(app, nil, fastSearchConfig(), svmCfgFor(app)); err == nil {
+		t.Fatal("nil target must error")
+	}
+	bad := app
+	bad.Name = ""
+	if _, err := PruneSVMToFit(bad, NewMATTarget(8), fastSearchConfig(), svmCfgFor(app)); err == nil {
+		t.Fatal("invalid app must error")
+	}
+}

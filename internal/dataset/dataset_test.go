@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := New(n, d)
+	for i := 0; i < n; i++ {
+		row := ds.X.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		ds.Y[i] = rng.Intn(3)
+	}
+	return ds
+}
+
+func TestValidate(t *testing.T) {
+	ds := sample(10, 3, 1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds.Y[0] = -1
+	if ds.Validate() == nil {
+		t.Fatal("negative label must fail validation")
+	}
+	ds.Y[0] = 0
+	ds.X.Set(0, 0, math.NaN())
+	if ds.Validate() == nil {
+		t.Fatal("NaN feature must fail validation")
+	}
+}
+
+func TestClassesAndCounts(t *testing.T) {
+	ds := New(4, 1)
+	ds.Y = []int{0, 2, 2, 1}
+	if ds.Classes() != 3 {
+		t.Fatalf("Classes = %d", ds.Classes())
+	}
+	cc := ds.ClassCounts()
+	if cc[2] != 2 || cc[0] != 1 {
+		t.Fatalf("ClassCounts = %v", cc)
+	}
+}
+
+func TestSubsetAndClone(t *testing.T) {
+	ds := sample(10, 2, 2)
+	sub := ds.Subset([]int{1, 3, 5})
+	if sub.Len() != 3 || sub.Y[0] != ds.Y[1] {
+		t.Fatal("Subset wrong")
+	}
+	c := ds.Clone()
+	c.X.Set(0, 0, 999)
+	if ds.X.At(0, 0) == 999 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	ds := sample(5, 4, 3)
+	ds.FeatureNames = []string{"a", "b", "c", "d"}
+	sel, err := ds.SelectFeatures([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Features() != 2 || sel.FeatureNames[0] != "d" || sel.FeatureNames[1] != "b" {
+		t.Fatalf("SelectFeatures names = %v", sel.FeatureNames)
+	}
+	if sel.X.At(2, 0) != ds.X.At(2, 3) {
+		t.Fatal("SelectFeatures values wrong")
+	}
+	if _, err := ds.SelectFeatures([]int{9}); err == nil {
+		t.Fatal("out-of-range column must error")
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	ds := sample(100, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	train, test := ds.Split(rng, 0.8)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// clamping
+	tr, te := ds.Split(rng, 2.0)
+	if tr.Len() != 100 || te.Len() != 0 {
+		t.Fatal("frac must clamp to 1")
+	}
+}
+
+func TestStratifiedSplitPreservesProportions(t *testing.T) {
+	ds := New(100, 1)
+	for i := range ds.Y {
+		if i < 80 {
+			ds.Y[i] = 0
+		} else {
+			ds.Y[i] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	train, test := ds.StratifiedSplit(rng, 0.75)
+	tc, sc := train.ClassCounts(), test.ClassCounts()
+	if tc[0] != 60 || tc[1] != 15 || sc[0] != 20 || sc[1] != 5 {
+		t.Fatalf("stratified counts train=%v test=%v", tc, sc)
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	ds := sample(200, 3, 7)
+	norm := FitNormalizer(ds)
+	norm.Apply(ds)
+	post := FitNormalizer(ds)
+	for j := 0; j < 3; j++ {
+		if math.Abs(post.Mean[j]) > 1e-9 {
+			t.Fatalf("post-normalize mean[%d] = %v", j, post.Mean[j])
+		}
+		if math.Abs(post.Std[j]-1) > 1e-9 {
+			t.Fatalf("post-normalize std[%d] = %v", j, post.Std[j])
+		}
+	}
+}
+
+func TestNormalizerZeroVariance(t *testing.T) {
+	ds := New(5, 1)
+	for i := 0; i < 5; i++ {
+		ds.X.Set(i, 0, 42)
+	}
+	norm := FitNormalizer(ds)
+	norm.Apply(ds)
+	for i := 0; i < 5; i++ {
+		if ds.X.At(i, 0) != 0 {
+			t.Fatal("constant column should normalize to 0 without NaN")
+		}
+	}
+}
+
+func TestNormalizerApplyVec(t *testing.T) {
+	n := &Normalizer{Mean: []float64{1, 2}, Std: []float64{2, 4}}
+	x := []float64{3, 10}
+	n.ApplyVec(x)
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("ApplyVec = %v", x)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	ds := New(3, 1)
+	ds.Y = []int{0, 2, 1}
+	m := ds.OneHot(3)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 1 || m.At(2, 1) != 1 {
+		t.Fatal("OneHot wrong positions")
+	}
+	if m.At(0, 1) != 0 {
+		t.Fatal("OneHot must be 0 elsewhere")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sample(20, 3, 8)
+	ds.FeatureNames = []string{"pkt_len", "proto", "duration"}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() || back.Features() != ds.Features() {
+		t.Fatal("csv round trip shape mismatch")
+	}
+	if back.FeatureNames[0] != "pkt_len" {
+		t.Fatalf("names = %v", back.FeatureNames)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if back.Y[i] != ds.Y[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := 0; j < ds.Features(); j++ {
+			if math.Abs(back.X.At(i, j)-ds.X.At(i, j)) > 1e-12 {
+				t.Fatalf("value (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("only\n1\n")); err == nil {
+		t.Fatal("single-column csv must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,label\nnotfloat,0\n")); err == nil {
+		t.Fatal("bad float must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,label\n1.0,notint\n")); err == nil {
+		t.Fatal("bad label must error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := sample(5, 2, 9)
+	b := sample(7, 2, 10)
+	out, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 12 {
+		t.Fatalf("Concat len = %d", out.Len())
+	}
+	if out.Y[5] != b.Y[0] {
+		t.Fatal("Concat order wrong")
+	}
+	c := sample(3, 5, 11)
+	if _, err := Concat(a, c); err == nil {
+		t.Fatal("feature mismatch must error")
+	}
+}
+
+func TestFeatureOverlap(t *testing.T) {
+	a := New(1, 2)
+	a.FeatureNames = []string{"x", "y"}
+	b := New(1, 2)
+	b.FeatureNames = []string{"y", "z"}
+	if got := FeatureOverlap(a, b); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("overlap = %v", got)
+	}
+	c := New(1, 2)
+	if FeatureOverlap(a, c) != 0 {
+		t.Fatal("nil names must give 0 overlap")
+	}
+}
+
+// Property: splits always partition the dataset (sizes sum, no loss).
+func TestSplitPartitionQuick(t *testing.T) {
+	f := func(seed int64, fracRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := sample(50, 2, seed)
+		frac := float64(fracRaw) / 255.0
+		train, test := ds.Split(rng, frac)
+		return train.Len()+test.Len() == ds.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

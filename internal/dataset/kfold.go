@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Fold is one cross-validation split.
+type Fold struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// KFold partitions d into k shuffled folds and returns the k train/test
+// splits (each sample appears in exactly one test set). Model developers
+// use this to estimate candidate variance before committing a BO
+// evaluation budget.
+func KFold(d *Dataset, k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: KFold needs k >= 2, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("dataset: %d samples cannot form %d folds", d.Len(), k)
+	}
+	idx := tensor.Range(d.Len())
+	tensor.Shuffle(rng, idx)
+	folds := make([]Fold, k)
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * d.Len() / k
+	}
+	for f := 0; f < k; f++ {
+		testIdx := idx[bounds[f]:bounds[f+1]]
+		trainIdx := make([]int, 0, d.Len()-len(testIdx))
+		trainIdx = append(trainIdx, idx[:bounds[f]]...)
+		trainIdx = append(trainIdx, idx[bounds[f+1]:]...)
+		folds[f] = Fold{Train: d.Subset(trainIdx), Test: d.Subset(testIdx)}
+	}
+	return folds, nil
+}
+
+// CrossValidate runs eval on every fold and returns the per-fold scores.
+// eval trains on fold.Train and scores on fold.Test.
+func CrossValidate(d *Dataset, k int, rng *rand.Rand, eval func(Fold) (float64, error)) ([]float64, error) {
+	folds, err := KFold(d, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(folds))
+	for i, f := range folds {
+		s, err := eval(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: fold %d: %w", i, err)
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKFoldPartition(t *testing.T) {
+	ds := sample(100, 2, 1)
+	rng := rand.New(rand.NewSource(1))
+	folds, err := KFold(ds, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	totalTest := 0
+	for _, f := range folds {
+		if f.Train.Len()+f.Test.Len() != 100 {
+			t.Fatal("each fold must partition the dataset")
+		}
+		totalTest += f.Test.Len()
+	}
+	if totalTest != 100 {
+		t.Fatalf("test sets must tile the dataset: %d", totalTest)
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	ds := sample(10, 2, 2)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := KFold(ds, 1, rng); err == nil {
+		t.Fatal("k=1 must fail")
+	}
+	if _, err := KFold(ds, 20, rng); err == nil {
+		t.Fatal("k > samples must fail")
+	}
+}
+
+func TestKFoldUnevenSizes(t *testing.T) {
+	ds := sample(10, 1, 3)
+	rng := rand.New(rand.NewSource(3))
+	folds, err := KFold(ds, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 over 3 folds: sizes 3/4/3 (floor boundaries).
+	sizes := []int{folds[0].Test.Len(), folds[1].Test.Len(), folds[2].Test.Len()}
+	total := sizes[0] + sizes[1] + sizes[2]
+	if total != 10 {
+		t.Fatalf("sizes %v don't tile 10", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Fatalf("unbalanced folds: %v", sizes)
+		}
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := sample(60, 2, 4)
+	rng := rand.New(rand.NewSource(4))
+	scores, err := CrossValidate(ds, 4, rng, func(f Fold) (float64, error) {
+		return float64(f.Test.Len()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	boom := errors.New("boom")
+	if _, err := CrossValidate(ds, 4, rng, func(Fold) (float64, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatal("eval error must propagate")
+	}
+}
+
+// Property: every sample index lands in exactly one test fold.
+func TestKFoldCoverageQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		k := 2 + rng.Intn(5)
+		ds := sample(n, 1, seed)
+		// Mark each sample with a unique feature value to track identity.
+		for i := 0; i < n; i++ {
+			ds.X.Set(i, 0, float64(i))
+		}
+		folds, err := KFold(ds, k, rng)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		for _, fold := range folds {
+			for i := 0; i < fold.Test.Len(); i++ {
+				seen[int(fold.Test.X.At(i, 0))]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package dtree implements CART decision-tree classification — the third
+// classical algorithm family IIsy maps to match-action pipelines (one MAT
+// level per tree depth). The Homunculus optimization core tunes MaxDepth
+// and MinLeaf against the available table budget.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Config holds the tree hyperparameters.
+type Config struct {
+	MaxDepth int
+	MinLeaf  int // minimum samples per leaf
+	Classes  int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MaxDepth <= 0 {
+		return fmt.Errorf("dtree: MaxDepth must be positive, got %d", c.MaxDepth)
+	}
+	if c.MinLeaf <= 0 {
+		return fmt.Errorf("dtree: MinLeaf must be positive, got %d", c.MinLeaf)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("dtree: Classes must be >= 2, got %d", c.Classes)
+	}
+	return nil
+}
+
+// Node is one tree node. Leaves have Feature == -1.
+type Node struct {
+	Feature     int // split feature, -1 for leaf
+	Threshold   float64
+	Left, Right *Node
+	Class       int // majority class at this node
+	Samples     int
+}
+
+// IsLeaf reports whether the node is terminal.
+func (n *Node) IsLeaf() bool { return n.Feature < 0 }
+
+// Model is a fitted CART tree.
+type Model struct {
+	Config Config
+	Root   *Node
+}
+
+// Train fits a CART tree with Gini-impurity splits.
+func Train(c Config, d *dataset.Dataset) (*Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("dtree: empty training set")
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := build(c, d, idx, 0)
+	return &Model{Config: c, Root: root}, nil
+}
+
+func build(c Config, d *dataset.Dataset, idx []int, depth int) *Node {
+	node := &Node{Feature: -1, Samples: len(idx)}
+	counts := make([]int, c.Classes)
+	for _, i := range idx {
+		if d.Y[i] < c.Classes {
+			counts[d.Y[i]]++
+		}
+	}
+	node.Class = argMaxInt(counts)
+	if depth >= c.MaxDepth || len(idx) < 2*c.MinLeaf || pure(counts) {
+		return node
+	}
+	feat, thresh, gain := bestSplit(c, d, idx, counts)
+	if gain <= 1e-12 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X.At(i, feat) <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < c.MinLeaf || len(right) < c.MinLeaf {
+		return node
+	}
+	node.Feature = feat
+	node.Threshold = thresh
+	node.Left = build(c, d, left, depth+1)
+	node.Right = build(c, d, right, depth+1)
+	return node
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, v := range counts {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func argMaxInt(x []int) int {
+	best, bi := math.MinInt64, 0
+	for i, v := range x {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, v := range counts {
+		p := float64(v) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit scans every feature with a sorted sweep, maintaining class
+// counts on each side incrementally (O(features · n log n)).
+func bestSplit(c Config, d *dataset.Dataset, idx []int, parentCounts []int) (feat int, thresh, gain float64) {
+	n := len(idx)
+	parentGini := gini(parentCounts, n)
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+
+	order := make([]int, n)
+	for f := 0; f < d.Features(); f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X.At(order[a], f) < d.X.At(order[b], f) })
+		leftCounts := make([]int, c.Classes)
+		rightCounts := append([]int{}, parentCounts...)
+		for pos := 0; pos < n-1; pos++ {
+			y := d.Y[order[pos]]
+			if y < c.Classes {
+				leftCounts[y]++
+				rightCounts[y]--
+			}
+			v, next := d.X.At(order[pos], f), d.X.At(order[pos+1], f)
+			if v == next {
+				continue // can't split between equal values
+			}
+			nl, nr := pos+1, n-pos-1
+			g := parentGini -
+				(float64(nl)/float64(n))*gini(leftCounts, nl) -
+				(float64(nr)/float64(n))*gini(rightCounts, nr)
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThresh = (v + next) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestGain
+}
+
+// PredictVec classifies one feature vector.
+func (m *Model) PredictVec(x []float64) int {
+	n := m.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class
+}
+
+// Predict classifies every sample of d.
+func (m *Model) Predict(d *dataset.Dataset) []int {
+	out := make([]int, d.Len())
+	for i := range out {
+		out[i] = m.PredictVec(d.X.Row(i))
+	}
+	return out
+}
+
+// Depth returns the height of the fitted tree (a single leaf is depth 0) —
+// this is what the MAT backend charges tables for.
+func (m *Model) Depth() int { return depth(m.Root) }
+
+func depth(n *Node) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	l, r := depth(n.Left), depth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaf nodes.
+func (m *Model) Leaves() int { return leaves(m.Root) }
+
+func leaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return leaves(n.Left) + leaves(n.Right)
+}

@@ -1,0 +1,145 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func xorData(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(n, 2)
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		d.X.Set(i, 0, float64(a)+rng.NormFloat64()*0.05)
+		d.X.Set(i, 1, float64(b)+rng.NormFloat64()*0.05)
+		d.Y[i] = a ^ b
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{MaxDepth: 0, MinLeaf: 1, Classes: 2},
+		{MaxDepth: 1, MinLeaf: 0, Classes: 2},
+		{MaxDepth: 1, MinLeaf: 1, Classes: 1},
+	}
+	for i, c := range bad {
+		if _, err := Train(c, dataset.New(1, 1)); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+	if _, err := Train(Config{MaxDepth: 2, MinLeaf: 1, Classes: 2}, dataset.New(0, 1)); err == nil {
+		t.Fatal("empty set must fail")
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	// Greedy Gini CART needs extra depth on XOR: the informative 0.5
+	// split has near-zero immediate gain, so the sweep first chips off
+	// low-gain edge regions before finding the interaction.
+	d := xorData(400, 1)
+	m, err := Train(Config{MaxDepth: 8, MinLeaf: 2, Classes: 2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.FromLabels(d.Y, m.Predict(d), 2).Accuracy()
+	if acc < 0.97 {
+		t.Fatalf("XOR accuracy %v", acc)
+	}
+	if m.Depth() < 2 {
+		t.Fatalf("XOR needs depth >= 2, got %d", m.Depth())
+	}
+}
+
+func TestDepthLimitRespected(t *testing.T) {
+	d := xorData(400, 2)
+	for _, maxDepth := range []int{1, 2, 3, 5} {
+		m, err := Train(Config{MaxDepth: maxDepth, MinLeaf: 1, Classes: 2}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Depth() > maxDepth {
+			t.Fatalf("depth %d exceeds limit %d", m.Depth(), maxDepth)
+		}
+	}
+}
+
+func TestDepth1CannotSolveXOR(t *testing.T) {
+	d := xorData(400, 3)
+	m, _ := Train(Config{MaxDepth: 1, MinLeaf: 1, Classes: 2}, d)
+	acc := metrics.FromLabels(d.Y, m.Predict(d), 2).Accuracy()
+	if acc > 0.8 {
+		t.Fatalf("a stump should not solve XOR (acc %v)", acc)
+	}
+}
+
+func TestPureNodeIsLeaf(t *testing.T) {
+	d := dataset.New(50, 1)
+	// single class: root must be a leaf predicting it
+	for i := range d.Y {
+		d.Y[i] = 1
+	}
+	m, err := Train(Config{MaxDepth: 5, MinLeaf: 1, Classes: 2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Root.IsLeaf() || m.Root.Class != 1 {
+		t.Fatal("pure data must yield a single leaf")
+	}
+	if m.Leaves() != 1 || m.Depth() != 0 {
+		t.Fatal("leaf accounting wrong")
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	d := xorData(40, 4)
+	m, _ := Train(Config{MaxDepth: 10, MinLeaf: 15, Classes: 2}, d)
+	// With MinLeaf 15 of 40 samples only very few splits are possible.
+	var check func(n *Node)
+	check = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() && n.Samples < 15 {
+			t.Fatalf("leaf with %d samples violates MinLeaf", n.Samples)
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(m.Root)
+}
+
+func TestConstantFeaturesYieldLeaf(t *testing.T) {
+	d := dataset.New(20, 2) // all-zero features, mixed labels
+	for i := range d.Y {
+		d.Y[i] = i % 2
+	}
+	m, err := Train(Config{MaxDepth: 5, MinLeaf: 1, Classes: 2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Root.IsLeaf() {
+		t.Fatal("unsplittable data must yield a leaf")
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := dataset.New(300, 1)
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		d.X.Set(i, 0, float64(c)*2+rng.NormFloat64()*0.2)
+		d.Y[i] = c
+	}
+	m, err := Train(Config{MaxDepth: 4, MinLeaf: 2, Classes: 3}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.FromLabels(d.Y, m.Predict(d), 3).Accuracy()
+	if acc < 0.95 {
+		t.Fatalf("multiclass accuracy %v", acc)
+	}
+}

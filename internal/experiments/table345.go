@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/synth/nslkdd"
+)
+
+// Table3Row mirrors Table 3: resource scaling for chaining strategies.
+type Table3Row struct {
+	Strategy  string
+	CUs, MUs  int
+	LatencyNS float64
+}
+
+// Table3 chains four copies of the anomaly-detection DNN in the paper's
+// three configurations and reports total fabric resources. The paper's
+// point: totals are identical across strategies because inter-model glue
+// folds into existing CUs.
+func Table3(b Budget) ([]Table3Row, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	ad, err := adApp(b)
+	if err != nil {
+		return nil, err
+	}
+	model, _, err := trainBaselineDNN("ad", ad.Train, ad.Test, []int{12, 6, 3}, 2, b.Epochs, b.Seed)
+	if err != nil {
+		return nil, err
+	}
+	target := core.NewTaurusTarget()
+	l := func() *core.Composition { return core.Leaf(model) }
+	cases := []struct {
+		name string
+		comp *core.Composition
+	}{
+		{"DNN > DNN > DNN > DNN", core.Chain(l(), l(), l(), l())},
+		{"DNN | DNN | DNN | DNN", core.Parallel(l(), l(), l(), l())},
+		{"DNN > (DNN | DNN) > DNN", core.Chain(l(), core.Parallel(l(), l()), l())},
+	}
+	var rows []Table3Row
+	for _, c := range cases {
+		v, err := core.EstimateComposition(target, c.comp)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Strategy:  c.name,
+			CUs:       int(v.Metrics["cus"]),
+			MUs:       int(v.Metrics["mus"]),
+			LatencyNS: v.Metrics["latency_ns"],
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the chaining table.
+func FormatTable3(rows []Table3Row) string {
+	s := fmt.Sprintf("%-28s %6s %6s %12s\n", "Model", "CUs", "MUs", "Latency(ns)")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-28s %6d %6d %12.0f\n", r.Strategy, r.CUs, r.MUs, r.LatencyNS)
+	}
+	return s
+}
+
+// Table4Row mirrors Table 4: fused resource usage.
+type Table4Row struct {
+	Application string
+	PCUs, PMUs  int
+	F1          float64
+}
+
+// Table4 splits the AD dataset into two feature-overlapping halves,
+// searches a model for each half independently, then fuses them into a
+// single model serving both datasets (§3.2.5) and compares resources.
+func Table4(b Budget) ([]Table4Row, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	ad, err := adApp(b)
+	if err != nil {
+		return nil, err
+	}
+	target := core.NewTaurusTarget()
+	cfg := b.searchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DNN}
+
+	// Feature-overlapping halves (different sample halves, views sharing
+	// all but one feature each).
+	part1Train, part2Train, err := splitHalves(ad.Train)
+	if err != nil {
+		return nil, err
+	}
+	part1Test, part2Test, err := splitHalves(ad.Test)
+	if err != nil {
+		return nil, err
+	}
+	app1 := core.App{Name: "ad_part1", Train: part1Train, Test: part1Test, Normalize: true}
+	app2 := core.App{Name: "ad_part2", Train: part2Train, Test: part2Test, Normalize: true}
+
+	res1, err := core.Search(app1, target, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 7
+	res2, err := core.Search(app2, target, cfg2)
+	if err != nil {
+		return nil, err
+	}
+	fusedApp, err := core.Fuse(app1, app2)
+	if err != nil {
+		return nil, err
+	}
+	cfg3 := cfg
+	cfg3.Seed = cfg.Seed + 13
+	resF, err := core.Search(fusedApp, target, cfg3)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table4Row, 0, 3)
+	for _, item := range []struct {
+		name string
+		res  *core.SearchResult
+	}{{"AD: Part 1", res1}, {"AD: Part 2", res2}, {"AD: Fused", resF}} {
+		if item.res.Best == nil {
+			return nil, fmt.Errorf("experiments: table4 %s found no model", item.name)
+		}
+		rows = append(rows, Table4Row{
+			Application: item.name,
+			PCUs:        int(item.res.Best.Verdict.Metrics["cus"]),
+			PMUs:        int(item.res.Best.Verdict.Metrics["mus"]),
+			F1:          item.res.Best.Metric * 100,
+		})
+	}
+	return rows, nil
+}
+
+// splitHalves divides a dataset into the two feature-overlapping halves
+// of the fusion experiment.
+func splitHalves(d *dataset.Dataset) (*dataset.Dataset, *dataset.Dataset, error) {
+	return nslkdd.SplitFeaturewise(d, rand.New(rand.NewSource(99)))
+}
+
+// FormatTable4 renders the fusion table.
+func FormatTable4(rows []Table4Row) string {
+	s := fmt.Sprintf("%-12s %6s %6s %8s\n", "Application", "PCUs", "PMUs", "F1")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %6d %6d %8.2f\n", r.Application, r.PCUs, r.PMUs, r.F1)
+	}
+	return s
+}
+
+// Table5Row mirrors Table 5: FPGA testbed utilization.
+type Table5Row struct {
+	Application string
+	Model       string
+	LUTPct      float64
+	FFPct       float64
+	BRAMPct     float64
+	PowerW      float64
+}
+
+// Table5 maps the six Table-2 models (plus the bare loopback) through the
+// Alveo U250 utilization model.
+func Table5(b Budget) ([]Table5Row, error) {
+	t2, err := Table2Models(b)
+	if err != nil {
+		return nil, err
+	}
+	shell := fpga.U250Shell()
+	loop, err := fpga.Estimate(shell, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table5Row{{
+		Application: "Loopback", Model: "-",
+		LUTPct: loop.LUTPct, FFPct: loop.FFPct, BRAMPct: loop.BRAMPct, PowerW: loop.PowerW,
+	}}
+	for _, item := range t2 {
+		rep, err := fpga.Estimate(shell, item.Model)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table5Row{
+			Application: item.Name, Model: "DNN",
+			LUTPct: rep.LUTPct, FFPct: rep.FFPct, BRAMPct: rep.BRAMPct, PowerW: rep.PowerW,
+		})
+	}
+	return rows, nil
+}
+
+// NamedModel pairs a Table-2 model with its row name.
+type NamedModel struct {
+	Name  string
+	Model *ir.Model
+}
+
+// Table2Models rebuilds the six models behind Table 2 (baselines trained
+// directly, Homunculus rows searched) for reuse by Table 5.
+func Table2Models(b Budget) ([]NamedModel, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	target := core.NewTaurusTarget()
+	var out []NamedModel
+
+	ad, err := adApp(b)
+	if err != nil {
+		return nil, err
+	}
+	baseAD, _, err := trainBaselineDNN("base_ad", ad.Train, ad.Test, []int{12, 6, 3}, 2, b.Epochs, b.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, NamedModel{"Base-AD", baseAD})
+	cfg := b.searchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DNN}
+	homAD, err := core.Search(ad, target, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if homAD.Best == nil {
+		return nil, fmt.Errorf("experiments: Hom-AD search failed")
+	}
+	out = append(out, NamedModel{"Hom-AD", homAD.Best.Model})
+
+	tc, err := tcApp(b)
+	if err != nil {
+		return nil, err
+	}
+	baseTC, _, err := trainBaselineDNN("base_tc", tc.Train, tc.Test, []int{10, 10, 5}, 5, b.Epochs, b.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, NamedModel{"Base-TC", baseTC})
+	cfg = b.searchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DNN}
+	cfg.Seed = b.Seed + 1
+	homTC, err := core.Search(tc, target, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if homTC.Best == nil {
+		return nil, fmt.Errorf("experiments: Hom-TC search failed")
+	}
+	out = append(out, NamedModel{"Hom-TC", homTC.Best.Model})
+
+	bdTrain, bdTest, _, err := bdData(b)
+	if err != nil {
+		return nil, err
+	}
+	bd := core.App{Name: "botnet_detection", Train: bdTrain, Test: bdTest, Normalize: true}
+	baseBD, _, err := trainBaselineDNN("base_bd", bd.Train, bd.Test, []int{10, 10, 10, 10}, 2, b.Epochs, b.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, NamedModel{"Base-BD", baseBD})
+	cfg = b.searchConfig()
+	cfg.Algorithms = []ir.Kind{ir.DNN}
+	cfg.MaxHiddenLayers = 8
+	cfg.MaxNeurons = 12
+	cfg.Seed = b.Seed + 2
+	homBD, err := core.Search(bd, target, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if homBD.Best == nil {
+		return nil, fmt.Errorf("experiments: Hom-BD search failed")
+	}
+	out = append(out, NamedModel{"Hom-BD", homBD.Best.Model})
+	return out, nil
+}
+
+// FormatTable5 renders the utilization table.
+func FormatTable5(rows []Table5Row) string {
+	s := fmt.Sprintf("%-10s %6s %8s %8s %8s %10s\n", "Application", "Model", "LUT%", "FFs%", "BRAM%", "Power(W)")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10s %6s %8.2f %8.2f %8.2f %10.3f\n",
+			r.Application, r.Model, r.LUTPct, r.FFPct, r.BRAMPct, r.PowerW)
+	}
+	return s
+}

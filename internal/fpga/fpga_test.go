@@ -1,0 +1,109 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+func dnn(dims ...int) *ir.Model {
+	m := &ir.Model{Kind: ir.DNN, Name: "m", Inputs: dims[0], Outputs: dims[len(dims)-1], Format: fixed.Q8_8}
+	for i := 0; i < len(dims)-1; i++ {
+		l := ir.Layer{In: dims[i], Out: dims[i+1], Activation: "relu"}
+		l.W = make([][]float64, l.Out)
+		for o := range l.W {
+			l.W[o] = make([]float64, l.In)
+		}
+		l.B = make([]float64, l.Out)
+		m.Layers = append(m.Layers, l)
+	}
+	m.Layers[len(m.Layers)-1].Activation = "softmax"
+	return m
+}
+
+func TestLoopbackRow(t *testing.T) {
+	rep, err := Estimate(U250Shell(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTPct != 5.36 || rep.FFPct != 3.64 || rep.BRAMPct != 4.15 || rep.PowerW != 15.131 {
+		t.Fatalf("loopback row wrong: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestModelAddsUtilization(t *testing.T) {
+	rep, err := Estimate(U250Shell(), dnn(7, 12, 6, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell := U250Shell()
+	if rep.LUTPct <= shell.LUTPct || rep.FFPct <= shell.FFPct || rep.PowerW <= shell.PowerW {
+		t.Fatalf("model must add utilization: %+v", rep)
+	}
+	if rep.BRAMPct != shell.BRAMPct {
+		t.Fatal("BRAM stays at shell allocation for small models (Table 5)")
+	}
+	// Sanity: a ~200-param model should land in the same range Table 5
+	// reports (LUT between 6 and 8%, power 16–19 W).
+	if rep.LUTPct < 6 || rep.LUTPct > 8 {
+		t.Fatalf("LUT%% %v outside Table-5 range", rep.LUTPct)
+	}
+	if rep.PowerW < 16 || rep.PowerW > 19 {
+		t.Fatalf("power %v outside Table-5 range", rep.PowerW)
+	}
+}
+
+func TestOrderingByParamCount(t *testing.T) {
+	// Table 5's discussed property: more parameters → more LUTs and power.
+	small, _ := Estimate(U250Shell(), dnn(7, 12, 6, 3, 2))        // ~203 params
+	large, _ := Estimate(U250Shell(), dnn(30, 10, 10, 10, 10, 2)) // ~662 params
+	if large.LUTPct <= small.LUTPct {
+		t.Fatalf("662-param model must use more LUTs (%v vs %v)", large.LUTPct, small.LUTPct)
+	}
+	if large.PowerW <= small.PowerW {
+		t.Fatal("and more power")
+	}
+}
+
+func TestSublinearGrowth(t *testing.T) {
+	a, _ := Estimate(U250Shell(), dnn(10, 10, 2)) // ~132 params
+	b, _ := Estimate(U250Shell(), dnn(10, 40, 2)) // ~522 params
+	shell := U250Shell()
+	da := a.LUTPct - shell.LUTPct
+	db := b.LUTPct - shell.LUTPct
+	ratioParams := 522.0 / 132.0
+	if db/da >= ratioParams {
+		t.Fatalf("LUT growth should be sublinear in params: %v vs param ratio %v", db/da, ratioParams)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Report{LUTPct: 1, FFPct: 2, BRAMPct: 3, PowerW: 4}
+	b := Report{LUTPct: 2, FFPct: 4, BRAMPct: 6, PowerW: 8}
+	d := Compare(a, b)
+	if d.LUTPct != 1 || d.FFPct != 2 || d.BRAMPct != 3 || d.PowerW != 4 {
+		t.Fatalf("Compare = %+v", d)
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	bad := &ir.Model{Kind: ir.DNN, Name: "bad", Inputs: 2, Outputs: 2}
+	if _, err := Estimate(U250Shell(), bad); err == nil {
+		t.Fatal("invalid model must error")
+	}
+}
+
+func TestFFTracksLUT(t *testing.T) {
+	rep, _ := Estimate(U250Shell(), dnn(7, 12, 6, 3, 2))
+	shell := U250Shell()
+	lutDelta := rep.LUTPct - shell.LUTPct
+	ffDelta := rep.FFPct - shell.FFPct
+	if math.Abs(ffDelta-0.55*lutDelta) > 1e-9 {
+		t.Fatalf("FF delta %v should be 0.55×LUT delta %v", ffDelta, lutDelta)
+	}
+}

@@ -1,0 +1,145 @@
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/fixed"
+)
+
+// jsonModel is the stable on-disk representation of a Model. It exists so
+// the wire format is explicit and versioned rather than mirroring internal
+// struct layout.
+type jsonModel struct {
+	Version      int         `json:"version"`
+	Kind         string      `json:"kind"`
+	Name         string      `json:"name"`
+	Inputs       int         `json:"inputs"`
+	Outputs      int         `json:"outputs"`
+	IntBits      int         `json:"int_bits"`
+	FracBits     int         `json:"frac_bits"`
+	FeatureNames []string    `json:"feature_names,omitempty"`
+	Mean         []float64   `json:"mean,omitempty"`
+	Std          []float64   `json:"std,omitempty"`
+	Layers       []jsonLayer `json:"layers,omitempty"`
+	SVMW         [][]float64 `json:"svm_w,omitempty"`
+	SVMB         []float64   `json:"svm_b,omitempty"`
+	Centroids    [][]float64 `json:"centroids,omitempty"`
+	Tree         *jsonNode   `json:"tree,omitempty"`
+}
+
+type jsonLayer struct {
+	In         int         `json:"in"`
+	Out        int         `json:"out"`
+	W          [][]float64 `json:"w"`
+	B          []float64   `json:"b"`
+	Activation string      `json:"activation"`
+}
+
+type jsonNode struct {
+	Feature   int       `json:"feature"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Class     int       `json:"class"`
+	Left      *jsonNode `json:"left,omitempty"`
+	Right     *jsonNode `json:"right,omitempty"`
+}
+
+// formatVersion is bumped on incompatible wire changes.
+const formatVersion = 1
+
+// WriteJSON serializes the model (validated first) to w.
+func (m *Model) WriteJSON(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("ir: refusing to serialize invalid model: %w", err)
+	}
+	jm := jsonModel{
+		Version:      formatVersion,
+		Kind:         m.Kind.String(),
+		Name:         m.Name,
+		Inputs:       m.Inputs,
+		Outputs:      m.Outputs,
+		IntBits:      m.Format.IntBits,
+		FracBits:     m.Format.FracBits,
+		FeatureNames: m.FeatureNames,
+		Mean:         m.Mean,
+		Std:          m.Std,
+		Centroids:    m.Centroids,
+	}
+	for _, l := range m.Layers {
+		jm.Layers = append(jm.Layers, jsonLayer{In: l.In, Out: l.Out, W: l.W, B: l.B, Activation: l.Activation})
+	}
+	if m.SVM != nil {
+		jm.SVMW, jm.SVMB = m.SVM.W, m.SVM.B
+	}
+	jm.Tree = toJSONNode(m.Tree)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jm); err != nil {
+		return fmt.Errorf("ir: encode model: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a model written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("ir: decode model: %w", err)
+	}
+	if jm.Version != formatVersion {
+		return nil, fmt.Errorf("ir: unsupported model format version %d (want %d)", jm.Version, formatVersion)
+	}
+	kind, err := ParseKind(jm.Kind)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Kind:         kind,
+		Name:         jm.Name,
+		Inputs:       jm.Inputs,
+		Outputs:      jm.Outputs,
+		Format:       fixed.Format{IntBits: jm.IntBits, FracBits: jm.FracBits},
+		FeatureNames: jm.FeatureNames,
+		Mean:         jm.Mean,
+		Std:          jm.Std,
+		Centroids:    jm.Centroids,
+	}
+	for _, l := range jm.Layers {
+		m.Layers = append(m.Layers, Layer{In: l.In, Out: l.Out, W: l.W, B: l.B, Activation: l.Activation})
+	}
+	if jm.SVMW != nil {
+		m.SVM = &SVMParams{W: jm.SVMW, B: jm.SVMB}
+	}
+	m.Tree = fromJSONNode(jm.Tree)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: loaded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+func toJSONNode(n *TreeNode) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	return &jsonNode{
+		Feature:   n.Feature,
+		Threshold: n.Threshold,
+		Class:     n.Class,
+		Left:      toJSONNode(n.Left),
+		Right:     toJSONNode(n.Right),
+	}
+}
+
+func fromJSONNode(n *jsonNode) *TreeNode {
+	if n == nil {
+		return nil
+	}
+	return &TreeNode{
+		Feature:   n.Feature,
+		Threshold: n.Threshold,
+		Class:     n.Class,
+		Left:      fromJSONNode(n.Left),
+		Right:     fromJSONNode(n.Right),
+	}
+}

@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+func TestJSONRoundTripDNN(t *testing.T) {
+	d := blob2(200, 30)
+	net := trainSmallNN(t, d)
+	m := FromNN("ad", net, fixed.Q8_8)
+	m.FeatureNames = []string{"fa", "fb"}
+	m.Mean = []float64{0.1, 0.2}
+	m.Std = []float64{1, 2}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != DNN || back.Name != "ad" || back.Inputs != m.Inputs {
+		t.Fatal("metadata lost")
+	}
+	if back.Format != fixed.Q8_8 {
+		t.Fatalf("format lost: %v", back.Format)
+	}
+	if back.FeatureNames[1] != "fb" || back.Mean[1] != 0.2 {
+		t.Fatal("names/normalizer lost")
+	}
+	// Bit-identical inference after round trip.
+	for i := 0; i < 50; i++ {
+		a, _ := m.InferQ(d.X.Row(i))
+		b, _ := back.InferQ(d.X.Row(i))
+		if a != b {
+			t.Fatalf("inference diverges at %d", i)
+		}
+	}
+}
+
+func TestJSONRoundTripTree(t *testing.T) {
+	tree := &TreeNode{Feature: 0, Threshold: 0.5,
+		Left: &TreeNode{Feature: -1, Class: 1},
+		Right: &TreeNode{Feature: 1, Threshold: -0.25,
+			Left:  &TreeNode{Feature: -1, Class: 0},
+			Right: &TreeNode{Feature: -1, Class: 1}}}
+	m := &Model{Kind: DTree, Name: "t", Inputs: 2, Outputs: 2, Format: fixed.Q4_12, Tree: tree}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tree.Right.Threshold != -0.25 || back.Tree.Right.Left.Class != 0 {
+		t.Fatal("tree structure lost")
+	}
+}
+
+func TestJSONRoundTripSVMAndKMeans(t *testing.T) {
+	svm := &Model{Kind: SVM, Name: "s", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
+		SVM: &SVMParams{W: [][]float64{{1, 2, 3}, {4, 5, 6}}, B: []float64{0.5, -0.5}}}
+	var buf bytes.Buffer
+	if err := svm.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SVM.B[1] != -0.5 {
+		t.Fatal("SVM params lost")
+	}
+
+	km := &Model{Kind: KMeans, Name: "k", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+		Centroids: [][]float64{{1, 2}, {3, 4}}}
+	buf.Reset()
+	if err := km.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Centroids[1][0] != 3 {
+		t.Fatal("centroids lost")
+	}
+}
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	bad := &Model{Kind: DNN, Name: "bad", Inputs: 2, Outputs: 2}
+	var buf bytes.Buffer
+	if err := bad.WriteJSON(&buf); err == nil {
+		t.Fatal("invalid model must not serialize")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version": 1, "kind": "nope"}`)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	// structurally broken model
+	if _, err := ReadJSON(strings.NewReader(`{"version": 1, "kind": "dnn", "name": "x", "inputs": 2, "outputs": 2}`)); err == nil {
+		t.Fatal("invalid loaded model must fail validation")
+	}
+}

@@ -1,0 +1,115 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func blobs(n, k int, sep float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(n, 2)
+	for i := 0; i < n; i++ {
+		c := i % k
+		d.X.Set(i, 0, float64(c)*sep+rng.NormFloat64()*0.3)
+		d.X.Set(i, 1, float64(c%2)*sep+rng.NormFloat64()*0.3)
+		d.Y[i] = c
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := Train(Config{K: 0, MaxIters: 5}, dataset.New(5, 1)); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := Train(Config{K: 2, MaxIters: 0}, dataset.New(5, 1)); err == nil {
+		t.Fatal("MaxIters=0 must fail")
+	}
+	if _, err := Train(Config{K: 10, MaxIters: 5}, dataset.New(5, 1)); err == nil {
+		t.Fatal("K > samples must fail")
+	}
+}
+
+func TestRecoversWellSeparatedClusters(t *testing.T) {
+	d := blobs(600, 3, 8, 1)
+	m, err := Train(Config{K: 3, MaxIters: 50, Seed: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := metrics.VMeasure(d.Y, m.Assign(d))
+	if v < 0.95 {
+		t.Fatalf("V-measure %v on separated blobs", v)
+	}
+}
+
+func TestFewerClustersLowerVMeasure(t *testing.T) {
+	// The Figure-7 property: shrinking K below the true class count
+	// degrades V-measure.
+	d := blobs(600, 4, 8, 2)
+	var prev float64 = -1
+	for _, k := range []int{1, 2, 4} {
+		m, err := Train(Config{K: k, MaxIters: 50, Seed: 2}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := metrics.VMeasure(d.Y, m.Assign(d))
+		if v < prev {
+			t.Fatalf("V-measure must not decrease with more clusters: k=%d v=%v prev=%v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := blobs(200, 3, 6, 3)
+	m1, _ := Train(Config{K: 3, MaxIters: 30, Seed: 9}, d)
+	m2, _ := Train(Config{K: 3, MaxIters: 30, Seed: 9}, d)
+	for i := range m1.Centroids.Data {
+		if m1.Centroids.Data[i] != m2.Centroids.Data[i] {
+			t.Fatal("same seed must reproduce centroids")
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	d := blobs(400, 4, 5, 4)
+	var prev = 1e18
+	for _, k := range []int{1, 2, 4, 8} {
+		m, err := Train(Config{K: k, MaxIters: 50, Seed: 4}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Inertia > prev*1.05 { // small tolerance: local optima
+			t.Fatalf("inertia should broadly decrease with K: k=%d inertia=%v prev=%v", k, m.Inertia, prev)
+		}
+		prev = m.Inertia
+	}
+}
+
+func TestAssignConsistency(t *testing.T) {
+	d := blobs(100, 2, 6, 5)
+	m, _ := Train(Config{K: 2, MaxIters: 20, Seed: 5}, d)
+	assign := m.Assign(d)
+	for i := 0; i < 10; i++ {
+		if m.AssignVec(d.X.Row(i)) != assign[i] {
+			t.Fatal("AssignVec must agree with Assign")
+		}
+	}
+	if m.K() != 2 {
+		t.Fatal("K accessor wrong")
+	}
+}
+
+func TestDegenerateData(t *testing.T) {
+	// All points identical: must not crash or loop forever.
+	d := dataset.New(10, 2)
+	m, err := Train(Config{K: 3, MaxIters: 10, Seed: 6}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Inertia != 0 {
+		t.Fatalf("identical points must give zero inertia, got %v", m.Inertia)
+	}
+}

@@ -1,0 +1,174 @@
+// Package mat models a match-action-table (MAT) switch pipeline — the
+// Tofino/RMT-style backend Homunculus targets through IIsy (§4). The IIsy
+// mapping makes the relation between algorithm parameters and tables
+// explicit, which Homunculus exploits as a feasibility constraint:
+//
+//   - SVM: one table per feature (each table matches a feature-value range
+//     and emits per-class partial scores) plus one decision table;
+//   - KMeans: one table per cluster ("IIsy restricts a single MAT for each
+//     cluster", §5.2.2);
+//   - Decision tree: one table per tree level plus one leaf-action table.
+//
+// The model answers table and entry budgets, plus line-rate timing (a MAT
+// pipeline is fixed-latency: fitting the pipeline means running at line
+// rate, which is why Figure 7 trades model fidelity for tables rather than
+// throughput).
+package mat
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Pipeline describes a MAT switch configuration.
+type Pipeline struct {
+	Tables          int // total match-action tables available to the model
+	EntriesPerTable int // TCAM/SRAM entries per table
+	StageLatencyNS  float64
+	LineRateGPkts   float64
+}
+
+// DefaultPipeline approximates one Tofino pipe: the evaluation constrains
+// models to small table budgets (Figure 7 sweeps 1–5), but the physical
+// pipe offers more.
+func DefaultPipeline() Pipeline {
+	return Pipeline{Tables: 32, EntriesPerTable: 4096, StageLatencyNS: 1.0, LineRateGPkts: 1.0}
+}
+
+// Validate reports configuration errors.
+func (p Pipeline) Validate() error {
+	if p.Tables <= 0 {
+		return fmt.Errorf("mat: Tables must be positive, got %d", p.Tables)
+	}
+	if p.EntriesPerTable <= 0 {
+		return fmt.Errorf("mat: EntriesPerTable must be positive, got %d", p.EntriesPerTable)
+	}
+	if p.StageLatencyNS <= 0 {
+		return fmt.Errorf("mat: StageLatencyNS must be positive, got %v", p.StageLatencyNS)
+	}
+	if p.LineRateGPkts <= 0 {
+		return fmt.Errorf("mat: LineRateGPkts must be positive, got %v", p.LineRateGPkts)
+	}
+	return nil
+}
+
+// Report is the backend verdict for a candidate model.
+type Report struct {
+	TablesUsed      int
+	EntriesUsed     int // worst-case entries in the largest table
+	LatencyNS       float64
+	ThroughputGPkts float64
+	Fits            bool
+	Reason          string
+}
+
+// Feasible reports whether the model maps onto the pipeline.
+func (r Report) Feasible() bool { return r.Fits }
+
+// rangeEntriesPerFeature is how many range-match entries IIsy installs to
+// cover one quantized feature dimension (8-bit quantization → up to 256
+// value ranges, merged; we charge the worst case after prefix merging).
+const rangeEntriesPerFeature = 64
+
+// Estimate maps the model onto the MAT pipeline.
+func Estimate(p Pipeline, m *ir.Model) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	switch m.Kind {
+	case ir.SVM:
+		// One table per feature + decision table.
+		rep.TablesUsed = m.Inputs + 1
+		rep.EntriesUsed = rangeEntriesPerFeature
+	case ir.KMeans:
+		// One table per cluster.
+		rep.TablesUsed = len(m.Centroids)
+		rep.EntriesUsed = rangeEntriesPerFeature * maxInt(1, m.Inputs/2)
+	case ir.DTree:
+		depth := treeDepth(m.Tree)
+		rep.TablesUsed = depth + 1
+		// Entries per level table grow with the node count at that level,
+		// bounded by leaves.
+		rep.EntriesUsed = maxInt(1, countLeaves(m.Tree))
+	case ir.DNN:
+		// MAT switches cannot execute general matrix multiplies at line
+		// rate; N2Net-style BNN folding charges ~12 tables per layer
+		// (§2: "a single layer of a manually designed anomaly-detection
+		// DNN in N2Net takes up to 12 MATs").
+		rep.TablesUsed = 12 * len(m.Layers)
+		rep.EntriesUsed = rangeEntriesPerFeature * m.Inputs
+	default:
+		return Report{}, fmt.Errorf("mat: unsupported model kind %v", m.Kind)
+	}
+
+	rep.Fits = rep.TablesUsed <= p.Tables && rep.EntriesUsed <= p.EntriesPerTable
+	if !rep.Fits {
+		rep.Reason = fmt.Sprintf("needs %d tables × %d entries, pipeline has %d × %d",
+			rep.TablesUsed, rep.EntriesUsed, p.Tables, p.EntriesPerTable)
+	}
+	// Fixed-function pipeline: latency is stages × per-stage latency and
+	// throughput is line rate whenever the program fits.
+	rep.LatencyNS = float64(rep.TablesUsed) * p.StageLatencyNS
+	if rep.Fits {
+		rep.ThroughputGPkts = p.LineRateGPkts
+	}
+	return rep, nil
+}
+
+func treeDepth(n *ir.TreeNode) int {
+	if n == nil || n.Feature < 0 {
+		return 0
+	}
+	l, r := treeDepth(n.Left), treeDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func countLeaves(n *ir.TreeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.Feature < 0 {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxClustersForBudget returns the largest K a KMeans model can use under
+// a table budget — the inversion Homunculus applies in Figure 7 when it
+// "creates more coarse-grain clusters, sacrificing fidelity in favor of
+// resource usage".
+func MaxClustersForBudget(p Pipeline, budget int) int {
+	if budget < p.Tables {
+		p.Tables = budget
+	}
+	return p.Tables
+}
+
+// MaxSVMFeaturesForBudget returns the largest feature count an SVM can
+// keep under a table budget (one table per feature + decision table);
+// Homunculus drops "less impactful features until the SVM model fits".
+func MaxSVMFeaturesForBudget(p Pipeline, budget int) int {
+	t := p.Tables
+	if budget < t {
+		t = budget
+	}
+	if t <= 1 {
+		return 0
+	}
+	return t - 1
+}

@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"fmt"
+)
+
+// TCAM range expansion. Match-action tables implement range matches by
+// expanding each range into a set of ternary prefix entries (value/mask
+// pairs); the expansion factor determines how many physical TCAM entries
+// a logical range costs — up to 2w-2 entries for a w-bit field in the
+// worst case. The IIsy-style mappings in this package install range
+// entries per feature, so accurate entry budgeting needs the real
+// expansion, implemented here with the standard prefix-cover algorithm.
+
+// Prefix is one ternary entry: Value matched under Mask (1-bits compared,
+// 0-bits wildcarded). Bits is the field width.
+type Prefix struct {
+	Value uint32
+	Mask  uint32
+	Bits  int
+}
+
+// Matches reports whether x hits the prefix.
+func (p Prefix) Matches(x uint32) bool {
+	return x&p.Mask == p.Value&p.Mask
+}
+
+// String renders the prefix as bits with '*' wildcards.
+func (p Prefix) String() string {
+	s := make([]byte, p.Bits)
+	for i := 0; i < p.Bits; i++ {
+		bit := uint32(1) << uint(p.Bits-1-i)
+		switch {
+		case p.Mask&bit == 0:
+			s[i] = '*'
+		case p.Value&bit != 0:
+			s[i] = '1'
+		default:
+			s[i] = '0'
+		}
+	}
+	return string(s)
+}
+
+// ExpandRange converts the inclusive range [lo, hi] over a bits-wide
+// unsigned field into a minimal prefix cover using the classic
+// largest-aligned-block greedy algorithm.
+func ExpandRange(lo, hi uint32, bits int) ([]Prefix, error) {
+	if bits <= 0 || bits > 32 {
+		return nil, fmt.Errorf("mat: field width %d out of range [1,32]", bits)
+	}
+	maxVal := uint32(1)<<uint(bits) - 1
+	if bits == 32 {
+		maxVal = ^uint32(0)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("mat: empty range [%d, %d]", lo, hi)
+	}
+	if hi > maxVal {
+		return nil, fmt.Errorf("mat: range end %d exceeds %d-bit field", hi, bits)
+	}
+	if lo == 0 && hi == maxVal {
+		// Full field: a single all-wildcard entry (the 2^bits block size
+		// would overflow the doubling loop below for bits == 32).
+		return []Prefix{{Value: 0, Mask: 0, Bits: bits}}, nil
+	}
+	var out []Prefix
+	for lo <= hi {
+		// The largest block starting at lo: aligned to lo's lowest set
+		// bits and not exceeding hi.
+		size := uint32(1)
+		for {
+			next := size << 1
+			if next == 0 { // overflow: block covers the full space
+				break
+			}
+			if lo&(next-1) != 0 { // alignment broken
+				break
+			}
+			if uint64(lo)+uint64(next)-1 > uint64(hi) { // too big
+				break
+			}
+			size = next
+		}
+		maskBits := bits
+		for s := size; s > 1; s >>= 1 {
+			maskBits--
+		}
+		var mask uint32
+		if maskBits == 0 {
+			mask = 0
+		} else {
+			mask = (uint32(1)<<uint(maskBits) - 1) << uint(bits-maskBits)
+			if bits == 32 && maskBits == 32 {
+				mask = ^uint32(0)
+			}
+		}
+		out = append(out, Prefix{Value: lo, Mask: mask, Bits: bits})
+		if uint64(lo)+uint64(size) > uint64(maxVal) {
+			break
+		}
+		lo += size
+	}
+	return out, nil
+}
+
+// RangeEntryCost returns the number of physical TCAM entries the range
+// costs after prefix expansion.
+func RangeEntryCost(lo, hi uint32, bits int) (int, error) {
+	ps, err := ExpandRange(lo, hi, bits)
+	if err != nil {
+		return 0, err
+	}
+	return len(ps), nil
+}
+
+// WorstCaseRangeCost is the textbook bound 2w-2 for a w-bit field
+// (w >= 2; a 1-bit field needs at most 1 entry).
+func WorstCaseRangeCost(bits int) int {
+	if bits <= 1 {
+		return 1
+	}
+	return 2*bits - 2
+}

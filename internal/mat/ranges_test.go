@@ -1,0 +1,148 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandRangeFullField(t *testing.T) {
+	ps, err := ExpandRange(0, 255, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Fatalf("full range must be one wildcard entry, got %d", len(ps))
+	}
+	if ps[0].Mask != 0 {
+		t.Fatal("full range mask must be all-wildcard")
+	}
+	if ps[0].String() != "********" {
+		t.Fatalf("String = %q", ps[0].String())
+	}
+}
+
+func TestExpandRangeSingleValue(t *testing.T) {
+	ps, err := ExpandRange(42, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Value != 42 {
+		t.Fatalf("single value expansion wrong: %+v", ps)
+	}
+	if ps[0].Mask != 0xFF {
+		t.Fatal("exact match needs a full mask")
+	}
+	if !ps[0].Matches(42) || ps[0].Matches(43) {
+		t.Fatal("match semantics wrong")
+	}
+}
+
+func TestExpandRangeWorstCase(t *testing.T) {
+	// [1, 2^w - 2] is the classic worst case: 2w-2 entries.
+	ps, err := ExpandRange(1, 254, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != WorstCaseRangeCost(8) {
+		t.Fatalf("worst case 8-bit should cost %d, got %d", WorstCaseRangeCost(8), len(ps))
+	}
+}
+
+func TestExpandRangeErrors(t *testing.T) {
+	if _, err := ExpandRange(5, 4, 8); err == nil {
+		t.Fatal("inverted range must fail")
+	}
+	if _, err := ExpandRange(0, 300, 8); err == nil {
+		t.Fatal("range beyond field must fail")
+	}
+	if _, err := ExpandRange(0, 1, 0); err == nil {
+		t.Fatal("zero-width field must fail")
+	}
+	if _, err := ExpandRange(0, 1, 40); err == nil {
+		t.Fatal("over-wide field must fail")
+	}
+}
+
+func TestWorstCaseRangeCost(t *testing.T) {
+	if WorstCaseRangeCost(1) != 1 || WorstCaseRangeCost(8) != 14 || WorstCaseRangeCost(16) != 30 {
+		t.Fatal("bound values wrong")
+	}
+}
+
+// Property: the expansion exactly covers the range — every value in
+// [lo, hi] matches exactly one prefix, and no value outside matches any.
+func TestExpandRangeCoverageQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 1 + rng.Intn(10) // up to 10-bit fields: exhaustive check cheap
+		max := uint32(1)<<uint(bits) - 1
+		lo := uint32(rng.Intn(int(max + 1)))
+		hi := lo + uint32(rng.Intn(int(max-lo+1)))
+		ps, err := ExpandRange(lo, hi, bits)
+		if err != nil {
+			return false
+		}
+		for x := uint32(0); x <= max; x++ {
+			hits := 0
+			for _, p := range ps {
+				if p.Matches(x) {
+					hits++
+				}
+			}
+			inRange := x >= lo && x <= hi
+			if inRange && hits != 1 {
+				return false
+			}
+			if !inRange && hits != 0 {
+				return false
+			}
+			if x == max {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: expansion size never exceeds the 2w-2 bound.
+func TestExpandRangeBoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 2 + rng.Intn(15)
+		max := uint32(1)<<uint(bits) - 1
+		lo := uint32(rng.Intn(int(max + 1)))
+		hi := lo + uint32(rng.Intn(int(max-lo+1)))
+		ps, err := ExpandRange(lo, hi, bits)
+		if err != nil {
+			return false
+		}
+		return len(ps) <= WorstCaseRangeCost(bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandRange32Bit(t *testing.T) {
+	ps, err := ExpandRange(0, ^uint32(0), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Mask != 0 {
+		t.Fatalf("full 32-bit range must be one wildcard: %+v", ps)
+	}
+	ps2, err := ExpandRange(1<<31, ^uint32(0), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps2) != 1 {
+		t.Fatalf("upper half must be one prefix: %+v", ps2)
+	}
+	if !ps2[0].Matches(1<<31) || ps2[0].Matches(5) {
+		t.Fatal("upper-half match semantics wrong")
+	}
+}

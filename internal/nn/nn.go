@@ -1,0 +1,476 @@
+// Package nn implements the dense feed-forward neural networks Homunculus
+// searches over: configurable hidden layers, ReLU/sigmoid/tanh activations,
+// softmax cross-entropy output, mini-batch SGD and Adam, and L2 weight
+// decay. It replaces the Keras/TensorFlow training stage of the paper
+// (§3.2.4) — the optimization core treats it as the black box that turns a
+// hyperparameter configuration plus a dataset into a test metric.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// Activation selects a hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Sigmoid
+	Tanh
+)
+
+// String names the activation for code generation and reports.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// ParseActivation maps a name back to an Activation.
+func ParseActivation(s string) (Activation, error) {
+	switch s {
+	case "relu":
+		return ReLU, nil
+	case "sigmoid":
+		return Sigmoid, nil
+	case "tanh":
+		return Tanh, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown activation %q", s)
+	}
+}
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+// Supported optimizers.
+const (
+	SGD Optimizer = iota
+	Adam
+)
+
+// String names the optimizer.
+func (o Optimizer) String() string {
+	switch o {
+	case SGD:
+		return "sgd"
+	case Adam:
+		return "adam"
+	default:
+		return fmt.Sprintf("Optimizer(%d)", int(o))
+	}
+}
+
+// Config is the hyperparameter set the BO search tunes (§3.2.2:
+// "the number of layers and neurons as well as training parameters").
+type Config struct {
+	Inputs     int
+	Hidden     []int // neurons per hidden layer
+	Outputs    int   // classes
+	Activation Activation
+	Optimizer  Optimizer
+	LearnRate  float64
+	BatchSize  int
+	Epochs     int
+	L2         float64 // weight decay
+	// Dropout is the probability of zeroing each hidden activation during
+	// training (inverted dropout: survivors are rescaled, so inference
+	// needs no adjustment). 0 disables it.
+	Dropout float64
+	Seed    int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Inputs <= 0 {
+		return fmt.Errorf("nn: Inputs must be positive, got %d", c.Inputs)
+	}
+	if c.Outputs <= 1 {
+		return fmt.Errorf("nn: Outputs must be >= 2 (softmax classifier), got %d", c.Outputs)
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("nn: hidden layer %d has %d neurons", i, h)
+		}
+	}
+	if c.LearnRate <= 0 {
+		return fmt.Errorf("nn: LearnRate must be positive, got %v", c.LearnRate)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("nn: BatchSize must be positive, got %d", c.BatchSize)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("nn: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.L2 < 0 {
+		return fmt.Errorf("nn: L2 must be >= 0, got %v", c.L2)
+	}
+	if c.Dropout < 0 || c.Dropout >= 1 {
+		return fmt.Errorf("nn: Dropout must be in [0,1), got %v", c.Dropout)
+	}
+	return nil
+}
+
+// ParamCount returns the number of trainable parameters (weights+biases)
+// the architecture implies — the "# NN Param" column of Table 2.
+func (c Config) ParamCount() int {
+	dims := append(append([]int{c.Inputs}, c.Hidden...), c.Outputs)
+	total := 0
+	for i := 0; i < len(dims)-1; i++ {
+		total += dims[i]*dims[i+1] + dims[i+1]
+	}
+	return total
+}
+
+// Dense is one fully-connected layer: out = act(in·W + b).
+type Dense struct {
+	In, Out int
+	W       *tensor.Matrix // In×Out
+	B       []float64
+	Act     Activation
+	Final   bool // output layer uses softmax, Act ignored
+}
+
+// Network is a trained (or in-training) feed-forward classifier.
+type Network struct {
+	Config Config
+	Layers []*Dense
+}
+
+// New builds an untrained network with Glorot-initialized weights.
+func New(c Config) (*Network, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	dims := append(append([]int{c.Inputs}, c.Hidden...), c.Outputs)
+	n := &Network{Config: c}
+	for i := 0; i < len(dims)-1; i++ {
+		l := &Dense{
+			In:    dims[i],
+			Out:   dims[i+1],
+			W:     tensor.New(dims[i], dims[i+1]),
+			B:     make([]float64, dims[i+1]),
+			Act:   c.Activation,
+			Final: i == len(dims)-2,
+		}
+		l.W.GlorotInit(rng, l.In, l.Out)
+		n.Layers = append(n.Layers, l)
+	}
+	return n, nil
+}
+
+// forwardCache holds per-layer pre/post activations for backprop.
+type forwardCache struct {
+	inputs []*tensor.Matrix // input to each layer (inputs[0] == X batch)
+	outs   []*tensor.Matrix // activated output of each layer
+}
+
+// Forward computes class probabilities for a batch X (rows = samples).
+// The returned matrix is freshly allocated (X.Rows × Outputs).
+func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out, _ := n.forward(x, false)
+	return out
+}
+
+func (n *Network) forward(x *tensor.Matrix, keepCache bool) (*tensor.Matrix, *forwardCache) {
+	var cache *forwardCache
+	if keepCache {
+		cache = &forwardCache{}
+	}
+	cur := x
+	for _, l := range n.Layers {
+		if keepCache {
+			cache.inputs = append(cache.inputs, cur)
+		}
+		z := tensor.New(cur.Rows, l.Out)
+		tensor.MatMul(z, cur, l.W)
+		tensor.AddBias(z, l.B)
+		if l.Final {
+			softmaxRows(z)
+		} else {
+			applyActivation(z, l.Act)
+		}
+		if keepCache {
+			cache.outs = append(cache.outs, z)
+		}
+		cur = z
+	}
+	return cur, cache
+}
+
+func applyActivation(m *tensor.Matrix, a Activation) {
+	for i, v := range m.Data {
+		switch a {
+		case ReLU:
+			if v < 0 {
+				m.Data[i] = 0
+			}
+		case Sigmoid:
+			m.Data[i] = 1 / (1 + math.Exp(-v))
+		case Tanh:
+			m.Data[i] = math.Tanh(v)
+		}
+	}
+}
+
+// activationGrad returns d(act)/dz given the *activated* output value.
+func activationGrad(out float64, a Activation) float64 {
+	switch a {
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return out * (1 - out)
+	case Tanh:
+		return 1 - out*out
+	default:
+		return 1
+	}
+}
+
+func softmaxRows(m *tensor.Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}
+
+// adamState holds per-layer first/second moment estimates.
+type adamState struct {
+	mW, vW *tensor.Matrix
+	mB, vB []float64
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Epochs    int
+	FinalLoss float64
+}
+
+// Train fits the network on d with the configured optimizer. It returns
+// the final average training loss. Training is deterministic given
+// Config.Seed.
+func (n *Network) Train(d *dataset.Dataset) (TrainResult, error) {
+	if d.Features() != n.Config.Inputs {
+		return TrainResult{}, fmt.Errorf("nn: dataset has %d features, network expects %d", d.Features(), n.Config.Inputs)
+	}
+	if d.Len() == 0 {
+		return TrainResult{}, fmt.Errorf("nn: empty training set")
+	}
+	c := n.Config
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	oneHot := d.OneHot(c.Outputs)
+
+	var adamStates []*adamState
+	if c.Optimizer == Adam {
+		for _, l := range n.Layers {
+			adamStates = append(adamStates, &adamState{
+				mW: tensor.New(l.In, l.Out), vW: tensor.New(l.In, l.Out),
+				mB: make([]float64, l.Out), vB: make([]float64, l.Out),
+			})
+		}
+	}
+
+	idx := tensor.Range(d.Len())
+	step := 0
+	var lastLoss float64
+	for epoch := 0; epoch < c.Epochs; epoch++ {
+		tensor.Shuffle(rng, idx)
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(idx); start += c.BatchSize {
+			end := start + c.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			x := tensor.New(len(batch), c.Inputs)
+			y := tensor.New(len(batch), c.Outputs)
+			for bi, si := range batch {
+				copy(x.Row(bi), d.X.Row(si))
+				copy(y.Row(bi), oneHot.Row(si))
+			}
+			step++
+			loss := n.trainBatch(x, y, adamStates, step, rng)
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return TrainResult{Epochs: c.Epochs, FinalLoss: lastLoss}, nil
+}
+
+// trainBatch performs one forward/backward/update pass and returns the
+// batch's mean cross-entropy loss.
+func (n *Network) trainBatch(x, y *tensor.Matrix, adamStates []*adamState, step int, rng *rand.Rand) float64 {
+	c := n.Config
+	probs, cache := n.forward(x, true)
+	// Inverted dropout on hidden activations: zero with probability p,
+	// scale survivors by 1/(1-p). Masks are recorded in the cached
+	// outputs so backprop sees the dropped network.
+	if c.Dropout > 0 && rng != nil {
+		keep := 1 - c.Dropout
+		for li := 0; li < len(n.Layers)-1; li++ {
+			out := cache.outs[li]
+			for i := range out.Data {
+				if rng.Float64() < c.Dropout {
+					out.Data[i] = 0
+				} else {
+					out.Data[i] /= keep
+				}
+			}
+		}
+		// Recompute downstream activations with the dropped values so the
+		// loss and deltas are consistent.
+		for li := 1; li < len(n.Layers); li++ {
+			l := n.Layers[li]
+			in := cache.outs[li-1]
+			cache.inputs[li] = in
+			z := cache.outs[li]
+			tensor.MatMul(z, in, l.W)
+			tensor.AddBias(z, l.B)
+			if l.Final {
+				softmaxRows(z)
+			} else {
+				applyActivation(z, l.Act)
+			}
+		}
+		probs = cache.outs[len(n.Layers)-1]
+	}
+	batch := float64(x.Rows)
+
+	// Cross-entropy loss (with tiny clamp for log stability).
+	var loss float64
+	for i := 0; i < probs.Rows; i++ {
+		prow, yrow := probs.Row(i), y.Row(i)
+		for j := range prow {
+			if yrow[j] > 0 {
+				loss -= yrow[j] * math.Log(math.Max(prow[j], 1e-12))
+			}
+		}
+	}
+	loss /= batch
+
+	// Output delta for softmax+CE: (p - y) / batch.
+	delta := probs.Clone()
+	for i := range delta.Data {
+		delta.Data[i] = (delta.Data[i] - y.Data[i]) / batch
+	}
+
+	// Backpropagate layer by layer.
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		in := cache.inputs[li]
+
+		gradW := tensor.New(l.In, l.Out)
+		tensor.TMatMul(gradW, in, delta)
+		gradB := make([]float64, l.Out)
+		tensor.ColSums(gradB, delta)
+
+		if c.L2 > 0 {
+			for i, w := range l.W.Data {
+				gradW.Data[i] += c.L2 * w
+			}
+		}
+
+		// Delta for the previous layer (before this layer's weights change).
+		if li > 0 {
+			prevOut := cache.outs[li-1]
+			nextDelta := tensor.New(delta.Rows, l.In)
+			tensor.MatMulT(nextDelta, delta, l.W)
+			prev := n.Layers[li-1]
+			for i := range nextDelta.Data {
+				nextDelta.Data[i] *= activationGrad(prevOut.Data[i], prev.Act)
+			}
+			delta = nextDelta
+		}
+
+		switch c.Optimizer {
+		case Adam:
+			updateAdam(l, gradW, gradB, adamStates[li], c.LearnRate, step)
+		default:
+			for i := range l.W.Data {
+				l.W.Data[i] -= c.LearnRate * gradW.Data[i]
+			}
+			for i := range l.B {
+				l.B[i] -= c.LearnRate * gradB[i]
+			}
+		}
+	}
+	return loss
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func updateAdam(l *Dense, gradW *tensor.Matrix, gradB []float64, st *adamState, lr float64, step int) {
+	bc1 := 1 - math.Pow(adamBeta1, float64(step))
+	bc2 := 1 - math.Pow(adamBeta2, float64(step))
+	for i, g := range gradW.Data {
+		st.mW.Data[i] = adamBeta1*st.mW.Data[i] + (1-adamBeta1)*g
+		st.vW.Data[i] = adamBeta2*st.vW.Data[i] + (1-adamBeta2)*g*g
+		mHat := st.mW.Data[i] / bc1
+		vHat := st.vW.Data[i] / bc2
+		l.W.Data[i] -= lr * mHat / (math.Sqrt(vHat) + adamEps)
+	}
+	for i, g := range gradB {
+		st.mB[i] = adamBeta1*st.mB[i] + (1-adamBeta1)*g
+		st.vB[i] = adamBeta2*st.vB[i] + (1-adamBeta2)*g*g
+		mHat := st.mB[i] / bc1
+		vHat := st.vB[i] / bc2
+		l.B[i] -= lr * mHat / (math.Sqrt(vHat) + adamEps)
+	}
+}
+
+// Predict returns the arg-max class for each sample of d.
+func (n *Network) Predict(d *dataset.Dataset) []int {
+	probs := n.Forward(d.X)
+	out := make([]int, d.Len())
+	for i := range out {
+		out[i] = tensor.ArgMax(probs.Row(i))
+	}
+	return out
+}
+
+// PredictVec classifies a single feature vector.
+func (n *Network) PredictVec(x []float64) int {
+	m := tensor.FromSlice(1, len(x), append([]float64{}, x...))
+	probs := n.Forward(m)
+	return tensor.ArgMax(probs.Row(0))
+}
+
+// ParamCount returns the network's trainable parameter count.
+func (n *Network) ParamCount() int { return n.Config.ParamCount() }

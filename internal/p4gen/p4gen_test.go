@@ -1,0 +1,122 @@
+package p4gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+func svmModel() *ir.Model {
+	return &ir.Model{Kind: ir.SVM, Name: "tc", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
+		FeatureNames: []string{"pkt_len", "ip proto", "ttl"},
+		SVM:          &ir.SVMParams{W: [][]float64{{1, 2, 3}, {4, 5, 6}}, B: []float64{0, 0}}}
+}
+
+func TestGenerateSVM(t *testing.T) {
+	p, err := Generate(svmModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One table per feature + decision.
+	if len(p.Tables) != 4 {
+		t.Fatalf("tables = %v", p.Tables)
+	}
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"table svm_feature_pkt_len",
+		"table svm_feature_ip_proto", // sanitized space
+		"key = { hdr.features.pkt_len: range; }",
+		"svm_decide.apply();",
+	} {
+		if !strings.Contains(p.Source, want) {
+			t.Fatalf("source missing %q", want)
+		}
+	}
+	// quantSteps entries per feature table.
+	if len(p.Entries) != 3*quantSteps {
+		t.Fatalf("entries = %d, want %d", len(p.Entries), 3*quantSteps)
+	}
+	// Entries must tile the 16-bit space without gaps.
+	perTable := map[string][]Entry{}
+	for _, e := range p.Entries {
+		perTable[e.Table] = append(perTable[e.Table], e)
+	}
+	for table, entries := range perTable {
+		lo := int32(-32768)
+		for _, e := range entries {
+			if e.Lo != lo {
+				t.Fatalf("table %s: gap at %d (entry starts %d)", table, lo, e.Lo)
+			}
+			lo = e.Hi + 1
+		}
+		if lo != 32768 {
+			t.Fatalf("table %s: range ends at %d", table, lo)
+		}
+	}
+}
+
+func TestGenerateKMeans(t *testing.T) {
+	m := &ir.Model{Kind: ir.KMeans, Name: "clu", Inputs: 2, Outputs: 3, Format: fixed.Q8_8,
+		Centroids: [][]float64{{0, 0}, {1, 1}, {2, 2}}}
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tables) != 3 { // one per cluster
+		t.Fatalf("tables = %v", p.Tables)
+	}
+	if !strings.Contains(p.Source, "cluster_2.apply();") {
+		t.Fatal("cluster apply missing")
+	}
+	if len(p.Entries) != 3 {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+}
+
+func TestGenerateTree(t *testing.T) {
+	tree := &ir.TreeNode{Feature: 0, Threshold: 0.5,
+		Left: &ir.TreeNode{Feature: -1, Class: 0},
+		Right: &ir.TreeNode{Feature: 1, Threshold: 0.25,
+			Left:  &ir.TreeNode{Feature: -1, Class: 1},
+			Right: &ir.TreeNode{Feature: -1, Class: 0}}}
+	m := &ir.Model{Kind: ir.DTree, Name: "dt", Inputs: 2, Outputs: 2, Format: fixed.Q8_8, Tree: tree}
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// depth 2 -> levels 0..2 = 3 tables
+	if len(p.Tables) != 3 {
+		t.Fatalf("tables = %v", p.Tables)
+	}
+	// 2 internal nodes × 2 entries each
+	if len(p.Entries) != 4 {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+	// Each internal node's two entries must partition the 16-bit space.
+	if p.Entries[0].Hi+1 != p.Entries[1].Lo {
+		t.Fatal("tree entries must partition at the threshold")
+	}
+}
+
+func TestDNNRejected(t *testing.T) {
+	m := &ir.Model{Kind: ir.DNN, Name: "d", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+		Layers: []ir.Layer{{In: 2, Out: 2, W: [][]float64{{0, 0}, {0, 0}}, B: []float64{0, 0}, Activation: "softmax"}}}
+	if _, err := Generate(m); err == nil {
+		t.Fatal("DNN must be rejected by the MAT code generator")
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	bad := &ir.Model{Kind: ir.SVM, Name: "bad", Inputs: 2, Outputs: 2}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("invalid model must be rejected")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("ip proto") != "ip_proto" || sanitize("") != "f" || sanitize("a.b-c") != "a_b_c" {
+		t.Fatal("sanitize")
+	}
+}

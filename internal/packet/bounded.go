@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// BoundedFlowTable models the finite register file a real switch dedicates
+// to per-flow state. FlowLens's headline trade-off — and the paper's §5.1.2
+// observation that shrinking the flowmarker from 151 to 30 bins "increases
+// the number of flows we can handle on a switch proportionally" — exists
+// because this memory is fixed: RegisterBudget words divided by the
+// per-flow flowmarker size gives the flow capacity, and conversations
+// beyond it evict the least-recently-seen state.
+type BoundedFlowTable struct {
+	Config HistConfig
+	// MaxFlows is the capacity (RegisterBudget / flowmarker words).
+	MaxFlows int
+	flows    map[FlowKey]*boundedEntry
+	// clock orders accesses for LRU eviction.
+	clock uint64
+	// Evictions counts state lost to capacity pressure.
+	Evictions int
+}
+
+type boundedEntry struct {
+	state    *FlowState
+	lastUsed uint64
+}
+
+// FlowCapacity returns how many conversations a register budget (in
+// histogram-counter words) supports under layout c.
+func FlowCapacity(registerWords int, c HistConfig) int {
+	if c.Features() <= 0 {
+		return 0
+	}
+	return registerWords / c.Features()
+}
+
+// NewBoundedFlowTable builds a table holding at most maxFlows
+// conversations.
+func NewBoundedFlowTable(c HistConfig, maxFlows int) (*BoundedFlowTable, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if maxFlows <= 0 {
+		return nil, fmt.Errorf("packet: MaxFlows must be positive, got %d", maxFlows)
+	}
+	return &BoundedFlowTable{
+		Config:   c,
+		MaxFlows: maxFlows,
+		flows:    make(map[FlowKey]*boundedEntry, maxFlows),
+	}, nil
+}
+
+// Observe folds packet p into its conversation state, evicting the
+// least-recently-seen conversation when the table is full. The returned
+// state reflects only the packets seen since the conversation's state was
+// (re)installed — exactly the information loss a real switch suffers.
+func (t *BoundedFlowTable) Observe(p Packet) *FlowState {
+	t.clock++
+	key := p.Key()
+	e, ok := t.flows[key]
+	if !ok {
+		if len(t.flows) >= t.MaxFlows {
+			t.evictLRU()
+		}
+		e = &boundedEntry{state: NewFlowState(t.Config, key)}
+		t.flows[key] = e
+	}
+	e.lastUsed = t.clock
+	e.state.Update(t.Config, p)
+	return e.state
+}
+
+func (t *BoundedFlowTable) evictLRU() {
+	var victim FlowKey
+	oldest := ^uint64(0)
+	for k, e := range t.flows {
+		if e.lastUsed < oldest {
+			oldest = e.lastUsed
+			victim = k
+		}
+	}
+	delete(t.flows, victim)
+	t.Evictions++
+}
+
+// Len returns the number of currently tracked conversations.
+func (t *BoundedFlowTable) Len() int { return len(t.flows) }
+
+// Lookup returns the state for a conversation key, or nil if untracked
+// (never seen, or evicted).
+func (t *BoundedFlowTable) Lookup(key FlowKey) *FlowState {
+	if e, ok := t.flows[key]; ok {
+		return e.state
+	}
+	return nil
+}

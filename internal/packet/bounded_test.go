@@ -1,0 +1,103 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFlowCapacity(t *testing.T) {
+	// The §5.1.2 arithmetic: shrinking the flowmarker from 151 to 30 bins
+	// grows flow capacity ~5×.
+	flowlens := HistConfig{PLBins: 94, PLBinSize: 64, IPTBins: 57, IPTBinSize: 512 * time.Second}
+	budget := 1 << 20 // 1M counter words
+	big := FlowCapacity(budget, flowlens)
+	small := FlowCapacity(budget, PaperBD)
+	if big <= 0 || small <= 0 {
+		t.Fatal("capacities must be positive")
+	}
+	ratio := float64(small) / float64(big)
+	if ratio < 4.8 || ratio > 5.3 {
+		t.Fatalf("30-bin layout should hold ~5x the flows of 151-bin: ratio %v", ratio)
+	}
+	if FlowCapacity(10, HistConfig{}) != 0 {
+		t.Fatal("degenerate layout capacity must be 0")
+	}
+}
+
+func TestBoundedTableValidation(t *testing.T) {
+	if _, err := NewBoundedFlowTable(PaperBD, 0); err == nil {
+		t.Fatal("zero capacity must fail")
+	}
+	if _, err := NewBoundedFlowTable(HistConfig{}, 10); err == nil {
+		t.Fatal("invalid layout must fail")
+	}
+}
+
+func TestBoundedTableEvictsLRU(t *testing.T) {
+	tab, err := NewBoundedFlowTable(PaperBD, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three conversations; capacity two. The least recently seen (flow A)
+	// must be evicted when C arrives.
+	a := Packet{SrcIP: 1, DstIP: 2, Length: 100}
+	b := Packet{SrcIP: 3, DstIP: 4, Length: 100, Timestamp: time.Second}
+	c := Packet{SrcIP: 5, DstIP: 6, Length: 100, Timestamp: 2 * time.Second}
+	tab.Observe(a)
+	tab.Observe(b)
+	tab.Observe(b) // refresh B
+	tab.Observe(c) // evicts A
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	if tab.Evictions != 1 {
+		t.Fatalf("evictions = %d", tab.Evictions)
+	}
+	if tab.Lookup(a.Key()) != nil {
+		t.Fatal("A must be evicted")
+	}
+	if tab.Lookup(b.Key()) == nil || tab.Lookup(c.Key()) == nil {
+		t.Fatal("B and C must survive")
+	}
+}
+
+func TestBoundedTableStateLossOnReinstall(t *testing.T) {
+	tab, _ := NewBoundedFlowTable(PaperBD, 1)
+	a := Packet{SrcIP: 1, DstIP: 2, Length: 100}
+	b := Packet{SrcIP: 3, DstIP: 4, Length: 100}
+	tab.Observe(a)
+	tab.Observe(a)
+	tab.Observe(b) // evicts A
+	s := tab.Observe(a)
+	if s.Packets != 1 {
+		t.Fatalf("reinstalled state must restart from scratch, got %d packets", s.Packets)
+	}
+}
+
+func TestBoundedMatchesUnboundedUnderCapacity(t *testing.T) {
+	// With enough capacity the bounded table behaves identically to the
+	// unbounded one.
+	unb := NewFlowTable(PaperBD)
+	bnd, _ := NewBoundedFlowTable(PaperBD, 100)
+	for i := 0; i < 300; i++ {
+		p := Packet{
+			SrcIP: uint32(i % 20), DstIP: uint32(i%20) + 100,
+			Length:    64 * (i%10 + 1),
+			Timestamp: time.Duration(i) * time.Second,
+		}
+		unb.Observe(p)
+		bnd.Observe(p)
+	}
+	if bnd.Evictions != 0 {
+		t.Fatal("no evictions expected under capacity")
+	}
+	if bnd.Len() != unb.Len() {
+		t.Fatalf("table sizes diverge: %d vs %d", bnd.Len(), unb.Len())
+	}
+	for key, want := range unb.Flows {
+		got := bnd.Lookup(key)
+		if got == nil || got.Packets != want.Packets {
+			t.Fatalf("state diverges for %v", key)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package rf implements random-forest regression, the surrogate model the
+// paper configures HyperMapper to use for its Bayesian optimization
+// ("we setup HyperMapper to use the Random Forests surrogate model, which
+// is known to work well with systems workloads that require modeling of
+// discrete parameters and non-continuous functions", §5). The forest
+// provides both a mean prediction and an across-tree variance estimate,
+// which the Expected Improvement acquisition in internal/bo consumes.
+// The same machinery doubles as a probability-of-feasibility classifier by
+// regressing on 0/1 feasibility labels.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds the forest hyperparameters.
+type Config struct {
+	Trees     int
+	MaxDepth  int
+	MinLeaf   int
+	Subsample float64 // bootstrap fraction per tree (0 < s <= 1)
+	Features  float64 // fraction of features considered per split (0 < f <= 1)
+	Seed      int64
+}
+
+// DefaultConfig mirrors HyperMapper's defaults at small scale. The low
+// Subsample keeps bootstrap trees diverse so the across-tree variance
+// stays informative on the few-dozen-point histories BO produces.
+func DefaultConfig() Config {
+	return Config{Trees: 32, MaxDepth: 12, MinLeaf: 2, Subsample: 0.6, Features: 0.8, Seed: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Trees <= 0 {
+		return fmt.Errorf("rf: Trees must be positive, got %d", c.Trees)
+	}
+	if c.MaxDepth <= 0 {
+		return fmt.Errorf("rf: MaxDepth must be positive, got %d", c.MaxDepth)
+	}
+	if c.MinLeaf <= 0 {
+		return fmt.Errorf("rf: MinLeaf must be positive, got %d", c.MinLeaf)
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		return fmt.Errorf("rf: Subsample must be in (0,1], got %v", c.Subsample)
+	}
+	if c.Features <= 0 || c.Features > 1 {
+		return fmt.Errorf("rf: Features must be in (0,1], got %v", c.Features)
+	}
+	return nil
+}
+
+type node struct {
+	feature     int // -1 for leaf
+	threshold   float64
+	left, right *node
+	value       float64 // mean of targets at the leaf
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	Config Config
+	trees  []*node
+	nFeat  int
+}
+
+// Train fits a forest on rows x (each a feature vector) and targets y.
+func Train(c Config, x [][]float64, y []float64) (*Forest, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("rf: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("rf: %d rows but %d targets", len(x), len(y))
+	}
+	nFeat := len(x[0])
+	for i, row := range x {
+		if len(row) != nFeat {
+			return nil, fmt.Errorf("rf: ragged row %d (%d features, want %d)", i, len(row), nFeat)
+		}
+	}
+	f := &Forest{Config: c, nFeat: nFeat}
+	rng := rand.New(rand.NewSource(c.Seed))
+	sampleN := int(math.Ceil(c.Subsample * float64(len(x))))
+	for t := 0; t < c.Trees; t++ {
+		idx := make([]int, sampleN)
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		f.trees = append(f.trees, buildTree(c, treeRng, x, y, idx, 0))
+	}
+	return f, nil
+}
+
+func buildTree(c Config, rng *rand.Rand, x [][]float64, y []float64, idx []int, depth int) *node {
+	mean := meanTargets(y, idx)
+	if depth >= c.MaxDepth || len(idx) < 2*c.MinLeaf || allSame(y, idx) {
+		return &node{feature: -1, value: mean}
+	}
+	feat, thresh, ok := bestSplit(c, rng, x, y, idx)
+	if !ok {
+		return &node{feature: -1, value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < c.MinLeaf || len(right) < c.MinLeaf {
+		return &node{feature: -1, value: mean}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thresh,
+		left:      buildTree(c, rng, x, y, left, depth+1),
+		right:     buildTree(c, rng, x, y, right, depth+1),
+	}
+}
+
+func meanTargets(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func allSame(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit finds the variance-reduction-optimal split over a random
+// feature subset, using a sorted sweep with incremental sums.
+func bestSplit(c Config, rng *rand.Rand, x [][]float64, y []float64, idx []int) (feat int, thresh float64, ok bool) {
+	nFeat := len(x[idx[0]])
+	nTry := int(math.Ceil(c.Features * float64(nFeat)))
+	feats := rng.Perm(nFeat)[:nTry]
+
+	n := float64(len(idx))
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	parentSSE := totalSq - totalSum*totalSum/n
+
+	best := -1.0
+	order := make([]int, len(idx))
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var leftSum, leftSq float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			yi := y[order[pos]]
+			leftSum += yi
+			leftSq += yi * yi
+			v, next := x[order[pos]][f], x[order[pos+1]][f]
+			if v == next {
+				continue
+			}
+			nl := float64(pos + 1)
+			nr := n - nl
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/nl) + (rightSq - rightSum*rightSum/nr)
+			gain := parentSSE - sse
+			if gain > best {
+				best = gain
+				feat = f
+				thresh = (v + next) / 2
+				ok = true
+			}
+		}
+	}
+	if best <= 1e-12 {
+		return 0, 0, false
+	}
+	return feat, thresh, ok
+}
+
+func (n *node) predict(x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Predict returns the forest-mean prediction for x.
+func (f *Forest) Predict(x []float64) float64 {
+	m, _ := f.PredictVar(x)
+	return m
+}
+
+// PredictVar returns the mean and across-tree variance for x — the
+// uncertainty estimate the Expected Improvement acquisition requires.
+func (f *Forest) PredictVar(x []float64) (mean, variance float64) {
+	if len(x) != f.nFeat {
+		panic(fmt.Sprintf("rf: predict with %d features, trained on %d", len(x), f.nFeat))
+	}
+	var s, sq float64
+	for _, t := range f.trees {
+		p := t.predict(x)
+		s += p
+		sq += p * p
+	}
+	n := float64(len(f.trees))
+	mean = s / n
+	variance = sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,147 @@
+package spatialgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+func dnn(dims ...int) *ir.Model {
+	m := &ir.Model{Kind: ir.DNN, Name: "anomaly_detection", Inputs: dims[0], Outputs: dims[len(dims)-1], Format: fixed.Q8_8}
+	for i := 0; i < len(dims)-1; i++ {
+		l := ir.Layer{In: dims[i], Out: dims[i+1], Activation: "relu"}
+		l.W = make([][]float64, l.Out)
+		for o := range l.W {
+			l.W[o] = make([]float64, l.In)
+		}
+		l.B = make([]float64, l.Out)
+		m.Layers = append(m.Layers, l)
+	}
+	m.Layers[len(m.Layers)-1].Activation = "softmax"
+	return m
+}
+
+func TestGenerateDNNStructure(t *testing.T) {
+	m := dnn(7, 12, 6, 2)
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.Source
+	for _, want := range []string{
+		"@spatial object AnomalyDetection",
+		"StreamIn", "StreamOut",
+		"Foreach(12 by 1", "Reduce(Reg[T])(7 by 1",
+		"LUT[T](12, 7)", "ArgMax",
+		".buffer // double-buffered",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("source missing %q:\n%s", want, src)
+		}
+	}
+	// One dot_product template per layer.
+	count := 0
+	for _, tpl := range p.Templates {
+		if tpl == "dot_product" {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("dot_product templates = %d, want 3", count)
+	}
+}
+
+func TestGenerateDNNWithNormalizer(t *testing.T) {
+	m := dnn(4, 5, 2)
+	m.Mean = []float64{0, 0, 0, 0}
+	m.Std = []float64{1, 1, 1, 1}
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Source, "normalize(fields") {
+		t.Fatal("normalizer stage missing")
+	}
+	found := false
+	for _, tpl := range p.Templates {
+		if tpl == "normalize" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("normalize template not recorded")
+	}
+}
+
+func TestGenerateSVMAndKMeans(t *testing.T) {
+	svm := &ir.Model{Kind: ir.SVM, Name: "tc", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
+		SVM: &ir.SVMParams{W: [][]float64{{1, 2, 3}, {4, 5, 6}}, B: []float64{0, 0}}}
+	p, err := Generate(svm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Source, "svm_score") {
+		t.Fatal("svm kernel missing")
+	}
+	km := &ir.Model{Kind: ir.KMeans, Name: "clu", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
+		Centroids: [][]float64{{1, 2, 3}, {4, 5, 6}}}
+	p2, err := Generate(km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2.Source, "kmeans_distance") {
+		t.Fatal("kmeans kernel missing")
+	}
+}
+
+func TestGenerateTree(t *testing.T) {
+	tree := &ir.TreeNode{Feature: 0, Threshold: 0.5,
+		Left:  &ir.TreeNode{Feature: -1, Class: 0},
+		Right: &ir.TreeNode{Feature: -1, Class: 1}}
+	m := &ir.Model{Kind: ir.DTree, Name: "dt", Inputs: 2, Outputs: 2, Format: fixed.Q8_8, Tree: tree}
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Source, "mux(fields(0) <= 0.500000") {
+		t.Fatalf("tree mux missing:\n%s", p.Source)
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	bad := &ir.Model{Kind: ir.DNN, Name: "bad", Inputs: 2, Outputs: 2}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("invalid model must be rejected")
+	}
+}
+
+func TestIdentifier(t *testing.T) {
+	if identifier("anomaly_detection") != "AnomalyDetection" {
+		t.Fatalf("identifier = %q", identifier("anomaly_detection"))
+	}
+	if identifier("") != "Model" {
+		t.Fatal("empty name fallback")
+	}
+}
+
+func TestParFactor(t *testing.T) {
+	if parFactor(30) != 8 || parFactor(3) != 3 || parFactor(0) != 1 {
+		t.Fatal("parFactor")
+	}
+}
+
+func TestActivationFunctions(t *testing.T) {
+	m := dnn(4, 5, 2)
+	m.Layers[0].Activation = "sigmoid"
+	p, _ := Generate(m)
+	if !strings.Contains(p.Source, "sigmoidPWL") {
+		t.Fatal("sigmoid template missing")
+	}
+	m.Layers[0].Activation = "tanh"
+	p2, _ := Generate(m)
+	if !strings.Contains(p2.Source, "tanhPWL") {
+		t.Fatal("tanh template missing")
+	}
+}

@@ -1,0 +1,172 @@
+// Package stream drives a time-ordered packet stream through a deployed
+// model to measure what §5.1.1 calls reaction time: how quickly a
+// per-packet model (classifying on partial flowmarker histograms) flags a
+// malicious conversation, versus a flow-level model that must wait for the
+// full aggregation window (3,600 s in FlowLens) before deciding.
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Classifier consumes a flowmarker feature vector and returns a class.
+// *ir.Model (via InferQ) satisfies this through the ModelFunc adapter.
+type Classifier interface {
+	Classify(features []float64) (int, error)
+}
+
+// ModelFunc adapts a plain function to Classifier.
+type ModelFunc func(features []float64) (int, error)
+
+// Classify implements Classifier.
+func (f ModelFunc) Classify(features []float64) (int, error) { return f(features) }
+
+// Result summarizes a streaming run.
+type Result struct {
+	// Confusion accumulates per-packet decisions against flow ground truth.
+	Confusion *metrics.Confusion
+	// PacketsProcessed is the stream length.
+	PacketsProcessed int
+	// Flows is the number of distinct conversations observed.
+	Flows int
+	// BotnetFlows is the number of ground-truth malicious conversations.
+	BotnetFlows int
+	// DetectedFlows is how many malicious conversations were flagged at
+	// least once.
+	DetectedFlows int
+	// MeanDetectionPackets is the average number of packets into a
+	// malicious conversation before the first positive (detected flows
+	// only).
+	MeanDetectionPackets float64
+	// MeanDetectionTime is the average stream time from a malicious
+	// conversation's first packet to its first positive.
+	MeanDetectionTime time.Duration
+	// InferenceLatency is the fixed per-decision latency of the deployed
+	// pipeline (set by the caller from the backend report; the paper's
+	// point is that this replaces the 3,600 s aggregation wait).
+	InferenceLatency time.Duration
+}
+
+// F1 returns the per-packet F1 score of the positive (botnet) class.
+func (r Result) F1() float64 { return r.Confusion.F1(1) }
+
+// Run streams packets through the classifier with per-packet inference on
+// the running partial histograms. minPackets suppresses classification
+// until a conversation has at least that many packets (0 = classify from
+// the first packet); suppressed packets are predicted benign, matching a
+// pipeline that defaults to forwarding.
+func Run(cfg packet.HistConfig, model Classifier, packets []packet.Packet, minPackets int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if model == nil {
+		return Result{}, fmt.Errorf("stream: nil classifier")
+	}
+	table := packet.NewFlowTable(cfg)
+	res := Result{Confusion: metrics.NewConfusion(2)}
+	type detect struct {
+		packets int
+		elapsed time.Duration
+	}
+	detections := map[packet.FlowKey]detect{}
+
+	for _, p := range packets {
+		state := table.Observe(p)
+		pred := 0
+		if state.Packets >= minPackets {
+			var err error
+			pred, err = model.Classify(state.Features())
+			if err != nil {
+				return Result{}, fmt.Errorf("stream: classify packet %d: %w", res.PacketsProcessed, err)
+			}
+		}
+		res.Confusion.Observe(p.Label, pred)
+		res.PacketsProcessed++
+		if p.Label == 1 && pred == 1 {
+			if _, seen := detections[state.Key]; !seen {
+				detections[state.Key] = detect{
+					packets: state.Packets,
+					elapsed: p.Timestamp - state.First,
+				}
+			}
+		}
+	}
+
+	res.Flows = table.Len()
+	for _, s := range table.Flows {
+		if s.Label == 1 {
+			res.BotnetFlows++
+		}
+	}
+	res.DetectedFlows = len(detections)
+	if len(detections) > 0 {
+		var pkts float64
+		var elapsed time.Duration
+		for _, d := range detections {
+			pkts += float64(d.packets)
+			elapsed += d.elapsed
+		}
+		res.MeanDetectionPackets = pkts / float64(len(detections))
+		res.MeanDetectionTime = elapsed / time.Duration(len(detections))
+	}
+	return res, nil
+}
+
+// FlowLevelResult summarizes the baseline protocol: one decision per
+// conversation after the full aggregation window.
+type FlowLevelResult struct {
+	Confusion *metrics.Confusion
+	Flows     int
+	// MeanReactionTime is the average wait before a decision exists for a
+	// malicious conversation — the conversation duration capped at the
+	// aggregation window (FlowLens waits the full window).
+	MeanReactionTime time.Duration
+}
+
+// F1 returns the flow-level F1 of the positive class.
+func (r FlowLevelResult) F1() float64 { return r.Confusion.F1(1) }
+
+// RunFlowLevel evaluates the baseline: aggregate each conversation's full
+// flowmarker, classify once, and charge the aggregation window as the
+// reaction time.
+func RunFlowLevel(cfg packet.HistConfig, model Classifier, packets []packet.Packet, window time.Duration) (FlowLevelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FlowLevelResult{}, err
+	}
+	if model == nil {
+		return FlowLevelResult{}, fmt.Errorf("stream: nil classifier")
+	}
+	if window <= 0 {
+		return FlowLevelResult{}, fmt.Errorf("stream: aggregation window must be positive, got %v", window)
+	}
+	table := packet.NewFlowTable(cfg)
+	for _, p := range packets {
+		table.Observe(p)
+	}
+	res := FlowLevelResult{Confusion: metrics.NewConfusion(2), Flows: table.Len()}
+	var totalWait time.Duration
+	var malicious int
+	for _, s := range table.Flows {
+		pred, err := model.Classify(s.Features())
+		if err != nil {
+			return FlowLevelResult{}, fmt.Errorf("stream: classify flow %v: %w", s.Key, err)
+		}
+		res.Confusion.Observe(s.Label, pred)
+		if s.Label == 1 {
+			malicious++
+			wait := s.Duration()
+			if wait < window {
+				wait = window // FlowLens waits out the full window
+			}
+			totalWait += wait
+		}
+	}
+	if malicious > 0 {
+		res.MeanReactionTime = totalWait / time.Duration(malicious)
+	}
+	return res, nil
+}

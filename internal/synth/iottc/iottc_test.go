@@ -1,0 +1,125 @@
+package iottc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestGenerateShape(t *testing.T) {
+	d, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5000 || d.Features() != 7 {
+		t.Fatalf("shape %dx%d", d.Len(), d.Features())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes() != NumClasses {
+		t.Fatalf("classes = %d", d.Classes())
+	}
+	if len(ClassNames) != NumClasses {
+		t.Fatal("ClassNames out of sync")
+	}
+}
+
+func TestBalancedClasses(t *testing.T) {
+	c := DefaultConfig()
+	c.Noise = 0
+	d, _ := Generate(c)
+	counts := d.ClassCounts()
+	for k := 0; k < NumClasses; k++ {
+		frac := float64(counts[k]) / float64(d.Len())
+		if math.Abs(frac-0.2) > 0.01 {
+			t.Fatalf("class %d fraction %v, want ~0.2", k, frac)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := Generate(DefaultConfig())
+	b, _ := Generate(DefaultConfig())
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	ok := DefaultConfig()
+	var bad []Config
+	for _, mutate := range []func(c *Config){
+		func(c *Config) { c.Samples = 0 },
+		func(c *Config) { c.Noise = 0.7 },
+		func(c *Config) { c.Spread = 0 },
+		func(c *Config) { c.Modes = 0 },
+	} {
+		c := ok
+		mutate(&c)
+		bad = append(bad, c)
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestModeStructure(t *testing.T) {
+	// Every class must draw from Modes distinct centers — the
+	// fragmentation that creates the capacity gap and the Figure-7
+	// merge-order landscape.
+	c := DefaultConfig()
+	rng := randSource(c.Seed)
+	ctrs := centers(c, rng)
+	if len(ctrs) != NumClasses*c.Modes {
+		t.Fatalf("centers = %d, want %d", len(ctrs), NumClasses*c.Modes)
+	}
+	seen := map[[7]float64]bool{}
+	for _, ctr := range ctrs {
+		if seen[ctr] {
+			t.Fatal("duplicate center")
+		}
+		seen[ctr] = true
+		for _, v := range ctr {
+			if v < 0.2 || v > 0.8 {
+				t.Fatalf("center coordinate %v out of [0.2, 0.8]", v)
+			}
+		}
+	}
+}
+
+func TestTrainTest(t *testing.T) {
+	train, test, err := TrainTest(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != 5000 {
+		t.Fatal("split must partition")
+	}
+	if train.Classes() != NumClasses || test.Classes() != NumClasses {
+		t.Fatal("both splits need all classes")
+	}
+}
+
+func TestShuffledOrder(t *testing.T) {
+	c := DefaultConfig()
+	c.Noise = 0
+	d, _ := Generate(c)
+	// If unshuffled, labels would cycle 0,1,2,3,4,...; detect long runs of
+	// that pattern.
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if d.Y[i] == i%NumClasses {
+			matches++
+		}
+	}
+	if matches > 60 {
+		t.Fatalf("data appears unshuffled (%d/100 positional matches)", matches)
+	}
+}

@@ -1,0 +1,190 @@
+package nslkdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6000 || d.Features() != 7 {
+		t.Fatalf("shape %dx%d", d.Len(), d.Features())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes() != 2 {
+		t.Fatalf("classes = %d", d.Classes())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := DefaultConfig()
+	a, _ := Generate(c)
+	b, _ := Generate(c)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c.Seed = 99
+	d, _ := Generate(c)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != d.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seed should give different data")
+	}
+}
+
+func TestAttackFraction(t *testing.T) {
+	c := DefaultConfig()
+	c.Samples = 20000
+	c.Noise = 0
+	d, _ := Generate(c)
+	counts := d.ClassCounts()
+	frac := float64(counts[Malicious]) / float64(d.Len())
+	if math.Abs(frac-c.AttackP) > 0.02 {
+		t.Fatalf("malicious fraction %v, want ~%v", frac, c.AttackP)
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	ok := DefaultConfig()
+	cases := []Config{}
+	for _, mutate := range []func(c *Config){
+		func(c *Config) { c.Samples = 0 },
+		func(c *Config) { c.AttackP = -0.1 },
+		func(c *Config) { c.Noise = 0.9 },
+		func(c *Config) { c.Overlap = -1 },
+		func(c *Config) { c.Archetypes = 0 },
+		func(c *Config) { c.Delta = 0 },
+	} {
+		c := ok
+		mutate(&c)
+		cases = append(cases, c)
+	}
+	for i, c := range cases {
+		if _, err := Generate(c); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test, err := TrainTest(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := train.Len() + test.Len()
+	if total != 6000 {
+		t.Fatalf("split loses samples: %d", total)
+	}
+	if train.Len() < test.Len() {
+		t.Fatal("train should be the larger split")
+	}
+	// Stratification: both splits contain both classes.
+	for _, d := range []int{train.ClassCounts()[0], train.ClassCounts()[1], test.ClassCounts()[0], test.ClassCounts()[1]} {
+		if d == 0 {
+			t.Fatal("stratified split must preserve both classes")
+		}
+	}
+}
+
+func TestClassesAreSeparableButNotTrivially(t *testing.T) {
+	// Sanity check of the difficulty calibration: per-feature means differ
+	// between classes (signal exists) but distributions overlap heavily
+	// (no single feature is a clean separator).
+	c := DefaultConfig()
+	c.Samples = 10000
+	c.Noise = 0
+	d, _ := Generate(c)
+	for j := 0; j < d.Features(); j++ {
+		var sum, count [2]float64
+		for i := 0; i < d.Len(); i++ {
+			y := d.Y[i]
+			sum[y] += d.X.At(i, j)
+			count[y]++
+		}
+		mean0, mean1 := sum[0]/count[0], sum[1]/count[1]
+		gap := math.Abs(mean0 - mean1)
+		if gap > 0.6 {
+			t.Fatalf("feature %d separates classes too cleanly (gap %v)", j, gap)
+		}
+	}
+}
+
+func TestSplitFeaturewise(t *testing.T) {
+	d, _ := Generate(DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	a, b, err := SplitFeaturewise(d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Features() != 6 || b.Features() != 6 {
+		t.Fatalf("halves have %d/%d features", a.Features(), b.Features())
+	}
+	if a.Len()+b.Len() != d.Len() {
+		t.Fatal("halves must partition samples")
+	}
+	// Overlap should be high (5 shared of 7 union).
+	shared := map[string]bool{}
+	for _, n := range a.FeatureNames {
+		shared[n] = true
+	}
+	overlap := 0
+	for _, n := range b.FeatureNames {
+		if shared[n] {
+			overlap++
+		}
+	}
+	if overlap != 5 {
+		t.Fatalf("feature overlap = %d, want 5", overlap)
+	}
+}
+
+func TestSplitFeaturewiseTooFewFeatures(t *testing.T) {
+	c := DefaultConfig()
+	d, _ := Generate(c)
+	small, err := d.SelectFeatures([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SplitFeaturewise(small, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for < 4 features")
+	}
+}
+
+func TestArchetypePairing(t *testing.T) {
+	c := DefaultConfig()
+	rng := rand.New(rand.NewSource(c.Seed))
+	benign, attack := makeArchetypes(c, rng)
+	if len(benign) != c.Archetypes || len(attack) != c.Archetypes {
+		t.Fatal("archetype counts wrong")
+	}
+	for a := range benign {
+		// Each attack archetype deviates from its benign partner in
+		// exactly 3 features, each by ±Delta.
+		diffs := 0
+		for j := 0; j < nFeatures; j++ {
+			d := attack[a].mean[j] - benign[a].mean[j]
+			if d != 0 {
+				diffs++
+				if math.Abs(math.Abs(d)-c.Delta) > 1e-12 {
+					t.Fatalf("archetype %d feature %d shift %v, want ±%v", a, j, d, c.Delta)
+				}
+			}
+		}
+		if diffs != 3 {
+			t.Fatalf("archetype %d has %d shifted features, want 3", a, diffs)
+		}
+	}
+}

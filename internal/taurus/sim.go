@@ -1,0 +1,227 @@
+package taurus
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+// Sim is a functional pipeline simulator for a DNN mapped onto the
+// MapReduce fabric — the repository's stand-in for the Tungsten
+// cycle-accurate simulator the paper uses for feasibility verdicts
+// (§3.3). The model is compiled into a chain of single-cycle stages
+// (vector-MAC map stages, adder-tree reduce stages, activation stages,
+// buffer stages) whose arithmetic is the same Q-format fixed point as
+// ir.Model.InferQ, so the simulator validates both the timing model (its
+// stage count matches Estimate's pipeline depth) and the numerics (its
+// classifications match quantized inference bit-for-bit).
+type Sim struct {
+	grid   Grid
+	format fixed.Format
+	stages []stage
+	// Inputs is the expected feature vector width.
+	Inputs int
+}
+
+// stage transforms the packet's in-flight value vector in one cycle.
+type stage struct {
+	name string
+	run  func(v []int32) []int32
+}
+
+// NewSim compiles a DNN model for the grid. Only DNNs have a multi-stage
+// fabric pipeline; classical models map to single-kernel stages and are
+// already covered by InferQ.
+func NewSim(g Grid, m *ir.Model) (*Sim, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Kind != ir.DNN {
+		return nil, fmt.Errorf("taurus: simulator supports DNN models, got %v", m.Kind)
+	}
+	s := &Sim{grid: g, format: m.Format, Inputs: m.Inputs}
+	f := m.Format
+	v := g.VectorWidth
+
+	// Optional normalization folds into the parser stage (no fabric
+	// cycle), mirroring Estimate which charges it nothing.
+	norm := func(x []int32) []int32 { return x }
+	if len(m.Mean) == m.Inputs {
+		mean := append([]float64{}, m.Mean...)
+		std := append([]float64{}, m.Std...)
+		norm = func(x []int32) []int32 {
+			out := make([]int32, len(x))
+			for i := range x {
+				val := (f.Dequantize(x[i]) - mean[i]) / std[i]
+				out[i] = f.Quantize(val)
+			}
+			return out
+		}
+	}
+	s.stages = append(s.stages, stage{name: "parse+extract", run: norm})
+
+	for li, l := range m.Layers {
+		layer := l // capture
+		lanes := ceilDiv(layer.In, v)
+
+		// Quantize weights once at compile time (they live in MUs).
+		wq := make([][]int32, layer.Out)
+		for o := range layer.W {
+			wq[o] = f.QuantizeVec(layer.W[o])
+		}
+		bq := f.QuantizeVec(layer.B)
+
+		// Map stage: each (neuron, lane) computes an 8-wide partial dot
+		// product in one cycle (the intra-lane tree is charged
+		// intLog2(min(in, v)) extra cycles below, as pipeline fill).
+		s.stages = append(s.stages, stage{
+			name: fmt.Sprintf("layer%d.map", li),
+			run: func(x []int32) []int32 {
+				partials := make([]int32, layer.Out*lanes)
+				for o := 0; o < layer.Out; o++ {
+					for lane := 0; lane < lanes; lane++ {
+						lo := lane * v
+						hi := lo + v
+						if hi > layer.In {
+							hi = layer.In
+						}
+						partials[o*lanes+lane] = f.DotQ(wq[o][lo:hi], x[lo:hi])
+					}
+				}
+				return partials
+			},
+		})
+		for d := 0; d < intLog2(min(layer.In, v)); d++ {
+			s.stages = append(s.stages, stage{
+				name: fmt.Sprintf("layer%d.lane_reduce%d", li, d),
+				run:  func(x []int32) []int32 { return x }, // fill cycles of the intra-lane tree
+			})
+		}
+
+		// Cross-lane reduce tree: halve the partials per neuron each cycle.
+		reduceLanes := lanes
+		for d := 0; reduceLanes > 1; d++ {
+			halved := (reduceLanes + 1) / 2
+			from := reduceLanes
+			s.stages = append(s.stages, stage{
+				name: fmt.Sprintf("layer%d.reduce%d", li, d),
+				run: func(x []int32) []int32 {
+					out := make([]int32, layer.Out*halved)
+					for o := 0; o < layer.Out; o++ {
+						for i := 0; i < halved; i++ {
+							a := x[o*from+2*i]
+							var b int32
+							if 2*i+1 < from {
+								b = x[o*from+2*i+1]
+							}
+							out[o*halved+i] = f.Add(a, b)
+						}
+					}
+					return out
+				},
+			})
+			reduceLanes = halved
+		}
+
+		// Activation stage: add bias, apply the PWL nonlinearity.
+		act := layer.Activation
+		s.stages = append(s.stages, stage{
+			name: fmt.Sprintf("layer%d.act", li),
+			run: func(x []int32) []int32 {
+				out := make([]int32, layer.Out)
+				for o := 0; o < layer.Out; o++ {
+					acc := f.Add(x[o], bq[o])
+					switch act {
+					case "relu":
+						acc = fixed.ReLUQ(acc)
+					case "sigmoid":
+						acc = f.SigmoidQ(acc)
+					case "tanh":
+						one := f.Quantize(1)
+						if acc > one {
+							acc = one
+						}
+						if acc < -one {
+							acc = -one
+						}
+					}
+					out[o] = acc
+				}
+				return out
+			},
+		})
+		// Double-buffer stage between layers.
+		s.stages = append(s.stages, stage{
+			name: fmt.Sprintf("layer%d.buffer", li),
+			run:  func(x []int32) []int32 { return x },
+		})
+	}
+	return s, nil
+}
+
+// Stages returns the pipeline depth in fabric cycles.
+func (s *Sim) Stages() int {
+	return len(s.stages) - 1 // the parse stage is outside the fabric
+}
+
+// Process pushes one feature vector through the pipeline, returning the
+// arg-max class and the cycle count consumed (the fill latency).
+func (s *Sim) Process(x []float64) (class int, cycles int, err error) {
+	if len(x) != s.Inputs {
+		return 0, 0, fmt.Errorf("taurus: input has %d features, pipeline wants %d", len(x), s.Inputs)
+	}
+	v := s.format.QuantizeVec(x)
+	for _, st := range s.stages {
+		v = st.run(v)
+	}
+	best, bi := v[0], 0
+	for i, val := range v {
+		if val > best {
+			best, bi = val, i
+		}
+	}
+	return bi, s.Stages(), nil
+}
+
+// StreamStats summarizes a pipelined streaming run.
+type StreamStats struct {
+	Packets     int
+	FillCycles  int // latency of the first packet
+	TotalCycles int // fill + (packets-1) at II=1
+	// ThroughputPktsPerCycle is packets/TotalCycles — approaches 1.0 (one
+	// packet per cycle, i.e. line rate at the fabric clock) as the stream
+	// grows.
+	ThroughputPktsPerCycle float64
+}
+
+// ProcessStream pushes a batch through the pipeline with initiation
+// interval 1, returning per-packet classes and the cycle accounting.
+func (s *Sim) ProcessStream(xs [][]float64) ([]int, StreamStats, error) {
+	classes := make([]int, len(xs))
+	for i, x := range xs {
+		c, _, err := s.Process(x)
+		if err != nil {
+			return nil, StreamStats{}, err
+		}
+		classes[i] = c
+	}
+	stats := StreamStats{Packets: len(xs), FillCycles: s.Stages()}
+	if len(xs) > 0 {
+		stats.TotalCycles = stats.FillCycles + len(xs) - 1
+		stats.ThroughputPktsPerCycle = float64(len(xs)) / float64(stats.TotalCycles)
+	}
+	return classes, stats, nil
+}
+
+// StageNames lists the compiled pipeline stages for reports.
+func (s *Sim) StageNames() []string {
+	names := make([]string, len(s.stages))
+	for i, st := range s.stages {
+		names[i] = st.name
+	}
+	return names
+}

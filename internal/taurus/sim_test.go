@@ -1,0 +1,159 @@
+package taurus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+	"repro/internal/ir"
+	"repro/internal/nn"
+)
+
+// trainedModel builds a small trained DNN IR for simulation tests.
+func trainedModel(t *testing.T, hidden []int, seed int64) (*ir.Model, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(300, 4)
+	for i := 0; i < 300; i++ {
+		c := i % 2
+		for j := 0; j < 4; j++ {
+			d.X.Set(i, j, float64(c)*1.5+rng.NormFloat64()*0.4)
+		}
+		d.Y[i] = c
+	}
+	cfg := nn.Config{
+		Inputs: 4, Hidden: hidden, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.Adam,
+		LearnRate: 0.01, BatchSize: 32, Epochs: 15, Seed: seed,
+	}
+	net, err := nn.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	return ir.FromNN("sim", net, fixed.Q8_8), d
+}
+
+func TestSimMatchesInferQ(t *testing.T) {
+	m, d := trainedModel(t, []int{12, 6}, 1)
+	sim, err := NewSim(DefaultGrid(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		want, err := m.InferQ(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sim.Process(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sample %d: sim %d vs InferQ %d", i, got, want)
+		}
+	}
+}
+
+func TestSimStageCountMatchesEstimate(t *testing.T) {
+	// The analytic Estimate and the compiled pipeline must agree on depth
+	// — the property that makes the analytic model a valid substitute.
+	for _, hidden := range [][]int{{8}, {12, 6}, {16, 12, 8}, {10, 10, 10, 10}} {
+		m, _ := trainedModel(t, hidden, 7)
+		sim, err := NewSim(DefaultGrid(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Estimate(DefaultGrid(), DefaultConstraints(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Stages() != rep.Stages {
+			t.Fatalf("hidden %v: sim %d stages, estimate %d", hidden, sim.Stages(), rep.Stages)
+		}
+	}
+}
+
+func TestSimWithNormalizer(t *testing.T) {
+	m, d := trainedModel(t, []int{8}, 3)
+	norm := dataset.FitNormalizer(d)
+	m.Mean = append([]float64{}, norm.Mean...)
+	m.Std = append([]float64{}, norm.Std...)
+	sim, err := NewSim(DefaultGrid(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		want, _ := m.InferQ(d.X.Row(i))
+		got, _, err := sim.Process(d.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("normalized sample %d: sim %d vs InferQ %d", i, got, want)
+		}
+	}
+}
+
+func TestSimStreamThroughput(t *testing.T) {
+	m, d := trainedModel(t, []int{12, 6}, 4)
+	sim, err := NewSim(DefaultGrid(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs [][]float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, d.X.Row(i))
+	}
+	classes, stats, err := sim.ProcessStream(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 200 {
+		t.Fatal("class per packet")
+	}
+	if stats.FillCycles != sim.Stages() {
+		t.Fatal("fill latency must equal pipeline depth")
+	}
+	if stats.TotalCycles != stats.FillCycles+199 {
+		t.Fatalf("II=1 accounting wrong: %+v", stats)
+	}
+	// Long streams approach one packet per cycle.
+	if stats.ThroughputPktsPerCycle < 0.85 {
+		t.Fatalf("throughput %v too low for 200-packet stream", stats.ThroughputPktsPerCycle)
+	}
+}
+
+func TestSimRejectsNonDNN(t *testing.T) {
+	m := &ir.Model{Kind: ir.SVM, Name: "s", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+		SVM: &ir.SVMParams{W: [][]float64{{1, 2}, {3, 4}}, B: []float64{0, 0}}}
+	if _, err := NewSim(DefaultGrid(), m); err == nil {
+		t.Fatal("non-DNN must be rejected")
+	}
+}
+
+func TestSimProcessErrors(t *testing.T) {
+	m, _ := trainedModel(t, []int{8}, 5)
+	sim, _ := NewSim(DefaultGrid(), m)
+	if _, _, err := sim.Process([]float64{1}); err == nil {
+		t.Fatal("wrong width must error")
+	}
+	if len(sim.StageNames()) != sim.Stages()+1 {
+		t.Fatal("stage names must cover parse + fabric stages")
+	}
+}
+
+func TestSimEmptyStream(t *testing.T) {
+	m, _ := trainedModel(t, []int{8}, 6)
+	sim, _ := NewSim(DefaultGrid(), m)
+	classes, stats, err := sim.ProcessStream(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 0 || stats.TotalCycles != 0 {
+		t.Fatal("empty stream must be a no-op")
+	}
+}

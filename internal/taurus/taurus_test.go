@@ -1,0 +1,225 @@
+package taurus
+
+import (
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+// dnnModel builds an untrained DNN IR with the given layer dims.
+func dnnModel(t *testing.T, dims ...int) *ir.Model {
+	t.Helper()
+	m := &ir.Model{Kind: ir.DNN, Name: "m", Inputs: dims[0], Outputs: dims[len(dims)-1], Format: fixed.Q8_8}
+	for i := 0; i < len(dims)-1; i++ {
+		l := ir.Layer{In: dims[i], Out: dims[i+1], Activation: "relu"}
+		l.W = make([][]float64, l.Out)
+		for o := range l.W {
+			l.W[o] = make([]float64, l.In)
+		}
+		l.B = make([]float64, l.Out)
+		m.Layers = append(m.Layers, l)
+	}
+	m.Layers[len(m.Layers)-1].Activation = "softmax"
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := DefaultGrid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Grid{
+		{Rows: 0, Cols: 16, ClockGHz: 1, VectorWidth: 8},
+		{Rows: 16, Cols: 16, ClockGHz: 0, VectorWidth: 8},
+		{Rows: 16, Cols: 16, ClockGHz: 1, VectorWidth: 0},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Fatalf("grid %d must fail", i)
+		}
+	}
+	if DefaultGrid().CUs() != 256 || DefaultGrid().MUs() != 256 {
+		t.Fatal("16x16 grid must expose 256 CUs and 256 MUs")
+	}
+}
+
+func TestEstimateSmallDNNFeasible(t *testing.T) {
+	// The paper's baseline AD architecture (hidden 12, 6, 3) must fit the
+	// 16×16 grid and meet 1 GPkt/s within 500 ns.
+	m := dnnModel(t, 7, 12, 6, 3, 2)
+	rep, err := Estimate(DefaultGrid(), DefaultConstraints(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("baseline AD must be feasible: %+v", rep)
+	}
+	if rep.CUs <= 0 || rep.MUs <= 0 || rep.Stages <= 0 {
+		t.Fatalf("degenerate estimate: %+v", rep)
+	}
+	if rep.ThroughputGPkts != 1.0 {
+		t.Fatalf("fitting model must run at line rate, got %v", rep.ThroughputGPkts)
+	}
+	if rep.LatencyNS >= 500 {
+		t.Fatalf("latency %v too high", rep.LatencyNS)
+	}
+}
+
+func TestBiggerModelsUseMoreResources(t *testing.T) {
+	small := dnnModel(t, 7, 8, 2)
+	big := dnnModel(t, 7, 16, 16, 2)
+	g, c := DefaultGrid(), DefaultConstraints()
+	rs, _ := Estimate(g, c, small)
+	rb, _ := Estimate(g, c, big)
+	if rb.CUs <= rs.CUs || rb.MUs <= rs.MUs {
+		t.Fatalf("bigger model must use more resources: %+v vs %+v", rb, rs)
+	}
+}
+
+func TestDeepNarrowTradesCUsForMUs(t *testing.T) {
+	// The Table-2 BD shape: at comparable parameter count, a deep narrow
+	// net should use fewer CUs and more MUs than a shallow wide one.
+	wide := dnnModel(t, 30, 16, 16, 2)           // 30*16+16*16+16*2 ≈ 768 weights, 2 hidden
+	deep := dnnModel(t, 30, 8, 8, 8, 8, 8, 8, 2) // ≈ 240+5*64+16 ≈ 576 weights, 6 hidden
+	g, c := DefaultGrid(), DefaultConstraints()
+	rw, _ := Estimate(g, c, wide)
+	rd, _ := Estimate(g, c, deep)
+	if rd.CUs >= rw.CUs {
+		t.Fatalf("deep narrow CUs (%d) must be below wide (%d)", rd.CUs, rw.CUs)
+	}
+	perLayerMUwide := float64(rw.MUs) / 3
+	perLayerMUdeep := float64(rd.MUs) / 7
+	_ = perLayerMUwide
+	_ = perLayerMUdeep
+	if rd.Stages <= rw.Stages {
+		t.Fatalf("deep net must have more pipeline stages (%d vs %d)", rd.Stages, rw.Stages)
+	}
+}
+
+func TestOversizedModelInfeasible(t *testing.T) {
+	huge := dnnModel(t, 64, 128, 128, 2)
+	rep, err := Estimate(DefaultGrid(), DefaultConstraints(), huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible() {
+		t.Fatal("huge model must not fit 16x16 grid")
+	}
+	if rep.Reason == "" {
+		t.Fatal("infeasible report must carry a reason")
+	}
+	if rep.ThroughputGPkts >= 1.0 {
+		t.Fatal("over-subscribed model must lose throughput")
+	}
+}
+
+func TestLatencyConstraintBinds(t *testing.T) {
+	m := dnnModel(t, 7, 12, 6, 2)
+	tight := Constraints{ThroughputGPkts: 1.0, LatencyNS: 5}
+	rep, _ := Estimate(DefaultGrid(), tight, m)
+	if rep.MeetsPerf {
+		t.Fatal("5 ns budget must be violated")
+	}
+	if rep.Reason == "" {
+		t.Fatal("must carry reason")
+	}
+}
+
+func TestSVMAndKMeansEstimates(t *testing.T) {
+	svmModel := &ir.Model{Kind: ir.SVM, Name: "s", Inputs: 7, Outputs: 5, Format: fixed.Q8_8,
+		SVM: &ir.SVMParams{W: make([][]float64, 5), B: make([]float64, 5)}}
+	for i := range svmModel.SVM.W {
+		svmModel.SVM.W[i] = make([]float64, 7)
+	}
+	rep, err := Estimate(DefaultGrid(), DefaultConstraints(), svmModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("small SVM must be feasible: %+v", rep)
+	}
+	km := &ir.Model{Kind: ir.KMeans, Name: "k", Inputs: 7, Outputs: 5, Format: fixed.Q8_8,
+		Centroids: make([][]float64, 5)}
+	for i := range km.Centroids {
+		km.Centroids[i] = make([]float64, 7)
+	}
+	rep2, err := Estimate(DefaultGrid(), DefaultConstraints(), km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Feasible() {
+		t.Fatalf("small KMeans must be feasible: %+v", rep2)
+	}
+}
+
+func TestTreeEstimate(t *testing.T) {
+	tree := &ir.TreeNode{Feature: 0, Threshold: 0.5,
+		Left: &ir.TreeNode{Feature: -1, Class: 0},
+		Right: &ir.TreeNode{Feature: 1, Threshold: 0.2,
+			Left:  &ir.TreeNode{Feature: -1, Class: 1},
+			Right: &ir.TreeNode{Feature: -1, Class: 0}},
+	}
+	m := &ir.Model{Kind: ir.DTree, Name: "t", Inputs: 2, Outputs: 2, Format: fixed.Q8_8, Tree: tree}
+	rep, err := Estimate(DefaultGrid(), DefaultConstraints(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CUs != 3 { // 2 internal nodes + 1
+		t.Fatalf("tree CUs = %d", rep.CUs)
+	}
+	if !rep.Feasible() {
+		t.Fatal("tiny tree must be feasible")
+	}
+}
+
+func TestCompositionResourcesStrategyIndependent(t *testing.T) {
+	// Table 3: total CU/MU identical across chaining strategies.
+	m := dnnModel(t, 7, 12, 6, 3, 2)
+	models := []*ir.Model{m, m, m, m}
+	g, c := DefaultGrid(), DefaultConstraints()
+	seq, err := EstimateComposition(g, c, models, 4) // m>m>m>m
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EstimateComposition(g, c, models, 1) // m|m|m|m
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := EstimateComposition(g, c, models, 3) // m>(m|m)>m
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CUs != par.CUs || seq.CUs != mix.CUs {
+		t.Fatalf("CU totals differ: %d/%d/%d", seq.CUs, par.CUs, mix.CUs)
+	}
+	if seq.MUs != par.MUs || seq.MUs != mix.MUs {
+		t.Fatalf("MU totals differ: %d/%d/%d", seq.MUs, par.MUs, mix.MUs)
+	}
+	// Latency: parallel < mixed < sequential.
+	if !(par.LatencyNS < mix.LatencyNS && mix.LatencyNS < seq.LatencyNS) {
+		t.Fatalf("latency ordering wrong: par %v mix %v seq %v", par.LatencyNS, mix.LatencyNS, seq.LatencyNS)
+	}
+}
+
+func TestCompositionErrors(t *testing.T) {
+	g, c := DefaultGrid(), DefaultConstraints()
+	if _, err := EstimateComposition(g, c, nil, 1); err == nil {
+		t.Fatal("empty composition must fail")
+	}
+	m := dnnModel(t, 7, 4, 2)
+	if _, err := EstimateComposition(g, c, []*ir.Model{m}, 2); err == nil {
+		t.Fatal("chain depth > models must fail")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if ceilDiv(7, 8) != 1 || ceilDiv(8, 8) != 1 || ceilDiv(9, 8) != 2 || ceilDiv(1, 0) != 0 {
+		t.Fatal("ceilDiv")
+	}
+	if intLog2(1) != 0 || intLog2(2) != 1 || intLog2(3) != 2 || intLog2(8) != 3 {
+		t.Fatal("intLog2")
+	}
+}

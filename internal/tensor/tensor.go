@@ -1,0 +1,301 @@
+// Package tensor provides the dense matrix and vector kernels used by the
+// model trainers and data-plane executors. It is intentionally small: all
+// shapes are 2-D (Matrix) or 1-D ([]float64), storage is row-major, and
+// every routine is allocation-explicit so hot training loops can reuse
+// buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a Rows×Cols matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d elems, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged row %d (len %d, want %d)", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// RandInit fills m with uniform values in [-scale, scale] drawn from rng.
+func (m *Matrix) RandInit(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// GlorotInit fills m with the Glorot/Xavier uniform distribution for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Matrix) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.RandInit(rng, limit)
+}
+
+// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
+// a and b. It returns dst for chaining.
+func MatMul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulT computes dst = a·bᵀ, i.e. dst[i][j] = dot(a.Row(i), b.Row(j)).
+func MatMulT(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			dst.Set(i, j, Dot(arow, b.Row(j)))
+		}
+	}
+	return dst
+}
+
+// TMatMul computes dst = aᵀ·b.
+func TMatMul(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// Dot returns the inner product of equal-length vectors a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += alpha*x[i].
+func Axpy(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i, xv := range x {
+		dst[i] += alpha * xv
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(x []float64, alpha float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddBias adds the bias vector b to every row of m in place.
+func AddBias(m *Matrix, b []float64) {
+	if len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBias len %d, want %d", len(b), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, bv := range b {
+			row[j] += bv
+		}
+	}
+}
+
+// ColSums accumulates the per-column sums of m into dst (len m.Cols).
+func ColSums(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSums len %d, want %d", len(dst), m.Cols))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element of x (first on ties).
+// It returns -1 for an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > best {
+			best, bi = x[i], i
+		}
+	}
+	return bi
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: SqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for len(x) < 2.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Shuffle permutes idx in place using rng (Fisher–Yates).
+func Shuffle(rng *rand.Rand, idx []int) {
+	for i := len(idx) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// Range returns [0, 1, ..., n-1].
+func Range(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,252 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero storage")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At = %v, want 7.5", m.At(1, 2))
+	}
+	r := m.Row(1)
+	r[0] = 9 // views alias storage
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	if c.At(1, 1) != 4 {
+		t.Fatal("Clone must copy values")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(dst.At(i, j), want[i][j]) {
+				t.Fatalf("MatMul[%d][%d] = %v, want %v", i, j, dst.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(3, 5)
+	b := New(4, 5)
+	a.RandInit(rng, 1)
+	b.RandInit(rng, 1)
+	got := New(3, 4)
+	MatMulT(got, a, b)
+	// explicit transpose
+	bt := New(5, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := New(3, 4)
+	MatMul(want, a, bt)
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i]) {
+			t.Fatalf("MatMulT mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTMatMulMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(6, 3)
+	b := New(6, 4)
+	a.RandInit(rng, 1)
+	b.RandInit(rng, 1)
+	got := New(3, 4)
+	TMatMul(got, a, b)
+	at := New(3, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := New(3, 4)
+	MatMul(want, at, b)
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i]) {
+			t.Fatalf("TMatMul mismatch at %d", i)
+		}
+	}
+}
+
+func TestDotAxpyScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if !almostEq(Dot(a, b), 32) {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	dst := []float64{1, 1, 1}
+	Axpy(dst, 2, a)
+	if dst[2] != 7 {
+		t.Fatalf("Axpy = %v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[2] != 3.5 {
+		t.Fatalf("Scale = %v", dst)
+	}
+}
+
+func TestAddBiasColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	AddBias(m, []float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddBias got %v", m.Data)
+	}
+	sums := make([]float64, 2)
+	ColSums(sums, m)
+	if sums[0] != 24 || sums[1] != 46 {
+		t.Fatalf("ColSums got %v", sums)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax(nil) should be -1")
+	}
+	if ArgMax([]float64{1, 5, 5, 2}) != 1 {
+		t.Fatal("ArgMax ties must pick first")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty stats must be 0")
+	}
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(x), 5) {
+		t.Fatalf("Mean = %v", Mean(x))
+	}
+	if !almostEq(Variance(x), 4) {
+		t.Fatalf("Variance = %v", Variance(x))
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	idx := Range(100)
+	Shuffle(rng, idx)
+	seen := make([]bool, 100)
+	for _, v := range idx {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", idx)
+		}
+		seen[v] = true
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotPropertiesQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true // skip degenerate inputs
+			}
+		}
+		if math.Abs(Dot(a, b)-Dot(b, a)) > 1e-6*(1+math.Abs(Dot(a, b))) {
+			return false
+		}
+		a2 := make([]float64, n)
+		for i := range a {
+			a2[i] = 2 * a[i]
+		}
+		return math.Abs(Dot(a2, b)-2*Dot(a, b)) <= 1e-6*(1+math.Abs(2*Dot(a, b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SqDist(a,b) >= 0 and SqDist(a,a) == 0.
+func TestSqDistQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true
+			}
+		}
+		if SqDist(raw, raw) != 0 {
+			return false
+		}
+		b := make([]float64, len(raw))
+		copy(b, raw)
+		b[0]++
+		return SqDist(raw, b) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlorotInitBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(10, 20)
+	m.GlorotInit(rng, 10, 20)
+	limit := math.Sqrt(6.0 / 30.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot value %v outside ±%v", v, limit)
+		}
+	}
+}
