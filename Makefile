@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the tier-1 gate; `make
+# bench-smoke` executes every benchmark once so the bench harness cannot
+# silently rot.
+
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every benchmark, no unit tests: catches bit-rotted
+# benchmark code and asserts the allocation budgets in bench_test.go.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Full benchmark pass with allocation reporting (slow).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

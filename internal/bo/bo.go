@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/rf"
 )
 
@@ -140,10 +141,15 @@ func (s Space) Validate() error {
 // Sample draws a uniform random point.
 func (s Space) Sample(rng *rand.Rand) []float64 {
 	x := make([]float64, len(s.Params))
-	for i, p := range s.Params {
-		x[i] = p.Sample(rng)
-	}
+	s.sampleInto(rng, x)
 	return x
+}
+
+// sampleInto draws a uniform random point into dst (len == dims).
+func (s Space) sampleInto(rng *rand.Rand, dst []float64) {
+	for i, p := range s.Params {
+		dst[i] = p.Sample(rng)
+	}
 }
 
 // Index returns the position of the named parameter, or -1.
@@ -259,10 +265,53 @@ func (r Result) BestByIteration() []float64 {
 	return out
 }
 
+// history is the incremental training-set view of a run: one append per
+// evaluation instead of rebuilding xs/ys/feas from Result.History every
+// suggest call.
+type history struct {
+	xs          [][]float64
+	ys          []float64
+	feas        []float64
+	nInfeasible int
+}
+
+func (h *history) add(x []float64, objective float64, feasible bool) {
+	h.xs = append(h.xs, x)
+	h.ys = append(h.ys, objective)
+	if feasible {
+		h.feas = append(h.feas, 1)
+	} else {
+		h.feas = append(h.feas, 0)
+		h.nInfeasible++
+	}
+}
+
+// suggestScratch holds the candidate pool and acquisition buffers, reused
+// across every suggest call of a run.
+type suggestScratch struct {
+	flat  []float64   // backing storage for the candidate points
+	cands [][]float64 // row views into flat
+	eis   []float64   // acquisition value per candidate
+}
+
+func newSuggestScratch(nCands, dims int) *suggestScratch {
+	s := &suggestScratch{
+		flat:  make([]float64, nCands*dims),
+		cands: make([][]float64, nCands),
+		eis:   make([]float64, nCands),
+	}
+	for i := range s.cands {
+		s.cands[i] = s.flat[i*dims : (i+1)*dims]
+	}
+	return s
+}
+
 // Maximize runs constrained Bayesian optimization of obj over space.
-// The run is deterministic given Config.Seed. Every evaluation error is
-// fatal (the caller's black box is expected to encode failures as
-// infeasible rather than erroring).
+// The run is deterministic given Config.Seed — including at any
+// GOMAXPROCS: the concurrent forest fits and acquisition scoring reduce
+// with scheduling-independent seeds and a lowest-index argmax. Every
+// evaluation error is fatal (the caller's black box is expected to encode
+// failures as infeasible rather than erroring).
 func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
@@ -272,6 +321,8 @@ func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var res Result
+	hist := &history{}
+	scratch := newSuggestScratch(cfg.Candidates, len(space.Params))
 
 	evaluate := func(x []float64) error {
 		val, feas, metrics, err := obj(x)
@@ -280,6 +331,7 @@ func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
 		}
 		ev := Evaluation{X: append([]float64{}, x...), Objective: val, Feasible: feas, Metrics: metrics}
 		res.History = append(res.History, ev)
+		hist.add(ev.X, val, feas)
 		if feas && (res.Best == nil || val > res.Best.Objective) {
 			best := ev
 			res.Best = &best
@@ -304,8 +356,14 @@ func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
 		if it%4 == 3 {
 			next = space.Sample(rng)
 		} else {
+			incumbent := math.Inf(-1)
+			var incumbentX []float64
+			if res.Best != nil {
+				incumbent = res.Best.Objective
+				incumbentX = res.Best.X
+			}
 			var err error
-			next, err = suggest(space, cfg, rng, res)
+			next, err = suggest(space, cfg, rng, hist, incumbent, incumbentX, scratch)
 			if err != nil {
 				return res, err
 			}
@@ -318,79 +376,87 @@ func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
 }
 
 // suggest fits surrogate + feasibility forests on the history and returns
-// the candidate maximizing constrained Expected Improvement.
-func suggest(space Space, cfg Config, rng *rand.Rand, res Result) ([]float64, error) {
-	xs := make([][]float64, len(res.History))
-	ys := make([]float64, len(res.History))
-	feas := make([]float64, len(res.History))
-	anyInfeasible := false
-	for i, ev := range res.History {
-		xs[i] = ev.X
-		ys[i] = ev.Objective
-		if ev.Feasible {
-			feas[i] = 1
-		} else {
-			anyInfeasible = true
-		}
-	}
+// the candidate maximizing constrained Expected Improvement. The two
+// forests fit concurrently (their trees in turn parallelize over the
+// shared pool), and the candidate pool is scored in parallel batches with
+// a lowest-index tie-break, so the suggestion is deterministic at any
+// pool size.
+func suggest(space Space, cfg Config, rng *rand.Rand, hist *history, incumbent float64, incumbentX []float64, scratch *suggestScratch) ([]float64, error) {
+	// Seeds are drawn on the caller, before concurrent dispatch, in the
+	// same order whether or not the feasibility model ends up used.
 	fcfg := cfg.Forest
-	fcfg.Seed = rng.Int63()
-	surrogate, err := rf.Train(fcfg, xs, ys)
-	if err != nil {
-		return nil, fmt.Errorf("bo: surrogate training: %w", err)
+	surrogateCfg := fcfg
+	surrogateCfg.Seed = rng.Int63()
+	var surrogate, feasModel *rf.Forest
+	var surrogateErr, feasErr error
+	if hist.nInfeasible > 0 {
+		feasCfg := fcfg
+		feasCfg.Seed = rng.Int63()
+		parallel.Run(
+			func() { surrogate, surrogateErr = rf.Train(surrogateCfg, hist.xs, hist.ys) },
+			func() { feasModel, feasErr = rf.Train(feasCfg, hist.xs, hist.feas) },
+		)
+	} else {
+		surrogate, surrogateErr = rf.Train(surrogateCfg, hist.xs, hist.ys)
 	}
-	var feasModel *rf.Forest
-	if anyInfeasible {
-		fcfg.Seed = rng.Int63()
-		feasModel, err = rf.Train(fcfg, xs, feas)
-		if err != nil {
-			return nil, fmt.Errorf("bo: feasibility model training: %w", err)
-		}
+	if surrogateErr != nil {
+		return nil, fmt.Errorf("bo: surrogate training: %w", surrogateErr)
 	}
-
-	incumbent := math.Inf(-1)
-	if res.Best != nil {
-		incumbent = res.Best.Objective
+	if feasErr != nil {
+		return nil, fmt.Errorf("bo: feasibility model training: %w", feasErr)
 	}
 
 	// Candidate pool: uniform exploration plus local perturbations of the
 	// incumbent (the local-search refinement HyperMapper applies on top of
-	// random acquisition sampling).
-	candidates := make([][]float64, 0, cfg.Candidates)
+	// random acquisition sampling). Sampling stays serial on the run RNG;
+	// only the model-driven scoring fans out.
+	candidates := scratch.cands[:cfg.Candidates]
 	nLocal := 0
-	if res.Best != nil {
+	if incumbentX != nil {
 		nLocal = cfg.Candidates / 4
 	}
 	for c := 0; c < cfg.Candidates-nLocal; c++ {
-		candidates = append(candidates, space.Sample(rng))
+		space.sampleInto(rng, candidates[c])
 	}
-	for c := 0; c < nLocal; c++ {
-		candidates = append(candidates, perturb(space, rng, res.Best.X))
+	for c := cfg.Candidates - nLocal; c < cfg.Candidates; c++ {
+		perturbInto(space, rng, incumbentX, candidates[c])
 	}
 
+	eis := scratch.eis[:cfg.Candidates]
+	parallel.For(len(candidates), 32, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := candidates[i]
+			ei := expectedImprovement(surrogate, x, incumbent)
+			if feasModel != nil {
+				p := feasModel.Predict(x)
+				if p < 0 {
+					p = 0
+				}
+				if p > 1 {
+					p = 1
+				}
+				ei *= p
+			}
+			eis[i] = ei
+		}
+	})
+
+	// Deterministic reduce: strict > keeps the lowest-index maximum, the
+	// same winner the serial scan picked.
 	bestEI := math.Inf(-1)
 	var bestX []float64
-	for _, x := range candidates {
-		ei := expectedImprovement(surrogate, x, incumbent)
-		if feasModel != nil {
-			p := feasModel.Predict(x)
-			if p < 0 {
-				p = 0
-			}
-			if p > 1 {
-				p = 1
-			}
-			ei *= p
-		}
+	for i, ei := range eis {
 		if ei > bestEI {
 			bestEI = ei
-			bestX = x
+			bestX = candidates[i]
 		}
 	}
 	if bestX == nil { // all-EI-zero degenerate case: explore randomly
-		bestX = space.Sample(rng)
+		return space.Sample(rng), nil
 	}
-	return bestX, nil
+	// Copy out of the scratch pool: the caller retains the suggestion
+	// across later suggest calls.
+	return append([]float64{}, bestX...), nil
 }
 
 // perturb returns a neighbour of x: each dimension is nudged by ~10% of
@@ -398,21 +464,27 @@ func suggest(space Space, cfg Config, rng *rand.Rand, res Result) ([]float64, er
 // 1/2, then clipped to legality.
 func perturb(space Space, rng *rand.Rand, x []float64) []float64 {
 	out := append([]float64{}, x...)
+	perturbInto(space, rng, x, out)
+	return out
+}
+
+// perturbInto writes a neighbour of x into dst (len == dims).
+func perturbInto(space Space, rng *rand.Rand, x, dst []float64) {
+	copy(dst, x)
 	for i, p := range space.Params {
 		if rng.Intn(2) == 0 {
 			continue
 		}
 		switch p.Kind {
 		case Real:
-			out[i] = p.Clip(out[i] + rng.NormFloat64()*0.1*(p.Max-p.Min))
+			dst[i] = p.Clip(dst[i] + rng.NormFloat64()*0.1*(p.Max-p.Min))
 		case Integer:
 			span := math.Max(1, 0.1*(p.Max-p.Min))
-			out[i] = p.Clip(out[i] + math.Round(rng.NormFloat64()*span))
+			dst[i] = p.Clip(dst[i] + math.Round(rng.NormFloat64()*span))
 		default:
-			out[i] = p.Values[rng.Intn(len(p.Values))]
+			dst[i] = p.Values[rng.Intn(len(p.Values))]
 		}
 	}
-	return out
 }
 
 // expectedImprovement computes EI(x) = E[max(f(x) - best, 0)] under a

@@ -122,22 +122,27 @@ func MaximizeMulti(space Space, cfg Config, nObjectives int, obj MultiObjective)
 	}
 
 	// Scalarized BO rounds. The scalarization rescales each objective by
-	// the observed range so weights are meaningful across magnitudes.
+	// the observed range so weights are meaningful across magnitudes. The
+	// scalarized history and candidate buffers are reused across rounds;
+	// only the scalar objective values are recomputed under each round's
+	// fresh weight vector.
+	shist := &history{}
+	scratch := newSuggestScratch(cfg.Candidates, len(space.Params))
 	for it := 0; it < cfg.Iterations; it++ {
 		weights := sampleSimplex(rng, nObjectives)
 		lo, hi := objectiveRanges(res.History, nObjectives)
-		scalarHistory := Result{}
+		shist.xs = shist.xs[:0]
+		shist.ys = shist.ys[:0]
+		shist.feas = shist.feas[:0]
+		shist.nInfeasible = 0
+		incumbent := math.Inf(-1)
+		var incumbentX []float64
 		for _, ev := range res.History {
-			scalarHistory.History = append(scalarHistory.History, Evaluation{
-				X:         ev.X,
-				Objective: scalarize(ev.Values, weights, lo, hi),
-				Feasible:  ev.Feasible,
-			})
-		}
-		for _, ev := range scalarHistory.History {
-			if ev.Feasible && (scalarHistory.Best == nil || ev.Objective > scalarHistory.Best.Objective) {
-				best := ev
-				scalarHistory.Best = &best
+			v := scalarize(ev.Values, weights, lo, hi)
+			shist.add(ev.X, v, ev.Feasible)
+			if ev.Feasible && v > incumbent {
+				incumbent = v
+				incumbentX = ev.X
 			}
 		}
 		var next []float64
@@ -145,7 +150,7 @@ func MaximizeMulti(space Space, cfg Config, nObjectives int, obj MultiObjective)
 			next = space.Sample(rng)
 		} else {
 			var err error
-			next, err = suggest(space, cfg, rng, scalarHistory)
+			next, err = suggest(space, cfg, rng, shist, incumbent, incumbentX, scratch)
 			if err != nil {
 				return res, err
 			}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/synth/nslkdd"
+)
+
+// bestFingerprint serializes everything the search promises to be
+// deterministic about: the winning algorithm, its metric, and the full
+// model parameters (weights, biases, quantization metadata) via the IR's
+// canonical JSON encoding.
+func bestFingerprint(t *testing.T, res *SearchResult) []byte {
+	t.Helper()
+	if res.Best == nil || res.Best.Model == nil {
+		t.Fatal("search found no model")
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "alg=%s metric=%x\n", res.Best.Algorithm, res.Best.Metric)
+	if err := res.Best.Model.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Belt and braces: the per-candidate histories too (objective values
+	// and evaluation order for every family).
+	for _, c := range res.Candidates {
+		fmt.Fprintf(&buf, "family=%s skipped=%q\n", c.Algorithm, c.Skipped)
+		for _, ev := range c.BO.History {
+			b, err := json.Marshal(ev.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&buf, "x=%s y=%x feas=%v\n", b, ev.Objective, ev.Feasible)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSearchDeterministicAcrossGOMAXPROCS pins the repo's concurrency
+// contract: a fixed-seed core.Search must return byte-identical results
+// across repeated runs, with the worker pool disabled (GOMAXPROCS=1) and
+// with it fully populated (GOMAXPROCS=NumCPU) — the parallel kernels,
+// forest fits, acquisition scoring, and family fan-out must not leak
+// scheduling into the outcome.
+func TestSearchDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := nslkdd.DefaultConfig()
+	cfg.Samples = 600
+	train, test, err := nslkdd.TrainTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := App{Name: "ad", Train: train, Test: test, Normalize: true}
+
+	sc := DefaultSearchConfig()
+	sc.BO.InitSamples = 3
+	sc.BO.Iterations = 4
+	sc.TrainEpochs = 3
+	sc.MaxHiddenLayers = 2
+	sc.MaxNeurons = 12
+	sc.Seed = 42
+
+	run := func() []byte {
+		res, err := Search(app, NewTaurusTarget(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bestFingerprint(t, res)
+	}
+
+	oldProcs := runtime.GOMAXPROCS(0)
+	oldWorkers := parallel.Workers()
+	defer func() {
+		runtime.GOMAXPROCS(oldProcs)
+		parallel.SetWorkers(oldWorkers)
+	}()
+
+	var reference []byte
+	for _, procs := range []int{1, runtime.NumCPU(), 4} {
+		runtime.GOMAXPROCS(procs)
+		parallel.SetWorkers(procs)
+		for rep := 0; rep < 3; rep++ {
+			got := run()
+			if reference == nil {
+				reference = got
+				continue
+			}
+			if !bytes.Equal(got, reference) {
+				t.Fatalf("GOMAXPROCS=%d rep %d: search result diverged from reference", procs, rep)
+			}
+		}
+	}
+}

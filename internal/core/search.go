@@ -13,6 +13,7 @@ import (
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/svm"
 )
 
@@ -175,28 +176,33 @@ func Search(app App, target Target, cfg SearchConfig) (*SearchResult, error) {
 	}
 
 	// Phase 2: parallel candidate runs (§3.2.1 "the core initiates
-	// multiple parallel runs").
+	// multiple parallel runs"). Families run as tasks on the shared
+	// worker pool rather than free goroutines: while family tasks hold
+	// the pool's tokens, the tensor/forest kernels they call degrade to
+	// their serial paths, so family-level and kernel-level parallelism
+	// never oversubscribe the machine. Each family writes only its own
+	// slot and is internally deterministic, so results are independent of
+	// how the tasks get scheduled.
 	results := make([]CandidateResult, len(jobs))
-	var wg sync.WaitGroup
 	errs := make([]error, len(jobs))
+	tasks := make([]func(), 0, len(jobs))
 	for i, j := range jobs {
 		results[i].Algorithm = j.kind
 		if j.skipped != "" {
 			results[i].Skipped = j.skipped
 			continue
 		}
-		wg.Add(1)
-		go func(i int, kind ir.Kind) {
-			defer wg.Done()
+		i, kind := i, j.kind
+		tasks = append(tasks, func() {
 			res, err := searchFamily(app, target, cfg, kind)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			results[i] = res
-		}(i, j.kind)
+		})
 	}
-	wg.Wait()
+	parallel.Run(tasks...)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

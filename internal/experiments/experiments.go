@@ -48,10 +48,14 @@ func Full() Budget {
 }
 
 // Quick is the bench-friendly budget: same code paths, smaller numbers.
+// The optimization budget (5 init + 7 iterations) is the floor at which
+// the searches reliably clear the paper's qualitative claims (Homunculus
+// beats the hand-tuned baselines, bigger table budgets don't score worse);
+// the fast inner loops keep it comfortably sub-second per experiment.
 func Quick() Budget {
 	return Budget{
 		ADSamples: 1200, TCSamples: 1000, BDFlows: 200,
-		BOInit: 3, BOIters: 3, Epochs: 5, Seed: 1,
+		BOInit: 5, BOIters: 7, Epochs: 5, Seed: 1,
 	}
 }
 

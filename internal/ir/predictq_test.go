@@ -1,0 +1,37 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+)
+
+// TestPredictQMatchesInferQ pins the DNN batch fast path in PredictQ to
+// the per-row InferQ reference: pre-quantizing the weights once must not
+// change a single prediction, with and without a folded normalizer.
+func TestPredictQMatchesInferQ(t *testing.T) {
+	d := blob2(300, 9)
+	net := trainSmallNN(t, d)
+
+	norm := dataset.FitNormalizer(d)
+	for _, m := range []*Model{
+		FromNN("ad", net, fixed.Q8_8),
+		FromNN("ad", net, fixed.Q4_12),
+		FromNN("ad", net, fixed.Q8_8).WithNormalizer(norm),
+	} {
+		batch, err := m.PredictQ(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < d.Len(); i++ {
+			want, err := m.InferQ(d.X.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i] != want {
+				t.Fatalf("%s row %d: PredictQ=%d InferQ=%d", m.Format, i, batch[i], want)
+			}
+		}
+	}
+}

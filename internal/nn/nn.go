@@ -173,29 +173,58 @@ func New(c Config) (*Network, error) {
 	return n, nil
 }
 
-// forwardCache holds per-layer pre/post activations for backprop.
-type forwardCache struct {
-	inputs []*tensor.Matrix // input to each layer (inputs[0] == X batch)
-	outs   []*tensor.Matrix // activated output of each layer
+// batchBuf is a matrix sized for the largest batch whose row count is
+// shrunk in place for the (smaller) final batch of an epoch, so no buffer
+// is ever reallocated mid-training.
+type batchBuf struct {
+	mat  *tensor.Matrix
+	full []float64 // backing storage at maxRows×Cols capacity
+}
+
+func newBatchBuf(maxRows, cols int) batchBuf {
+	m := tensor.New(maxRows, cols)
+	return batchBuf{mat: m, full: m.Data}
+}
+
+// view resizes the buffer to rows and returns the matrix header.
+func (b *batchBuf) view(rows int) *tensor.Matrix {
+	b.mat.Rows = rows
+	b.mat.Data = b.full[:rows*b.mat.Cols]
+	return b.mat
+}
+
+// trainArena preallocates every buffer one Train call touches — batch
+// staging, per-layer activations, backprop deltas, and gradients — so the
+// per-batch hot loop is allocation-free in steady state. It is built once
+// per Train call and reused across all batches and epochs.
+type trainArena struct {
+	x, y   batchBuf   // staged mini-batch inputs/targets
+	outs   []batchBuf // activated output of each layer
+	deltas []batchBuf // backprop delta flowing into each layer's output
+	gradW  []*tensor.Matrix
+	gradB  [][]float64
+}
+
+func newTrainArena(n *Network, maxBatch int) *trainArena {
+	c := n.Config
+	ar := &trainArena{
+		x: newBatchBuf(maxBatch, c.Inputs),
+		y: newBatchBuf(maxBatch, c.Outputs),
+	}
+	for _, l := range n.Layers {
+		ar.outs = append(ar.outs, newBatchBuf(maxBatch, l.Out))
+		ar.deltas = append(ar.deltas, newBatchBuf(maxBatch, l.Out))
+		ar.gradW = append(ar.gradW, tensor.New(l.In, l.Out))
+		ar.gradB = append(ar.gradB, make([]float64, l.Out))
+	}
+	return ar
 }
 
 // Forward computes class probabilities for a batch X (rows = samples).
 // The returned matrix is freshly allocated (X.Rows × Outputs).
 func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out, _ := n.forward(x, false)
-	return out
-}
-
-func (n *Network) forward(x *tensor.Matrix, keepCache bool) (*tensor.Matrix, *forwardCache) {
-	var cache *forwardCache
-	if keepCache {
-		cache = &forwardCache{}
-	}
 	cur := x
 	for _, l := range n.Layers {
-		if keepCache {
-			cache.inputs = append(cache.inputs, cur)
-		}
 		z := tensor.New(cur.Rows, l.Out)
 		tensor.MatMul(z, cur, l.W)
 		tensor.AddBias(z, l.B)
@@ -204,24 +233,57 @@ func (n *Network) forward(x *tensor.Matrix, keepCache bool) (*tensor.Matrix, *fo
 		} else {
 			applyActivation(z, l.Act)
 		}
-		if keepCache {
-			cache.outs = append(cache.outs, z)
+		cur = z
+	}
+	return cur
+}
+
+// forwardTrain runs the training forward pass into the arena's activation
+// buffers. Inverted dropout is folded into the same sweep: each hidden
+// layer is masked (zero with probability p, survivors scaled by 1/(1-p))
+// immediately after activation, so downstream layers see the dropped
+// values the first time — no recompute pass, no fresh allocations.
+func (n *Network) forwardTrain(ar *trainArena, x *tensor.Matrix, rng *rand.Rand) *tensor.Matrix {
+	c := n.Config
+	keep := 1 - c.Dropout
+	cur := x
+	for li, l := range n.Layers {
+		z := ar.outs[li].view(x.Rows)
+		tensor.MatMul(z, cur, l.W)
+		tensor.AddBias(z, l.B)
+		if l.Final {
+			softmaxRows(z)
+		} else {
+			applyActivation(z, l.Act)
+			if c.Dropout > 0 && rng != nil {
+				for i := range z.Data {
+					if rng.Float64() < c.Dropout {
+						z.Data[i] = 0
+					} else {
+						z.Data[i] /= keep
+					}
+				}
+			}
 		}
 		cur = z
 	}
-	return cur, cache
+	return cur
 }
 
 func applyActivation(m *tensor.Matrix, a Activation) {
-	for i, v := range m.Data {
-		switch a {
-		case ReLU:
+	switch a {
+	case ReLU:
+		for i, v := range m.Data {
 			if v < 0 {
 				m.Data[i] = 0
 			}
-		case Sigmoid:
+		}
+	case Sigmoid:
+		for i, v := range m.Data {
 			m.Data[i] = 1 / (1 + math.Exp(-v))
-		case Tanh:
+		}
+	case Tanh:
+		for i, v := range m.Data {
 			m.Data[i] = math.Tanh(v)
 		}
 	}
@@ -241,6 +303,27 @@ func activationGrad(out float64, a Activation) float64 {
 		return 1 - out*out
 	default:
 		return 1
+	}
+}
+
+// applyActivationGrad scales delta elementwise by d(act)/dz, derived from
+// the activated outputs — the hoisted-switch batch form of activationGrad.
+func applyActivationGrad(delta, out []float64, a Activation) {
+	switch a {
+	case ReLU:
+		for i, o := range out {
+			if o <= 0 {
+				delta[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, o := range out {
+			delta[i] *= o * (1 - o)
+		}
+	case Tanh:
+		for i, o := range out {
+			delta[i] *= 1 - o*o
+		}
 	}
 }
 
@@ -301,6 +384,11 @@ func (n *Network) Train(d *dataset.Dataset) (TrainResult, error) {
 		}
 	}
 
+	maxBatch := c.BatchSize
+	if d.Len() < maxBatch {
+		maxBatch = d.Len()
+	}
+	arena := newTrainArena(n, maxBatch)
 	idx := tensor.Range(d.Len())
 	step := 0
 	var lastLoss float64
@@ -314,14 +402,15 @@ func (n *Network) Train(d *dataset.Dataset) (TrainResult, error) {
 				end = len(idx)
 			}
 			batch := idx[start:end]
-			x := tensor.New(len(batch), c.Inputs)
-			y := tensor.New(len(batch), c.Outputs)
+			x := arena.x.view(len(batch))
+			y := arena.y.view(len(batch))
+			nf, no := c.Inputs, c.Outputs
 			for bi, si := range batch {
-				copy(x.Row(bi), d.X.Row(si))
-				copy(y.Row(bi), oneHot.Row(si))
+				copy(x.Data[bi*nf:(bi+1)*nf], d.X.Data[si*nf:(si+1)*nf])
+				copy(y.Data[bi*no:(bi+1)*no], oneHot.Data[si*no:(si+1)*no])
 			}
 			step++
-			loss := n.trainBatch(x, y, adamStates, step, rng)
+			loss := n.trainBatch(arena, x, y, adamStates, step, rng)
 			epochLoss += loss
 			batches++
 		}
@@ -331,70 +420,42 @@ func (n *Network) Train(d *dataset.Dataset) (TrainResult, error) {
 }
 
 // trainBatch performs one forward/backward/update pass and returns the
-// batch's mean cross-entropy loss.
-func (n *Network) trainBatch(x, y *tensor.Matrix, adamStates []*adamState, step int, rng *rand.Rand) float64 {
+// batch's mean cross-entropy loss. All intermediate state lives in the
+// arena, so a steady-state batch performs no heap allocations.
+func (n *Network) trainBatch(ar *trainArena, x, y *tensor.Matrix, adamStates []*adamState, step int, rng *rand.Rand) float64 {
 	c := n.Config
-	probs, cache := n.forward(x, true)
-	// Inverted dropout on hidden activations: zero with probability p,
-	// scale survivors by 1/(1-p). Masks are recorded in the cached
-	// outputs so backprop sees the dropped network.
-	if c.Dropout > 0 && rng != nil {
-		keep := 1 - c.Dropout
-		for li := 0; li < len(n.Layers)-1; li++ {
-			out := cache.outs[li]
-			for i := range out.Data {
-				if rng.Float64() < c.Dropout {
-					out.Data[i] = 0
-				} else {
-					out.Data[i] /= keep
-				}
-			}
-		}
-		// Recompute downstream activations with the dropped values so the
-		// loss and deltas are consistent.
-		for li := 1; li < len(n.Layers); li++ {
-			l := n.Layers[li]
-			in := cache.outs[li-1]
-			cache.inputs[li] = in
-			z := cache.outs[li]
-			tensor.MatMul(z, in, l.W)
-			tensor.AddBias(z, l.B)
-			if l.Final {
-				softmaxRows(z)
-			} else {
-				applyActivation(z, l.Act)
-			}
-		}
-		probs = cache.outs[len(n.Layers)-1]
-	}
+	probs := n.forwardTrain(ar, x, rng)
 	batch := float64(x.Rows)
 
-	// Cross-entropy loss (with tiny clamp for log stability).
+	// Cross-entropy loss (with tiny clamp for log stability). Flat scan:
+	// row-major layout makes this the same accumulation order as the
+	// row-by-row form.
 	var loss float64
-	for i := 0; i < probs.Rows; i++ {
-		prow, yrow := probs.Row(i), y.Row(i)
-		for j := range prow {
-			if yrow[j] > 0 {
-				loss -= yrow[j] * math.Log(math.Max(prow[j], 1e-12))
-			}
+	for i, yv := range y.Data {
+		if yv > 0 {
+			loss -= yv * math.Log(math.Max(probs.Data[i], 1e-12))
 		}
 	}
 	loss /= batch
 
 	// Output delta for softmax+CE: (p - y) / batch.
-	delta := probs.Clone()
+	last := len(n.Layers) - 1
+	delta := ar.deltas[last].view(x.Rows)
 	for i := range delta.Data {
-		delta.Data[i] = (delta.Data[i] - y.Data[i]) / batch
+		delta.Data[i] = (probs.Data[i] - y.Data[i]) / batch
 	}
 
 	// Backpropagate layer by layer.
-	for li := len(n.Layers) - 1; li >= 0; li-- {
+	for li := last; li >= 0; li-- {
 		l := n.Layers[li]
-		in := cache.inputs[li]
+		in := x
+		if li > 0 {
+			in = ar.outs[li-1].view(x.Rows)
+		}
 
-		gradW := tensor.New(l.In, l.Out)
+		gradW := ar.gradW[li]
 		tensor.TMatMul(gradW, in, delta)
-		gradB := make([]float64, l.Out)
+		gradB := ar.gradB[li]
 		tensor.ColSums(gradB, delta)
 
 		if c.L2 > 0 {
@@ -405,13 +466,10 @@ func (n *Network) trainBatch(x, y *tensor.Matrix, adamStates []*adamState, step 
 
 		// Delta for the previous layer (before this layer's weights change).
 		if li > 0 {
-			prevOut := cache.outs[li-1]
-			nextDelta := tensor.New(delta.Rows, l.In)
+			prevOut := ar.outs[li-1].view(x.Rows)
+			nextDelta := ar.deltas[li-1].view(x.Rows)
 			tensor.MatMulT(nextDelta, delta, l.W)
-			prev := n.Layers[li-1]
-			for i := range nextDelta.Data {
-				nextDelta.Data[i] *= activationGrad(prevOut.Data[i], prev.Act)
-			}
+			applyActivationGrad(nextDelta.Data, prevOut.Data, n.Layers[li-1].Act)
 			delta = nextDelta
 		}
 

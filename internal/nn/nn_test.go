@@ -249,7 +249,7 @@ func TestGradientCheck(t *testing.T) {
 	}
 	x := d.X.Clone()
 	y := oneHot.Clone()
-	clone.trainBatch(x, y, nil, 1, nil)
+	clone.trainBatch(newTrainArena(clone, x.Rows), x, y, nil, 1, nil)
 
 	for li := range n.Layers {
 		for wi := 0; wi < len(n.Layers[li].W.Data); wi += 3 { // sample every 3rd weight

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	old := Workers()
+	SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(old) })
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		withWorkers(t, workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			counts := make([]int64, n)
+			For(n, 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialBelowGrain(t *testing.T) {
+	withWorkers(t, 8)
+	calls := 0
+	For(10, 6, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("expected single full-range call, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 serial call, got %d", calls)
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4)
+	var total int64
+	For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(8, 1, func(lo2, hi2 int) {
+				atomic.AddInt64(&total, int64(hi2-lo2))
+			})
+		}
+	})
+	if total != 64 {
+		t.Fatalf("nested For covered %d inner indices, want 64", total)
+	}
+}
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		withWorkers(t, workers)
+		const n = 17
+		counts := make([]int64, n)
+		tasks := make([]func(), n)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { atomic.AddInt64(&counts[i], 1) }
+		}
+		Run(tasks...)
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	Run() // zero tasks must be a no-op
+}
+
+func TestTokensReturnedAfterUse(t *testing.T) {
+	withWorkers(t, 4)
+	for round := 0; round < 50; round++ {
+		For(100, 1, func(lo, hi int) {})
+	}
+	if got := tryAcquire(pool(), 8); got != 3 {
+		t.Fatalf("pool leaked tokens: acquired %d helpers, want 3", got)
+	} else {
+		release(pool(), got)
+	}
+}
+
+func TestChunkBoundsPartition(t *testing.T) {
+	for n := 1; n < 50; n++ {
+		for chunks := 1; chunks <= n; chunks++ {
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(n, chunks, c)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d chunks=%d c=%d: bad range [%d,%d), prev end %d", n, chunks, c, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d chunks=%d: ranges end at %d", n, chunks, prev)
+			}
+		}
+	}
+}

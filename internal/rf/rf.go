@@ -7,6 +7,13 @@
 // which the Expected Improvement acquisition in internal/bo consumes.
 // The same machinery doubles as a probability-of-feasibility classifier by
 // regressing on 0/1 feasibility labels.
+//
+// Trees are stored as flat index-linked arrays (cache-friendly to walk)
+// and built allocation-lean: bootstrap indices are partitioned in place
+// and the split search reuses per-tree scratch buffers. Tree fits run in
+// parallel on the shared worker pool; every tree's bootstrap sample and
+// RNG seed are drawn from the forest seed up front on the caller, so the
+// fitted forest is bit-identical at any pool size.
 package rf
 
 import (
@@ -14,7 +21,31 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
+
+// splitmix is the forest's internal PRNG. BO histories are a few dozen
+// points, so a tree fit is microseconds of work — seeding math/rand's
+// 607-word lagged-Fibonacci state per tree used to cost more than the fit
+// itself. splitmix64 seeds in one word, passes through the same
+// deterministic seed-per-tree protocol, and its quality is ample for
+// bootstrap draws and feature subsets.
+type splitmix struct{ state uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n). The modulo bias is negligible for
+// the feature/sample counts involved (n « 2^32).
+func (r *splitmix) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
 
 // Config holds the forest hyperparameters.
 type Config struct {
@@ -53,21 +84,30 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// node is one flat-array tree node; children are indices into the same
+// slice, so a trained tree is a single contiguous allocation.
 type node struct {
-	feature     int // -1 for leaf
+	feature     int32 // -1 for leaf
+	left, right int32
 	threshold   float64
-	left, right *node
 	value       float64 // mean of targets at the leaf
+}
+
+// tree is one fitted regression tree; nodes[0] is the root.
+type tree struct {
+	nodes []node
 }
 
 // Forest is a trained random-forest regressor.
 type Forest struct {
 	Config Config
-	trees  []*node
+	trees  []tree
 	nFeat  int
 }
 
 // Train fits a forest on rows x (each a feature vector) and targets y.
+// Individual trees are fitted in parallel on the shared worker pool; the
+// result is deterministic for a given Config.Seed regardless of pool size.
 func Train(c Config, x [][]float64, y []float64) (*Forest, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -84,46 +124,99 @@ func Train(c Config, x [][]float64, y []float64) (*Forest, error) {
 			return nil, fmt.Errorf("rf: ragged row %d (%d features, want %d)", i, len(row), nFeat)
 		}
 	}
-	f := &Forest{Config: c, nFeat: nFeat}
+	f := &Forest{Config: c, trees: make([]tree, c.Trees), nFeat: nFeat}
 	rng := rand.New(rand.NewSource(c.Seed))
 	sampleN := int(math.Ceil(c.Subsample * float64(len(x))))
+	// Draw every tree's bootstrap sample and RNG seed serially before
+	// dispatch, so the forest does not depend on fit scheduling. The
+	// forest-level source stays math/rand (one seeding per Train, same
+	// bootstrap protocol as ever); only the per-tree sources are splitmix.
+	bootFlat := make([]int, c.Trees*sampleN)
+	seeds := make([]uint64, c.Trees)
 	for t := 0; t < c.Trees; t++ {
-		idx := make([]int, sampleN)
-		for i := range idx {
-			idx[i] = rng.Intn(len(x))
+		for i := 0; i < sampleN; i++ {
+			bootFlat[t*sampleN+i] = rng.Intn(len(x))
 		}
-		treeRng := rand.New(rand.NewSource(rng.Int63()))
-		f.trees = append(f.trees, buildTree(c, treeRng, x, y, idx, 0))
+		seeds[t] = uint64(rng.Int63())
 	}
+	parallel.For(c.Trees, 1, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			f.trees[t] = fitTree(c, &splitmix{state: seeds[t]}, x, y, bootFlat[t*sampleN:(t+1)*sampleN])
+		}
+	})
 	return f, nil
 }
 
-func buildTree(c Config, rng *rand.Rand, x [][]float64, y []float64, idx []int, depth int) *node {
-	mean := meanTargets(y, idx)
+// treeScratch is the reusable working memory of one tree fit: split-search
+// sort buffers, the stable-partition spill buffer, and the feature-subset
+// permutation. One scratch serves an entire tree, so node construction
+// allocates nothing beyond the node array itself.
+type treeScratch struct {
+	keysBuf  []float64 // full-capacity backing for keys
+	orderBuf []int     // full-capacity backing for order
+	keys     []float64 // current sort view: feature values
+	order    []int     // current sort view: sample indices
+	part     []int     // right-half spill for the stable partition
+	perm     []int     // feature permutation buffer
+}
+
+// Len, Less, Swap implement sort.Interface over (keys, order) jointly, so
+// one persistent scratch pointer sorts without per-call allocation.
+func (s *treeScratch) Len() int           { return len(s.order) }
+func (s *treeScratch) Less(a, b int) bool { return s.keys[a] < s.keys[b] }
+func (s *treeScratch) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.order[a], s.order[b] = s.order[b], s.order[a]
+}
+
+func fitTree(c Config, rng *splitmix, x [][]float64, y []float64, idx []int) tree {
+	s := &treeScratch{
+		keysBuf:  make([]float64, len(idx)),
+		orderBuf: make([]int, len(idx)),
+		part:     make([]int, len(idx)),
+		perm:     make([]int, len(x[0])),
+	}
+	tr := tree{nodes: make([]node, 0, 2*len(idx))}
+	buildNode(&tr, c, rng, x, y, idx, 0, s)
+	return tr
+}
+
+// buildNode appends the subtree over idx to tr and returns its root index.
+// idx is partitioned in place as the tree recurses.
+func buildNode(tr *tree, c Config, rng *splitmix, x [][]float64, y []float64, idx []int, depth int, s *treeScratch) int32 {
+	me := int32(len(tr.nodes))
+	tr.nodes = append(tr.nodes, node{feature: -1, value: meanTargets(y, idx)})
 	if depth >= c.MaxDepth || len(idx) < 2*c.MinLeaf || allSame(y, idx) {
-		return &node{feature: -1, value: mean}
+		return me
 	}
-	feat, thresh, ok := bestSplit(c, rng, x, y, idx)
+	feat, thresh, ok := bestSplit(c, rng, x, y, idx, s)
 	if !ok {
-		return &node{feature: -1, value: mean}
+		return me
 	}
-	var left, right []int
+	// Stable in-place partition: lefts compact forward, rights spill to
+	// the scratch buffer and are copied back behind them. Keeping relative
+	// order makes the fitted tree independent of partition mechanics.
+	nl, nr := 0, 0
 	for _, i := range idx {
 		if x[i][feat] <= thresh {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			s.part[nr] = i
+			nr++
 		}
 	}
-	if len(left) < c.MinLeaf || len(right) < c.MinLeaf {
-		return &node{feature: -1, value: mean}
+	copy(idx[nl:], s.part[:nr])
+	if nl < c.MinLeaf || nr < c.MinLeaf {
+		return me
 	}
-	return &node{
-		feature:   feat,
-		threshold: thresh,
-		left:      buildTree(c, rng, x, y, left, depth+1),
-		right:     buildTree(c, rng, x, y, right, depth+1),
-	}
+	left := buildNode(tr, c, rng, x, y, idx[:nl], depth+1, s)
+	right := buildNode(tr, c, rng, x, y, idx[nl:], depth+1, s)
+	tr.nodes[me].feature = int32(feat)
+	tr.nodes[me].threshold = thresh
+	tr.nodes[me].left = left
+	tr.nodes[me].right = right
+	return me
 }
 
 func meanTargets(y []float64, idx []int) float64 {
@@ -146,12 +239,25 @@ func allSame(y []float64, idx []int) bool {
 	return true
 }
 
+// featSubset fills s.perm with a uniform permutation of [0,nFeat) — the
+// same Fisher–Yates construction as rand.Perm, drawn into the reusable
+// buffer — and returns the first nTry entries.
+func featSubset(rng *splitmix, s *treeScratch, nFeat, nTry int) []int {
+	perm := s.perm[:nFeat]
+	for i := 0; i < nFeat; i++ {
+		j := rng.intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	return perm[:nTry]
+}
+
 // bestSplit finds the variance-reduction-optimal split over a random
 // feature subset, using a sorted sweep with incremental sums.
-func bestSplit(c Config, rng *rand.Rand, x [][]float64, y []float64, idx []int) (feat int, thresh float64, ok bool) {
+func bestSplit(c Config, rng *splitmix, x [][]float64, y []float64, idx []int, s *treeScratch) (feat int, thresh float64, ok bool) {
 	nFeat := len(x[idx[0]])
 	nTry := int(math.Ceil(c.Features * float64(nFeat)))
-	feats := rng.Perm(nFeat)[:nTry]
+	feats := featSubset(rng, s, nFeat, nTry)
 
 	n := float64(len(idx))
 	var totalSum, totalSq float64
@@ -162,16 +268,20 @@ func bestSplit(c Config, rng *rand.Rand, x [][]float64, y []float64, idx []int) 
 	parentSSE := totalSq - totalSum*totalSum/n
 
 	best := -1.0
-	order := make([]int, len(idx))
+	keys, order := s.keysBuf[:len(idx)], s.orderBuf[:len(idx)]
 	for _, f := range feats {
 		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		for p, i := range order {
+			keys[p] = x[i][f]
+		}
+		s.keys, s.order = keys, order
+		sort.Sort(s)
 		var leftSum, leftSq float64
 		for pos := 0; pos < len(order)-1; pos++ {
 			yi := y[order[pos]]
 			leftSum += yi
 			leftSq += yi * yi
-			v, next := x[order[pos]][f], x[order[pos+1]][f]
+			v, next := keys[pos], keys[pos+1]
 			if v == next {
 				continue
 			}
@@ -195,15 +305,21 @@ func bestSplit(c Config, rng *rand.Rand, x [][]float64, y []float64, idx []int) 
 	return feat, thresh, ok
 }
 
-func (n *node) predict(x []float64) float64 {
-	for n.feature >= 0 {
-		if x[n.feature] <= n.threshold {
-			n = n.left
+// predict walks the flat tree to a leaf.
+func (t *tree) predict(x []float64) float64 {
+	nodes := t.nodes
+	i := int32(0)
+	for {
+		nd := &nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
 		} else {
-			n = n.right
+			i = nd.right
 		}
 	}
-	return n.value
 }
 
 // Predict returns the forest-mean prediction for x.
@@ -219,8 +335,8 @@ func (f *Forest) PredictVar(x []float64) (mean, variance float64) {
 		panic(fmt.Sprintf("rf: predict with %d features, trained on %d", len(x), f.nFeat))
 	}
 	var s, sq float64
-	for _, t := range f.trees {
-		p := t.predict(x)
+	for i := range f.trees {
+		p := f.trees[i].predict(x)
 		s += p
 		sq += p * p
 	}

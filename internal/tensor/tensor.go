@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64.
@@ -92,8 +94,35 @@ func (m *Matrix) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
 	m.RandInit(rng, limit)
 }
 
+// Kernel tuning. parMinFlops is the multiply-add count below which the
+// matmul kernels stay serial: the data-plane models Homunculus trains are
+// often tiny (a handful of neurons), and goroutine dispatch would dwarf the
+// arithmetic. blockK is the depth-blocking factor — a blockK×Cols panel of
+// the right operand is streamed through cache while a block of output rows
+// accumulates, which is what bounds memory traffic on the wide layers.
+const (
+	parMinFlops = 1 << 14
+	blockK      = 128
+)
+
+// matMulGrain returns the minimum number of output rows per parallel chunk
+// given flopsPerRow multiply-adds each.
+func matMulGrain(flopsPerRow int) int {
+	if flopsPerRow <= 0 {
+		return parMinFlops
+	}
+	g := parMinFlops / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
-// a and b. It returns dst for chaining.
+// a and b. It returns dst for chaining. Large products are cache-blocked
+// over the inner dimension and split row-wise across the shared worker
+// pool; every dst element is accumulated in ascending-k order regardless
+// of the split, so results are bit-identical at any pool size.
 func MatMul(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -101,24 +130,70 @@ func MatMul(dst, a, b *Matrix) *Matrix {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+	// Serial fast path without closure construction: tiny products (the
+	// common data-plane model case) must not pay any dispatch overhead.
+	if a.Rows*a.Cols*b.Cols < 2*parMinFlops || parallel.Workers() == 1 {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return dst
 	}
+	parallel.For(a.Rows, matMulGrain(a.Cols*b.Cols), func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi)
+	})
 	return dst
 }
 
+// matMulRows computes dst rows [lo, hi) of a·b with depth blocking. The
+// depth loop is unrolled 4-wide so each pass over the output row retires
+// four inputs — the same pattern at every pool size, keeping results
+// bit-identical however the rows are chunked.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for kb := 0; kb < k; kb += blockK {
+		kend := kb + blockK
+		if kend > k {
+			kend = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*n : (i+1)*n]
+			kk := kb
+			for ; kk+3 < kend; kk += 4 {
+				a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.Data[kk*n : (kk+1)*n]
+				b1 := b.Data[(kk+1)*n : (kk+2)*n]
+				b2 := b.Data[(kk+2)*n : (kk+3)*n]
+				b3 := b.Data[(kk+3)*n : (kk+4)*n]
+				for j := range drow {
+					drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; kk < kend; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
 // MatMulT computes dst = a·bᵀ, i.e. dst[i][j] = dot(a.Row(i), b.Row(j)).
+// Rows of dst are computed independently across the shared worker pool;
+// each dot product runs in fixed ascending order, so results are
+// bit-identical at any pool size.
 func MatMulT(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -126,16 +201,37 @@ func MatMulT(dst, a, b *Matrix) *Matrix {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			dst.Set(i, j, Dot(arow, b.Row(j)))
-		}
+	if a.Rows*a.Cols*b.Rows < 2*parMinFlops || parallel.Workers() == 1 {
+		matMulTRows(dst, a, b, 0, a.Rows)
+		return dst
 	}
+	parallel.For(a.Rows, matMulGrain(a.Cols*b.Rows), func(lo, hi int) {
+		matMulTRows(dst, a, b, lo, hi)
+	})
 	return dst
 }
 
-// TMatMul computes dst = aᵀ·b.
+// matMulTRows computes dst rows [lo, hi) of a·bᵀ.
+func matMulTRows(dst, a, b *Matrix, lo, hi int) {
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// TMatMul computes dst = aᵀ·b. The output is split row-wise (columns of a)
+// across the shared worker pool; each dst element accumulates over samples
+// in ascending order within its one chunk, so results are bit-identical at
+// any pool size.
 func TMatMul(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: TMatMul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -143,21 +239,64 @@ func TMatMul(dst, a, b *Matrix) *Matrix {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: TMatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
+	if a.Rows*a.Cols*b.Cols < 2*parMinFlops || parallel.Workers() == 1 {
+		tMatMulCols(dst, a, b, 0, a.Cols)
+		return dst
+	}
+	parallel.For(a.Cols, matMulGrain(a.Rows*b.Cols), func(lo, hi int) {
+		tMatMulCols(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// tMatMulCols accumulates dst rows [lo, hi) of aᵀ·b (i.e. columns [lo, hi)
+// of a), streaming sample rows of a and b across the whole chunk four at a
+// time so each pass over an output row retires four samples. The unroll
+// pattern is the same at every pool size, keeping results bit-identical
+// however the columns are chunked.
+func tMatMulCols(dst, a, b *Matrix, lo, hi int) {
+	m, n := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	r := 0
+	for ; r+3 < a.Rows; r += 4 {
+		a0 := a.Data[r*m : (r+1)*m]
+		a1 := a.Data[(r+1)*m : (r+2)*m]
+		a2 := a.Data[(r+2)*m : (r+3)*m]
+		a3 := a.Data[(r+3)*m : (r+4)*m]
+		b0 := b.Data[r*n : (r+1)*n]
+		b1 := b.Data[(r+1)*n : (r+2)*n]
+		b2 := b.Data[(r+2)*n : (r+3)*n]
+		b3 := b.Data[(r+3)*n : (r+4)*n]
+		for i := lo; i < hi; i++ {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+			}
+		}
+	}
+	for ; r < a.Rows; r++ {
+		arow := a.Data[r*m : (r+1)*m]
+		brow := b.Data[r*n : (r+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
-			drow := dst.Row(i)
+			drow := dst.Data[i*n : (i+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
-	return dst
 }
 
 // Dot returns the inner product of equal-length vectors a and b.
