@@ -18,7 +18,7 @@
 //	    Resources:   alchemy.Resources{Rows: 16, Cols: 16},
 //	})
 //	platform.Schedule(model)                                    // platform.schedule(...)
-//	pipeline, err := homunculus.Generate(platform)              // homunculus.generate(...)
+//	pipeline, err := homunculus.Generate(ctx, platform)         // homunculus.generate(...)
 //
 // Composition uses Seq (the > operator) and Par (the | operator):
 // platform.Schedule(alchemy.Seq(m1, alchemy.Par(m2, m3), m4)).

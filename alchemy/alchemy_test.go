@@ -147,8 +147,14 @@ func TestPlatformDefaults(t *testing.T) {
 	if FPGA().Constraints.Resources.MaxLUTPct != 100 {
 		t.Fatal("fpga defaults")
 	}
-	if PlatformTaurus.String() != "taurus" || PlatformKind(9).String() == "" {
+	if PlatformTaurus.String() != "taurus" || PlatformKind("abacus").String() != "abacus" {
 		t.Fatal("platform stringer")
+	}
+	if _, err := PlatformFor("abacus"); err == nil {
+		t.Fatal("unregistered kind must fail")
+	}
+	if p, err := PlatformFor("fpga"); err != nil || p.Constraints.Resources.MaxPowerW != 0 {
+		t.Fatalf("fpga power cap must default to unbounded (0): %+v, %v", p, err)
 	}
 }
 

@@ -2,55 +2,41 @@ package alchemy
 
 import (
 	"fmt"
+
+	"repro/internal/backend"
 )
 
-// PlatformKind identifies a backend family.
-type PlatformKind int
+// PlatformKind identifies a backend family by its registry name. The set
+// of legal kinds is whatever internal/backend has registered — the DSL
+// carries no platform list of its own.
+type PlatformKind string
 
-// Supported platforms (the Platforms class: Taurus, Tofino, FPGA).
+// Bundled platforms (the Platforms class: Taurus, Tofino, FPGA). Any
+// registered backend kind is legal; these constants just name the three
+// the paper evaluates.
 const (
-	PlatformTaurus PlatformKind = iota
-	PlatformTofino
-	PlatformFPGA
+	PlatformTaurus PlatformKind = "taurus"
+	PlatformTofino PlatformKind = "tofino"
+	PlatformFPGA   PlatformKind = "fpga"
 )
 
 // String names the platform.
-func (k PlatformKind) String() string {
-	switch k {
-	case PlatformTaurus:
-		return "taurus"
-	case PlatformTofino:
-		return "tofino"
-	case PlatformFPGA:
-		return "fpga"
-	default:
-		return fmt.Sprintf("PlatformKind(%d)", int(k))
-	}
-}
+func (k PlatformKind) String() string { return string(k) }
 
 // Performance holds the network constraints the operator declares
-// ("performance": {"throughput": 1, "latency": 500}).
-type Performance struct {
-	ThroughputGPkts float64 // minimum, GPkt/s
-	LatencyNS       float64 // maximum, nanoseconds
-}
+// ("performance": {"throughput": 1, "latency": 500}). It aliases the
+// backend-neutral constraint type: what the DSL declares is exactly what
+// backend factories consume.
+type Performance = backend.Performance
 
 // Resources holds the platform resource declaration. Fields apply per
 // platform: Rows/Cols for Taurus grids, Tables for MAT switches,
 // MaxLUTPct/MaxPowerW for FPGAs. Zero values select platform defaults.
-type Resources struct {
-	Rows, Cols int     // Taurus CGRA grid
-	Tables     int     // MAT table budget
-	MaxLUTPct  float64 // FPGA utilization cap
-	MaxPowerW  float64 // FPGA power cap
-}
+type Resources = backend.Resources
 
 // Constraints pairs performance and resource declarations (the < operator
 // of Table 1: Platforms < (performance, resources)).
-type Constraints struct {
-	Performance Performance
-	Resources   Resources
-}
+type Constraints = backend.Constraints
 
 // Platform is a declared deployment target plus its constraints and
 // scheduled models.
@@ -60,39 +46,36 @@ type Platform struct {
 	Sched       *Schedule
 }
 
-// Taurus declares a Taurus switch target with the evaluation defaults
-// (1 GPkt/s, 500 ns, 16×16 grid).
-func Taurus() *Platform {
-	return &Platform{
-		Kind: PlatformTaurus,
-		Constraints: Constraints{
-			Performance: Performance{ThroughputGPkts: 1, LatencyNS: 500},
-			Resources:   Resources{Rows: 16, Cols: 16},
-		},
+// PlatformFor declares a target of the given registered backend kind,
+// pre-filled with that backend's default constraints (the evaluation
+// setups: 16×16 Taurus grid at 1 GPkt/s / 500 ns, 32-table Tofino,
+// Alveo U250 at 100% LUT / unbounded power).
+func PlatformFor(kind string) (*Platform, error) {
+	defaults, err := backend.Defaults(kind)
+	if err != nil {
+		return nil, fmt.Errorf("alchemy: %w", err)
 	}
+	return &Platform{Kind: PlatformKind(kind), Constraints: defaults}, nil
 }
+
+// mustPlatform backs the bundled constructors, whose kinds are always
+// registered.
+func mustPlatform(kind PlatformKind) *Platform {
+	p, err := PlatformFor(string(kind))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Taurus declares a Taurus switch target with the evaluation defaults.
+func Taurus() *Platform { return mustPlatform(PlatformTaurus) }
 
 // Tofino declares a MAT-pipeline switch target.
-func Tofino() *Platform {
-	return &Platform{
-		Kind: PlatformTofino,
-		Constraints: Constraints{
-			Performance: Performance{ThroughputGPkts: 1, LatencyNS: 1000},
-			Resources:   Resources{Tables: 32},
-		},
-	}
-}
+func Tofino() *Platform { return mustPlatform(PlatformTofino) }
 
 // FPGA declares an FPGA NIC/accelerator target (Alveo U250 testbed).
-func FPGA() *Platform {
-	return &Platform{
-		Kind: PlatformFPGA,
-		Constraints: Constraints{
-			Performance: Performance{ThroughputGPkts: 0.1, LatencyNS: 2000},
-			Resources:   Resources{MaxLUTPct: 100, MaxPowerW: 1e9},
-		},
-	}
-}
+func FPGA() *Platform { return mustPlatform(PlatformFPGA) }
 
 // Constrain overrides the platform constraints (platform.constrain(...)).
 // Zero-valued fields keep the current setting.
@@ -134,15 +117,21 @@ func (p *Platform) Schedule(item interface {
 	return p
 }
 
-// Validate reports declaration errors.
+// BackendSpec renders the declaration as the backend-neutral build
+// request the registry consumes.
+func (p *Platform) BackendSpec() backend.Spec {
+	return backend.Spec{Kind: string(p.Kind), Constraints: p.Constraints}
+}
+
+// Validate reports declaration errors. Platform kinds are checked against
+// the backend registry, so a new registered backend is immediately legal
+// in the DSL.
 func (p *Platform) Validate() error {
 	if p == nil {
 		return fmt.Errorf("alchemy: nil platform")
 	}
-	switch p.Kind {
-	case PlatformTaurus, PlatformTofino, PlatformFPGA:
-	default:
-		return fmt.Errorf("alchemy: unknown platform kind %d", int(p.Kind))
+	if !backend.Registered(string(p.Kind)) {
+		return fmt.Errorf("alchemy: unknown platform kind %q (registered: %v)", p.Kind, backend.Names())
 	}
 	if p.Sched == nil {
 		return fmt.Errorf("alchemy: platform %s has no scheduled models", p.Kind)

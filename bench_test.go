@@ -9,10 +9,12 @@ package homunculus
 // substrates.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -195,7 +197,7 @@ func BenchmarkAblationRandomVsBO(b *testing.B) {
 		b.Fatal(err)
 	}
 	app := core.App{Name: "ad", Train: train, Test: test, Normalize: true}
-	target := core.NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 
 	var boBest, randBest float64
 	seeds := []int64{1, 2, 3}
@@ -210,7 +212,7 @@ func BenchmarkAblationRandomVsBO(b *testing.B) {
 			sc.MaxHiddenLayers = 3
 			sc.MaxNeurons = 16
 			sc.Seed = seed
-			res, err := core.Search(app, target, sc)
+			res, err := core.Search(context.Background(), app, target, sc)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -221,7 +223,7 @@ func BenchmarkAblationRandomVsBO(b *testing.B) {
 			rc := sc
 			rc.BO.InitSamples = 9
 			rc.BO.Iterations = 0
-			res2, err := core.Search(app, target, rc)
+			res2, err := core.Search(context.Background(), app, target, rc)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -246,7 +248,7 @@ func BenchmarkAblationFeasibility(b *testing.B) {
 		b.Fatal(err)
 	}
 	app := core.App{Name: "ad", Train: train, Test: test, Normalize: true}
-	tight := core.NewTaurusTarget()
+	tight := backend.NewTaurusTarget()
 	tight.Grid.Rows, tight.Grid.Cols = 6, 6
 
 	var withFeas, deployable float64
@@ -256,7 +258,7 @@ func BenchmarkAblationFeasibility(b *testing.B) {
 		sc.BO.InitSamples = 4
 		sc.BO.Iterations = 8
 		sc.TrainEpochs = 6
-		res, err := core.Search(app, tight, sc)
+		res, err := core.Search(context.Background(), app, tight, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -462,7 +464,7 @@ func BenchmarkBOIteration(b *testing.B) {
 		cfg.Iterations = 5
 		cfg.Candidates = 200
 		allocs := testing.AllocsPerRun(3, func() {
-			if _, err := bo.Maximize(space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+			if _, err := bo.Maximize(context.Background(), space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 				return -(x[0]*x[0] + x[1]*x[1]), true, nil, nil
 			}); err != nil {
 				b.Fatal(err)
@@ -479,7 +481,7 @@ func BenchmarkBOIteration(b *testing.B) {
 		cfg.Iterations = 5
 		cfg.Candidates = 200
 		cfg.Seed = int64(i)
-		_, err := bo.Maximize(space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+		_, err := bo.Maximize(context.Background(), space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 			return -(x[0]*x[0] + x[1]*x[1]), true, nil, nil
 		})
 		if err != nil {
@@ -520,7 +522,7 @@ func BenchmarkParetoSearch(b *testing.B) {
 		sc.TrainEpochs = 6
 		sc.MaxHiddenLayers = 3
 		sc.MaxNeurons = 16
-		res, err = core.SearchPareto(app, core.NewTaurusTarget(), sc, ir.DNN)
+		res, err = core.SearchPareto(context.Background(), app, backend.NewTaurusTarget(), sc, ir.DNN)
 		if err != nil {
 			b.Fatal(err)
 		}

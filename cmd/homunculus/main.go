@@ -5,6 +5,13 @@
 // printed report.
 //
 //	homunculus -spec pipeline.json -out build/
+//	homunculus -spec pipeline.json -platform all   # sweep every backend
+//	homunculus -spec pipeline.json -timeout 30s    # bound the search
+//
+// -platform overrides the spec's platform.kind; the special value "all"
+// compiles the spec against every registered backend and prints the
+// per-target feasibility table. -timeout cancels compilation through the
+// pipeline's context plumbing.
 //
 // Spec format (see cmd/homunculus/testdata/ad.json for a full example):
 //
@@ -24,14 +31,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/alchemy"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ir"
@@ -88,17 +100,25 @@ func main() {
 	log.SetFlags(0)
 	specPath := flag.String("spec", "", "path to the pipeline spec JSON (required)")
 	outDir := flag.String("out", "build", "output directory for generated artifacts")
+	platform := flag.String("platform", "", "override the spec's platform.kind; \"all\" sweeps every registered backend")
+	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *outDir); err != nil {
+	if err := run(*specPath, *outDir, *platform, *timeout); err != nil {
 		log.Fatalf("homunculus: %v", err)
 	}
 }
 
-func run(specPath, outDir string) error {
+func run(specPath, outDir, platformOverride string, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	raw, err := os.ReadFile(specPath)
 	if err != nil {
 		return fmt.Errorf("read spec: %w", err)
@@ -109,6 +129,9 @@ func run(specPath, outDir string) error {
 	}
 	if spec.Name == "" {
 		return fmt.Errorf("spec needs a name")
+	}
+	if platformOverride != "" {
+		spec.Platform.Kind = platformOverride
 	}
 
 	loader, err := buildLoader(spec.Data, filepath.Dir(specPath))
@@ -121,11 +144,6 @@ func run(specPath, outDir string) error {
 		Algorithms:         spec.Algorithms,
 		DataLoader:         loader,
 	})
-	platform, err := buildPlatform(spec.Platform)
-	if err != nil {
-		return err
-	}
-	platform.Schedule(model)
 
 	search := core.DefaultSearchConfig()
 	if spec.Search.Init > 0 {
@@ -147,8 +165,21 @@ func run(specPath, outDir string) error {
 		search.Seed = spec.Search.Seed
 	}
 
-	pipe, err := homunculus.Generate(platform, homunculus.WithSearchConfig(search))
+	if spec.Platform.Kind == "all" {
+		return runSweep(ctx, spec, model, outDir, search)
+	}
+
+	platform, err := buildPlatform(spec.Platform)
 	if err != nil {
+		return err
+	}
+	platform.Schedule(model)
+
+	pipe, err := homunculus.Generate(ctx, platform, homunculus.WithSearchConfig(search))
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("compilation timed out after %v: %w", timeout, err)
+		}
 		return err
 	}
 	app := pipe.Apps[0]
@@ -167,11 +198,7 @@ func run(specPath, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
 	}
-	ext := ".spatial"
-	if pipe.Platform == "tofino" {
-		ext = ".p4"
-	}
-	codePath := filepath.Join(outDir, spec.Name+ext)
+	codePath := filepath.Join(outDir, spec.Name+backend.CodeExt(pipe.Platform))
 	if err := os.WriteFile(codePath, []byte(app.Code), 0o644); err != nil {
 		return fmt.Errorf("write code: %w", err)
 	}
@@ -311,19 +338,20 @@ func buildLoader(d DataSpec, baseDir string) (alchemy.DataLoader, error) {
 	}
 }
 
+// buildPlatform resolves the declared kind through the backend registry;
+// an unknown kind's error lists every registered backend.
 func buildPlatform(p PlatformSpec) (*alchemy.Platform, error) {
-	var plat *alchemy.Platform
-	switch p.Kind {
-	case "taurus", "":
-		plat = alchemy.Taurus()
-	case "tofino":
-		plat = alchemy.Tofino()
-	case "fpga":
-		plat = alchemy.FPGA()
-	default:
-		return nil, fmt.Errorf("unknown platform %q (have taurus, tofino, fpga)", p.Kind)
+	plat, err := alchemy.PlatformFor(orDefault(p.Kind, "taurus"))
+	if err != nil {
+		return nil, err
 	}
-	plat.Constrain(alchemy.Constraints{
+	plat.Constrain(p.constraints())
+	return plat, nil
+}
+
+// constraints renders the spec's platform section as DSL constraints.
+func (p PlatformSpec) constraints() alchemy.Constraints {
+	return alchemy.Constraints{
 		Performance: alchemy.Performance{
 			ThroughputGPkts: p.ThroughputGPkts,
 			LatencyNS:       p.LatencyNS,
@@ -332,8 +360,77 @@ func buildPlatform(p PlatformSpec) (*alchemy.Platform, error) {
 			Rows: p.Rows, Cols: p.Cols, Tables: p.Tables,
 			MaxLUTPct: p.MaxLUTPct, MaxPowerW: p.MaxPowerW,
 		},
-	})
-	return plat, nil
+	}
+}
+
+// runSweep compiles the spec against every registered backend and prints
+// the per-target feasibility table, writing code artifacts for each
+// deployable target.
+func runSweep(ctx context.Context, spec Spec, model *alchemy.Model, outDir string, search core.SearchConfig) error {
+	// The declared kind is irrelevant for a sweep (GenerateAcross swaps
+	// it per target), and the base starts with ZERO constraints so that
+	// only the spec's explicit fields carry across backends — every
+	// unset field takes each backend's own registered defaults, exactly
+	// as a direct single-target run would.
+	base := &alchemy.Platform{}
+	base.Constrain(spec.Platform.constraints())
+	base.Schedule(model)
+
+	reports, err := homunculus.GenerateAcross(ctx, base, nil, homunculus.WithSearchConfig(search))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	fmt.Printf("cross-platform sweep of %q over %d backends\n", spec.Name, len(reports))
+	fmt.Printf("%-10s %-9s %-8s %-9s %s\n", "platform", "algo", "metric", "feasible", "detail")
+	deployable := 0
+	for _, r := range reports {
+		if r.Err != nil {
+			fmt.Printf("%-10s %-9s %-8s %-9s %v\n", r.Platform, "-", "-", "error", r.Err)
+			continue
+		}
+		app := r.Pipeline.Apps[0]
+		if app.Model == nil {
+			fmt.Printf("%-10s %-9s %-8s %-9v %s\n", r.Platform, "-", "-", false, sweepDetail(app))
+			continue
+		}
+		deployable++
+		fmt.Printf("%-10s %-9s %-8.4f %-9v %s\n",
+			r.Platform, app.Algorithm, app.Metric, app.Verdict.Feasible, verdictDetail(app.Verdict))
+		codePath := filepath.Join(outDir, spec.Name+"."+r.Platform+backend.CodeExt(r.Platform))
+		if err := os.WriteFile(codePath, []byte(app.Code), 0o644); err != nil {
+			return fmt.Errorf("write code for %s: %w", r.Platform, err)
+		}
+	}
+	if deployable == 0 {
+		return fmt.Errorf("no registered backend produced a deployable pipeline")
+	}
+	fmt.Printf("%d/%d backends deployable; artifacts in %s\n", deployable, len(reports), outDir)
+	return nil
+}
+
+// sweepDetail explains an undeployable app row.
+func sweepDetail(app homunculus.AppResult) string {
+	for _, c := range app.Candidates {
+		if c.Skipped != "" {
+			return fmt.Sprintf("%s skipped: %s", c.Algorithm, c.Skipped)
+		}
+	}
+	return "no feasible model under the given constraints"
+}
+
+// verdictDetail renders the interesting verdict metrics compactly.
+func verdictDetail(v core.Verdict) string {
+	var parts []string
+	for _, k := range []string{"cus", "mus", "tables", "latency_ns", "throughput_gpkts", "lut_pct", "power_w"} {
+		if val, ok := v.Metrics[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%.2f", k, val))
+		}
+	}
+	return strings.Join(parts, " ")
 }
 
 func readCSV(path string) (*dataset.Dataset, error) {

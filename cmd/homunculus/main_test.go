@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/synth/nslkdd"
@@ -12,7 +15,7 @@ import (
 
 func TestRunTaurusSpec(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/ad.json", out); err != nil {
+	if err := run("testdata/ad.json", out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	code, err := os.ReadFile(filepath.Join(out, "anomaly_detection.spatial"))
@@ -38,7 +41,7 @@ func TestRunTaurusSpec(t *testing.T) {
 
 func TestRunTofinoSpec(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/tc_tofino.json", out); err != nil {
+	if err := run("testdata/tc_tofino.json", out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	code, err := os.ReadFile(filepath.Join(out, "traffic_class.p4"))
@@ -88,7 +91,7 @@ func TestRunCSVSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := t.TempDir()
-	if err := run(specPath, out); err != nil {
+	if err := run(specPath, out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "csv_pipeline.spatial")); err != nil {
@@ -98,29 +101,88 @@ func TestRunCSVSpec(t *testing.T) {
 
 func TestRunSpecErrors(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/does_not_exist.json", out); err == nil {
+	if err := run("testdata/does_not_exist.json", out, "", 0); err == nil {
 		t.Fatal("missing spec must fail")
 	}
 	dir := t.TempDir()
 	badPath := filepath.Join(dir, "bad.json")
 	os.WriteFile(badPath, []byte("not json"), 0o644)
-	if err := run(badPath, out); err == nil {
+	if err := run(badPath, out, "", 0); err == nil {
 		t.Fatal("garbage spec must fail")
 	}
 	noName := filepath.Join(dir, "noname.json")
 	os.WriteFile(noName, []byte(`{"data": {"generator": "nslkdd"}}`), 0o644)
-	if err := run(noName, out); err == nil {
+	if err := run(noName, out, "", 0); err == nil {
 		t.Fatal("nameless spec must fail")
 	}
 	badGen := filepath.Join(dir, "badgen.json")
 	os.WriteFile(badGen, []byte(`{"name": "x", "data": {"generator": "zzz"}}`), 0o644)
-	if err := run(badGen, out); err == nil {
+	if err := run(badGen, out, "", 0); err == nil {
 		t.Fatal("unknown generator must fail")
 	}
 	badPlat := filepath.Join(dir, "badplat.json")
 	os.WriteFile(badPlat, []byte(`{"name": "x", "data": {"generator": "nslkdd"}, "platform": {"kind": "abacus"}}`), 0o644)
-	if err := run(badPlat, out); err == nil {
+	if err := run(badPlat, out, "", 0); err == nil {
 		t.Fatal("unknown platform must fail")
+	}
+}
+
+// TestRunPlatformAllSweep drives the acceptance scenario: -platform all
+// compiles one spec against every registered backend and writes an
+// artifact per deployable target (taurus and fpga here; tofino prunes
+// the DNN and stays undeployable).
+func TestRunPlatformAllSweep(t *testing.T) {
+	out := t.TempDir()
+	if err := run("testdata/ad.json", out, "all", 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"anomaly_detection.taurus.spatial", "anomaly_detection.fpga.spatial"} {
+		if _, err := os.Stat(filepath.Join(out, want)); err != nil {
+			t.Fatalf("sweep artifact %s missing: %v", want, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(out, "anomaly_detection.tofino.p4")); err == nil {
+		t.Fatal("tofino cannot host a DNN; no artifact expected")
+	}
+}
+
+// TestRunPlatformOverride: -platform swaps the spec's declared kind.
+func TestRunPlatformOverride(t *testing.T) {
+	out := t.TempDir()
+	if err := run("testdata/tc_tofino.json", out, "taurus", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "traffic_class.spatial")); err != nil {
+		t.Fatal("override to taurus must emit Spatial")
+	}
+}
+
+// TestRunTimeout: a hopeless deadline must abort with a context error
+// instead of compiling.
+func TestRunTimeout(t *testing.T) {
+	err := run("testdata/ad.json", t.TempDir(), "", time.Nanosecond)
+	if err == nil {
+		t.Fatal("1ns budget must time out")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error must wrap DeadlineExceeded, got: %v", err)
+	}
+}
+
+// TestUnknownPlatformListsBackends: the error for a bogus kind must name
+// every registered backend.
+func TestUnknownPlatformListsBackends(t *testing.T) {
+	dir := t.TempDir()
+	badPlat := filepath.Join(dir, "badplat.json")
+	os.WriteFile(badPlat, []byte(`{"name": "x", "data": {"generator": "nslkdd"}, "platform": {"kind": "abacus"}}`), 0o644)
+	err := run(badPlat, t.TempDir(), "", 0)
+	if err == nil {
+		t.Fatal("unknown platform must fail")
+	}
+	for _, name := range []string{"taurus", "tofino", "fpga"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error must list %q, got: %v", name, err)
+		}
 	}
 }
 

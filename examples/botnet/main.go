@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ir"
@@ -50,7 +52,7 @@ func main() {
 	cfg.BO.InitSamples = 4
 	cfg.BO.Iterations = 8
 
-	res, err := core.Search(app, core.NewTaurusTarget(), cfg)
+	res, err := core.Search(context.Background(), app, backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 	search := core.DefaultSearchConfig()
 	search.BO.InitSamples = 4
 	search.BO.Iterations = 8
-	pipe, err := homunculus.Generate(platform, homunculus.WithSearchConfig(search))
+	pipe, err := homunculus.Generate(context.Background(), platform, homunculus.WithSearchConfig(search))
 	if err != nil {
 		log.Fatal(err)
 	}

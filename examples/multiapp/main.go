@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/synth/nslkdd"
@@ -36,9 +38,9 @@ func main() {
 	// 16x16 grid (the Table-3 scenario chains modest-size detectors).
 	search.MaxHiddenLayers = 3
 	search.MaxNeurons = 8
-	target := core.NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 
-	res, err := core.Search(app, target, search)
+	res, err := core.Search(context.Background(), app, target, search)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,13 +85,13 @@ func main() {
 	ok, overlap := core.FusionCandidate(app1, app2)
 	fmt.Printf("  feature overlap %.0f%% -> fusion candidate: %v\n", overlap*100, ok)
 
-	r1, err := core.Search(app1, target, search)
+	r1, err := core.Search(context.Background(), app1, target, search)
 	if err != nil {
 		log.Fatal(err)
 	}
 	search2 := search
 	search2.Seed = search.Seed + 7
-	r2, err := core.Search(app2, target, search2)
+	r2, err := core.Search(context.Background(), app2, target, search2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func main() {
 	}
 	searchF := search
 	searchF.Seed = search.Seed + 13
-	rf, err := core.Search(fused, target, searchF)
+	rf, err := core.Search(context.Background(), fused, target, searchF)
 	if err != nil {
 		log.Fatal(err)
 	}

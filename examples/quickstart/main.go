@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 
 	// Schedule model and generate code (lines 32–33).
 	platform.Schedule(modelSpec)
-	pipeline, err := homunculus.Generate(platform)
+	pipeline, err := homunculus.Generate(context.Background(), platform)
 	if err != nil {
 		log.Fatalf("homunculus: %v", err)
 	}

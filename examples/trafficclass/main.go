@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 		})
 		platform.Schedule(model)
 
-		pipeline, err := homunculus.Generate(platform, homunculus.WithSearchConfig(search))
+		pipeline, err := homunculus.Generate(context.Background(), platform, homunculus.WithSearchConfig(search))
 		if err != nil {
 			log.Fatalf("homunculus: %v", err)
 		}

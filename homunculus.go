@@ -8,7 +8,15 @@
 //	platform := alchemy.Taurus()
 //	platform.Constrain(alchemy.Constraints{ ... })
 //	platform.Schedule(model)
-//	pipeline, err := homunculus.Generate(platform)
+//	pipeline, err := homunculus.Generate(ctx, platform)
+//
+// Compilation runs as an explicit staged pipeline — load → search →
+// compose → codegen (docs/architecture.md) — with per-app fan-out on the
+// shared worker pool, cooperative cancellation through ctx, and optional
+// progress reporting via WithProgress. Backends resolve through the
+// internal/backend registry, so GenerateAcross can compile one
+// declaration against every registered platform and report the verdict
+// per target.
 //
 // The returned Pipeline carries, per scheduled model, the selected
 // algorithm and architecture, the achieved objective metric (measured with
@@ -17,12 +25,50 @@
 package homunculus
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/alchemy"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/parallel"
 )
+
+// Stage names one phase of the compilation pipeline, in execution order:
+// load (datasets materialize), search (per-app design-space exploration),
+// compose (whole-pipeline feasibility), codegen (backend source).
+type Stage string
+
+// Pipeline stages.
+const (
+	StageLoad    Stage = "load"
+	StageSearch  Stage = "search"
+	StageCompose Stage = "compose"
+	StageCodegen Stage = "codegen"
+)
+
+// Event is one progress notification. Every unit of work emits a start
+// event (Done false) and a completion event (Done true); candidate-level
+// search events additionally carry the algorithm family.
+type Event struct {
+	Stage Stage
+	// App is the application (model) name; empty for pipeline-level
+	// events (the compose stage).
+	App string
+	// Candidate is the algorithm family of a per-candidate search event;
+	// empty for app-level events.
+	Candidate string
+	// Done marks completion of the (stage, app, candidate) unit.
+	Done bool
+}
+
+// ProgressFunc observes pipeline progress. Calls are serialized (no
+// internal locking needed) but may come from worker goroutines; keep it
+// fast or hand off to a channel. Observability only — it cannot change
+// compilation results.
+type ProgressFunc func(Event)
 
 // Option customizes Generate.
 type Option func(*options)
@@ -30,6 +76,7 @@ type Option func(*options)
 type options struct {
 	search   core.SearchConfig
 	override bool
+	progress ProgressFunc
 }
 
 // WithSearchConfig replaces the default search configuration (BO budget,
@@ -44,6 +91,11 @@ func WithSearchConfig(cfg core.SearchConfig) Option {
 // WithSeed sets the global search seed, keeping other defaults.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.search.Seed = seed }
+}
+
+// WithProgress installs a progress observer on the pipeline.
+func WithProgress(fn ProgressFunc) Option {
+	return func(o *options) { o.progress = fn }
 }
 
 // AppResult is the outcome for one scheduled model.
@@ -69,15 +121,22 @@ type Pipeline struct {
 	Platform string
 	Apps     []AppResult
 	// Composition is the whole-pipeline resource verdict when more than
-	// one model is scheduled on a Taurus target.
+	// one model is scheduled on a composition-capable target.
 	Composition *core.Verdict
 }
 
-// Generate compiles the platform's scheduled models: for each model it
-// runs the optimization core (design-space creation, BO-guided DSE,
-// training, feasibility testing) and code generation; for compositions it
-// additionally checks whole-pipeline resources (§3.2.1 consistency rules).
-func Generate(p *alchemy.Platform, opts ...Option) (*Pipeline, error) {
+// Generate compiles the platform's scheduled models through the staged
+// pipeline: load materializes each unique model's datasets; search runs
+// the optimization core per app, fanned out on the shared worker pool
+// (§3.2.1's parallel runs, lifted to whole applications); compose checks
+// whole-pipeline resources for multi-model schedules (§3.2.1 consistency
+// rules); codegen emits the backend source for every deployable model.
+//
+// Cancellation is cooperative: when ctx is done, running searches abort
+// at their next evaluation and Generate returns an error wrapping
+// ctx.Err(). With an undone ctx, fixed-seed output is byte-identical at
+// any GOMAXPROCS.
+func Generate(ctx context.Context, p *alchemy.Platform, opts ...Option) (*Pipeline, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,62 +144,167 @@ func Generate(p *alchemy.Platform, opts ...Option) (*Pipeline, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-
-	target, err := buildTarget(p)
+	target, err := backend.Build(p.BackendSpec())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("homunculus: %w", err)
+	}
+	return compile(ctx, p, target, &o)
+}
+
+// appJob is one unique scheduled model flowing through the stages.
+type appJob struct {
+	model *alchemy.Model
+	app   core.App
+	cfg   core.SearchConfig
+	res   *core.SearchResult
+	out   AppResult
+}
+
+func compile(ctx context.Context, p *alchemy.Platform, target core.Target, o *options) (*Pipeline, error) {
+	// Progress calls are serialized across the concurrently searching
+	// apps so the observer needs no locking of its own.
+	var progressMu sync.Mutex
+	emit := func(ev Event) {
+		if o.progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		o.progress(ev)
 	}
 
-	pipe := &Pipeline{Platform: p.Kind.String()}
+	// Stage 1: load. Each *alchemy.Model is loaded and searched once even
+	// if scheduled several times (e.g. the Table-3 chaining experiment);
+	// loads run serially because DataLoaders are arbitrary user code.
 	models := p.Sched.Models()
-	// Memoize by *alchemy.Model so a model scheduled several times (e.g.
-	// the Table-3 chaining experiment) is searched once.
-	cache := map[*alchemy.Model]AppResult{}
-	var leaves []*core.Composition
+	index := map[*alchemy.Model]int{}
+	var jobs []*appJob
 	for _, m := range models {
-		res, ok := cache[m]
-		if !ok {
-			var err error
-			res, err = generateOne(m, target, o.search)
-			if err != nil {
-				return nil, err
-			}
-			cache[m] = res
+		if _, seen := index[m]; seen {
+			continue
 		}
-		pipe.Apps = append(pipe.Apps, res)
-		if res.Model != nil {
-			leaves = append(leaves, core.Leaf(res.Model))
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("homunculus: compilation cancelled: %w", err)
+		}
+		emit(Event{Stage: StageLoad, App: m.Spec.Name})
+		job, err := loadApp(m, target, o.search)
+		if err != nil {
+			return nil, err
+		}
+		emit(Event{Stage: StageLoad, App: m.Spec.Name, Done: true})
+		index[m] = len(jobs)
+		jobs = append(jobs, job)
+	}
+
+	// Stage 2: search. Apps fan out as tasks on the shared pool — the
+	// same pool their family searches and kernels draw helpers from, so
+	// multi-app schedules parallelize without oversubscribing. Each task
+	// writes only its own job, keeping fixed-seed results independent of
+	// scheduling.
+	errs := make([]error, len(jobs))
+	tasks := make([]func(), 0, len(jobs))
+	for i, job := range jobs {
+		i, job := i, job
+		tasks = append(tasks, func() {
+			emit(Event{Stage: StageSearch, App: job.app.Name})
+			cfg := job.cfg
+			cfg.OnCandidate = func(ev core.CandidateEvent) {
+				emit(Event{Stage: StageSearch, App: ev.App, Candidate: ev.Algorithm.String(), Done: ev.Done})
+			}
+			res, err := core.Search(ctx, job.app, target, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			job.res = res
+			emit(Event{Stage: StageSearch, App: job.app.Name, Done: true})
+		})
+	}
+	runErr := parallel.RunCtx(ctx, tasks...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("homunculus: compilation cancelled: %w", runErr)
+	}
+	for _, job := range jobs {
+		job.out = AppResult{Name: job.app.Name, Candidates: job.res.Candidates}
+		if best := job.res.Best; best != nil {
+			// A nil Best is not an error: the app surfaces with an empty
+			// model so multi-app schedules can report partial success.
+			job.out.Algorithm = best.Algorithm.String()
+			job.out.Metric = best.Metric
+			job.out.Model = best.Model
+			job.out.Verdict = best.Verdict
 		}
 	}
 
-	// Whole-pipeline feasibility for multi-model Taurus schedules.
-	if tt, ok := target.(*core.TaurusTarget); ok && len(leaves) > 1 {
-		comp := buildComposition(p.Sched, pipe.Apps)
-		if comp != nil {
-			v, err := core.EstimateComposition(tt, comp)
+	// Stage 3: compose. Whole-pipeline feasibility for multi-model
+	// schedules on composition-capable targets (Taurus).
+	pipe := &Pipeline{Platform: p.Kind.String()}
+	leaves := 0
+	for _, m := range models {
+		out := jobs[index[m]].out
+		pipe.Apps = append(pipe.Apps, out)
+		if out.Model != nil {
+			leaves++
+		}
+	}
+	if _, ok := target.(core.Composer); ok && leaves > 1 {
+		emit(Event{Stage: StageCompose})
+		if comp := buildComposition(p.Sched, pipe.Apps); comp != nil {
+			v, err := core.EstimateComposition(target, comp)
 			if err != nil {
 				return nil, err
 			}
 			pipe.Composition = &v
 		}
+		emit(Event{Stage: StageCompose, Done: true})
+	}
+
+	// Stage 4: codegen. Emit backend source once per unique model, then
+	// share it across that model's schedule instances.
+	for _, job := range jobs {
+		if job.out.Model == nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("homunculus: compilation cancelled: %w", err)
+		}
+		emit(Event{Stage: StageCodegen, App: job.out.Name})
+		code, err := target.Generate(job.out.Model)
+		if err != nil {
+			return nil, err
+		}
+		job.out.Code = code
+		emit(Event{Stage: StageCodegen, App: job.out.Name, Done: true})
+	}
+	for i, m := range models {
+		pipe.Apps[i].Code = jobs[index[m]].out.Code
 	}
 	return pipe, nil
 }
 
-func generateOne(m *alchemy.Model, target core.Target, search core.SearchConfig) (AppResult, error) {
+// loadApp materializes one model's datasets and search configuration.
+func loadApp(m *alchemy.Model, target core.Target, search core.SearchConfig) (*appJob, error) {
 	data, err := m.Spec.DataLoader.Load()
 	if err != nil {
-		return AppResult{}, fmt.Errorf("homunculus: load data for %q: %w", m.Spec.Name, err)
+		return nil, fmt.Errorf("homunculus: load data for %q: %w", m.Spec.Name, err)
 	}
 	train, test, err := data.Datasets()
 	if err != nil {
-		return AppResult{}, fmt.Errorf("homunculus: model %q: %w", m.Spec.Name, err)
+		return nil, fmt.Errorf("homunculus: model %q: %w", m.Spec.Name, err)
 	}
-	app := core.App{
-		Name:      m.Spec.Name,
-		Train:     train,
-		Test:      test,
-		Normalize: m.Spec.Normalize == nil || *m.Spec.Normalize,
+	job := &appJob{
+		model: m,
+		app: core.App{
+			Name:      m.Spec.Name,
+			Train:     train,
+			Test:      test,
+			Normalize: m.Spec.Normalize == nil || *m.Spec.Normalize,
+		},
 	}
 	cfg := search
 	cfg.Metric = core.Metric(m.Spec.OptimizationMetric)
@@ -148,62 +312,58 @@ func generateOne(m *alchemy.Model, target core.Target, search core.SearchConfig)
 	for _, a := range m.Spec.Algorithms {
 		kind, err := ir.ParseKind(a)
 		if err != nil {
-			return AppResult{}, fmt.Errorf("homunculus: model %q: %w", m.Spec.Name, err)
+			return nil, fmt.Errorf("homunculus: model %q: %w", m.Spec.Name, err)
 		}
 		cfg.Algorithms = append(cfg.Algorithms, kind)
 	}
-	res, err := core.Search(app, target, cfg)
-	if err != nil {
-		return AppResult{}, err
-	}
-	out := AppResult{Name: m.Spec.Name, Candidates: res.Candidates}
-	if res.Best == nil {
-		// No feasible model exists under the constraints: surface it as a
-		// result with empty model rather than an error, so multi-app
-		// schedules can report partial success.
-		return out, nil
-	}
-	out.Algorithm = res.Best.Algorithm.String()
-	out.Metric = res.Best.Metric
-	out.Model = res.Best.Model
-	out.Verdict = res.Best.Verdict
-	out.Code = res.Code
-	return out, nil
+	job.cfg = cfg
+	return job, nil
 }
 
-// buildTarget translates the Alchemy platform declaration into a core
-// backend target.
-func buildTarget(p *alchemy.Platform) (core.Target, error) {
-	switch p.Kind {
-	case alchemy.PlatformTaurus:
-		t := core.NewTaurusTarget()
-		if p.Constraints.Resources.Rows > 0 {
-			t.Grid.Rows = p.Constraints.Resources.Rows
-		}
-		if p.Constraints.Resources.Cols > 0 {
-			t.Grid.Cols = p.Constraints.Resources.Cols
-		}
-		if p.Constraints.Performance.ThroughputGPkts > 0 {
-			t.Constraints.ThroughputGPkts = p.Constraints.Performance.ThroughputGPkts
-		}
-		if p.Constraints.Performance.LatencyNS > 0 {
-			t.Constraints.LatencyNS = p.Constraints.Performance.LatencyNS
-		}
-		return t, nil
-	case alchemy.PlatformTofino:
-		return core.NewMATTarget(p.Constraints.Resources.Tables), nil
-	case alchemy.PlatformFPGA:
-		t := core.NewFPGATarget()
-		if p.Constraints.Resources.MaxLUTPct > 0 {
-			t.MaxLUTPct = p.Constraints.Resources.MaxLUTPct
-		}
-		if p.Constraints.Resources.MaxPowerW > 0 {
-			t.MaxPowerW = p.Constraints.Resources.MaxPowerW
-		}
-		return t, nil
-	default:
-		return nil, fmt.Errorf("homunculus: unsupported platform %v", p.Kind)
+// TargetReport is one backend's outcome in a cross-platform sweep.
+type TargetReport struct {
+	// Platform is the registry kind ("taurus", "tofino", "fpga", ...).
+	Platform string
+	// Pipeline is the compiled result; nil when compilation failed
+	// outright (Err set).
+	Pipeline *Pipeline
+	// Err records a hard per-target failure (bad constraints for that
+	// backend, load errors). "No feasible model" is NOT an error — it
+	// shows as a Pipeline whose apps carry no model.
+	Err error
+}
+
+// GenerateAcross compiles one declaration against several backends — by
+// default every registered one — and reports per-target outcomes: the
+// scenario-diversity sweep the backend registry enables. The platform's
+// declared kind is ignored; its constraints and schedule apply to every
+// target (zero-valued constraint fields take each backend's defaults).
+// Targets compile in sorted-kind order, each through the full staged
+// pipeline, so per-target results match a direct Generate call with that
+// kind. Hard failures on one target do not stop the sweep; cancellation
+// does.
+func GenerateAcross(ctx context.Context, p *alchemy.Platform, kinds []string, opts ...Option) ([]TargetReport, error) {
+	if len(kinds) == 0 {
+		kinds = backend.Names()
 	}
+	reports := make([]TargetReport, 0, len(kinds))
+	for _, kind := range kinds {
+		if err := ctx.Err(); err != nil {
+			return reports, fmt.Errorf("homunculus: sweep cancelled: %w", err)
+		}
+		clone := *p
+		clone.Kind = alchemy.PlatformKind(kind)
+		pipe, err := Generate(ctx, &clone, opts...)
+		if err != nil {
+			if ctx.Err() != nil {
+				return reports, err
+			}
+			reports = append(reports, TargetReport{Platform: kind, Err: err})
+			continue
+		}
+		reports = append(reports, TargetReport{Platform: kind, Pipeline: pipe})
+	}
+	return reports, nil
 }
 
 // buildComposition mirrors the alchemy schedule tree over the searched

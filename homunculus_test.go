@@ -1,6 +1,7 @@
 package homunculus
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -59,7 +60,7 @@ func TestGenerateSingleModelTaurus(t *testing.T) {
 	})
 	platform.Schedule(model)
 
-	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	pipe, err := Generate(context.Background(), platform, WithSearchConfig(fastConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestGenerateTofinoKMeans(t *testing.T) {
 	platform.Constrain(alchemy.Constraints{Resources: alchemy.Resources{Tables: 4}})
 	platform.Schedule(model)
 
-	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	pipe, err := Generate(context.Background(), platform, WithSearchConfig(fastConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestGenerateComposition(t *testing.T) {
 	platform := alchemy.Taurus()
 	platform.Schedule(alchemy.Seq(m1, m2))
 
-	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	pipe, err := Generate(context.Background(), platform, WithSearchConfig(fastConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestGenerateMemoizesRepeatedModel(t *testing.T) {
 	platform := alchemy.Taurus()
 	platform.Schedule(alchemy.Seq(m, m, m, m)) // Table-3 style: 4 copies
 
-	pipe, err := Generate(platform, WithSearchConfig(fastConfig()))
+	pipe, err := Generate(context.Background(), platform, WithSearchConfig(fastConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,14 +165,14 @@ func TestGenerateMemoizesRepeatedModel(t *testing.T) {
 }
 
 func TestGenerateValidationErrors(t *testing.T) {
-	if _, err := Generate(alchemy.Taurus()); err == nil {
+	if _, err := Generate(context.Background(), alchemy.Taurus()); err == nil {
 		t.Fatal("unscheduled platform must fail")
 	}
 	bad := alchemy.NewModel(alchemy.ModelSpec{
 		Name: "x", Algorithms: []string{"not_an_algo"}, DataLoader: sampleLoader(6)})
 	p := alchemy.Taurus()
 	p.Schedule(bad)
-	if _, err := Generate(p, WithSearchConfig(fastConfig())); err == nil {
+	if _, err := Generate(context.Background(), p, WithSearchConfig(fastConfig())); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
 }
@@ -186,7 +187,7 @@ func TestGenerateInfeasibleReturnsEmptyApp(t *testing.T) {
 		Name: "d", Algorithms: []string{"dnn"}, DataLoader: sampleLoader(7)})
 	p := alchemy.Tofino()
 	p.Schedule(model)
-	pipe, err := Generate(p, WithSearchConfig(fastConfig()))
+	pipe, err := Generate(context.Background(), p, WithSearchConfig(fastConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,11 +205,11 @@ func TestWithSeed(t *testing.T) {
 	p := alchemy.Taurus()
 	p.Schedule(model)
 	cfg := fastConfig()
-	a, err := Generate(p, WithSearchConfig(cfg), WithSeed(42))
+	a, err := Generate(context.Background(), p, WithSearchConfig(cfg), WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(p, WithSearchConfig(cfg), WithSeed(42))
+	b, err := Generate(context.Background(), p, WithSearchConfig(cfg), WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,10 +6,12 @@ package homunculus
 // underlying substrates.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/alchemy"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/synth/iottc"
@@ -90,7 +92,7 @@ func TestEndToEndADOnTaurus(t *testing.T) {
 		Resources:   alchemy.Resources{Rows: 16, Cols: 16},
 	})
 	platform.Schedule(model)
-	pipe, err := Generate(platform, WithSearchConfig(integrationSearch()))
+	pipe, err := Generate(context.Background(), platform, WithSearchConfig(integrationSearch()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestEndToEndADOnTaurus(t *testing.T) {
 	}
 
 	// Verdict must be reproducible from the model alone.
-	target := core.NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 	fresh, err := target.Estimate(stripNormIntegration(app.Model))
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +176,7 @@ func TestEndToEndAllPlatforms(t *testing.T) {
 				DataLoader:         nslkddLoader(1200, 2),
 			})
 			tc.platform.Schedule(model)
-			pipe, err := Generate(tc.platform, WithSearchConfig(integrationSearch()))
+			pipe, err := Generate(context.Background(), tc.platform, WithSearchConfig(integrationSearch()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -208,7 +210,7 @@ func TestEndToEndClusteringBudgets(t *testing.T) {
 		platform.Schedule(model)
 		cfg := integrationSearch()
 		cfg.BO.Iterations = 8
-		pipe, err := Generate(platform, WithSearchConfig(cfg))
+		pipe, err := Generate(context.Background(), platform, WithSearchConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +244,7 @@ func TestEndToEndCompositionFeasibility(t *testing.T) {
 	platform.Constrain(alchemy.Constraints{Resources: alchemy.Resources{Rows: 6, Cols: 6}})
 	platform.Schedule(alchemy.Par(model, model, model, model, model, model))
 	cfg := integrationSearch()
-	pipe, err := Generate(platform, WithSearchConfig(cfg))
+	pipe, err := Generate(context.Background(), platform, WithSearchConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,92 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/fpga"
+	"repro/internal/ir"
+	"repro/internal/spatialgen"
+)
+
+// FPGATarget deploys onto the bump-in-the-wire FPGA testbed (P4-SDNet /
+// Spatial-to-Verilog flow). Resource feasibility uses utilization caps.
+type FPGATarget struct {
+	Shell fpga.Shell
+	// MaxLUTPct bounds LUT utilization (100% default); MaxPowerW bounds
+	// board power, with zero meaning unbounded.
+	MaxLUTPct float64
+	MaxPowerW float64
+}
+
+// NewFPGATarget returns the Alveo U250 testbed model: full LUT budget,
+// no power cap.
+func NewFPGATarget() *FPGATarget {
+	return &FPGATarget{Shell: fpga.U250Shell(), MaxLUTPct: 100}
+}
+
+func init() {
+	Register(Registration{
+		Kind:    "fpga",
+		CodeExt: ".spatial",
+		Defaults: Constraints{
+			Performance: Performance{ThroughputGPkts: 0.1, LatencyNS: 2000},
+			Resources:   Resources{MaxLUTPct: 100},
+		},
+		Factory: func(spec Spec) (Target, error) {
+			r := spec.Constraints.Resources
+			if r.MaxLUTPct < 0 {
+				return nil, fmt.Errorf("FPGA LUT cap must not be negative, got %v%%", r.MaxLUTPct)
+			}
+			if r.MaxPowerW < 0 {
+				return nil, fmt.Errorf("FPGA power cap must not be negative, got %v W", r.MaxPowerW)
+			}
+			t := NewFPGATarget()
+			if r.MaxLUTPct > 0 {
+				t.MaxLUTPct = r.MaxLUTPct
+			}
+			t.MaxPowerW = r.MaxPowerW // zero stays "unbounded"
+			return t, nil
+		},
+	})
+}
+
+// Name implements Target.
+func (t *FPGATarget) Name() string { return "fpga" }
+
+// Supports implements Target.
+func (t *FPGATarget) Supports(kind ir.Kind) bool { return true }
+
+// ResourceKey implements Target: LUT utilization is the binding resource.
+func (t *FPGATarget) ResourceKey() string { return "lut_pct" }
+
+// Estimate implements Target.
+func (t *FPGATarget) Estimate(m *ir.Model) (Verdict, error) {
+	r, err := fpga.Estimate(t.Shell, m)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		Metrics: map[string]float64{
+			"lut_pct":  r.LUTPct,
+			"ff_pct":   r.FFPct,
+			"bram_pct": r.BRAMPct,
+			"power_w":  r.PowerW,
+		},
+	}
+	v.Feasible = r.LUTPct <= t.MaxLUTPct && (t.MaxPowerW <= 0 || r.PowerW <= t.MaxPowerW)
+	if !v.Feasible {
+		v.Reason = fmt.Sprintf("utilization %.2f%% LUT / %.2f W exceeds caps", r.LUTPct, r.PowerW)
+	}
+	return v, nil
+}
+
+// Generate implements Target: the FPGA flow compiles Spatial to Verilog,
+// so the emitted source is Spatial (§5.2 "compiled to Verilog using the
+// Spatial compiler").
+func (t *FPGATarget) Generate(m *ir.Model) (string, error) {
+	p, err := spatialgen.Generate(m)
+	if err != nil {
+		return "", fmt.Errorf("backend: fpga codegen: %w", err)
+	}
+	return p.Source, nil
+}

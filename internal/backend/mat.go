@@ -1,0 +1,79 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mat"
+	"repro/internal/p4gen"
+)
+
+// MATTarget deploys onto a match-action pipeline through IIsy.
+type MATTarget struct {
+	Pipeline mat.Pipeline
+}
+
+// NewMATTarget returns a MAT target with the given table budget (the
+// Figure-7 resource sweep) atop the default pipeline geometry.
+func NewMATTarget(tables int) *MATTarget {
+	p := mat.DefaultPipeline()
+	if tables > 0 {
+		p.Tables = tables
+	}
+	return &MATTarget{Pipeline: p}
+}
+
+func init() {
+	Register(Registration{
+		Kind:    "tofino",
+		CodeExt: ".p4",
+		Defaults: Constraints{
+			Performance: Performance{ThroughputGPkts: 1, LatencyNS: 1000},
+			Resources:   Resources{Tables: 32},
+		},
+		Factory: func(spec Spec) (Target, error) {
+			if spec.Constraints.Resources.Tables < 0 {
+				return nil, fmt.Errorf("MAT table budget must be positive, got %d", spec.Constraints.Resources.Tables)
+			}
+			return NewMATTarget(spec.Constraints.Resources.Tables), nil
+		},
+	})
+}
+
+// Name implements Target.
+func (t *MATTarget) Name() string { return "tofino-mat" }
+
+// Supports implements Target: DNNs are pruned upfront — general matrix
+// multiplies do not map onto MATs at line rate (§3.2.1's example of
+// ruling out DNNs on table-limited switches).
+func (t *MATTarget) Supports(kind ir.Kind) bool { return kind != ir.DNN }
+
+// ResourceKey implements Target: tables are the scarce MAT resource.
+func (t *MATTarget) ResourceKey() string { return "tables" }
+
+// Estimate implements Target.
+func (t *MATTarget) Estimate(m *ir.Model) (Verdict, error) {
+	r, err := mat.Estimate(t.Pipeline, m)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Feasible: r.Feasible(),
+		Reason:   r.Reason,
+		Metrics: map[string]float64{
+			"tables":           float64(r.TablesUsed),
+			"entries":          float64(r.EntriesUsed),
+			"latency_ns":       r.LatencyNS,
+			"throughput_gpkts": r.ThroughputGPkts,
+		},
+	}, nil
+}
+
+// Generate implements Target (P4 source).
+func (t *MATTarget) Generate(m *ir.Model) (string, error) {
+	p, err := p4gen.Generate(m)
+	if err != nil {
+		return "", fmt.Errorf("backend: MAT codegen: %w", err)
+	}
+	return p.Source, nil
+}

@@ -1,0 +1,109 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/spatialgen"
+	"repro/internal/taurus"
+)
+
+// TaurusTarget deploys onto the Taurus CGRA fabric.
+type TaurusTarget struct {
+	Grid        taurus.Grid
+	Constraints taurus.Constraints
+}
+
+// NewTaurusTarget returns the default 16×16 grid at 1 GPkt/s / 500 ns.
+func NewTaurusTarget() *TaurusTarget {
+	return &TaurusTarget{Grid: taurus.DefaultGrid(), Constraints: taurus.DefaultConstraints()}
+}
+
+func init() {
+	Register(Registration{
+		Kind:    "taurus",
+		CodeExt: ".spatial",
+		Defaults: Constraints{
+			Performance: Performance{ThroughputGPkts: 1, LatencyNS: 500},
+			Resources:   Resources{Rows: 16, Cols: 16},
+		},
+		Factory: func(spec Spec) (Target, error) {
+			t := NewTaurusTarget()
+			if r := spec.Constraints.Resources; r.Rows < 0 || r.Cols < 0 {
+				return nil, fmt.Errorf("taurus grid must be positive, got %dx%d", r.Rows, r.Cols)
+			}
+			if spec.Constraints.Resources.Rows > 0 {
+				t.Grid.Rows = spec.Constraints.Resources.Rows
+			}
+			if spec.Constraints.Resources.Cols > 0 {
+				t.Grid.Cols = spec.Constraints.Resources.Cols
+			}
+			if spec.Constraints.Performance.ThroughputGPkts > 0 {
+				t.Constraints.ThroughputGPkts = spec.Constraints.Performance.ThroughputGPkts
+			}
+			if spec.Constraints.Performance.LatencyNS > 0 {
+				t.Constraints.LatencyNS = spec.Constraints.Performance.LatencyNS
+			}
+			return t, nil
+		},
+	})
+}
+
+// Name implements Target.
+func (t *TaurusTarget) Name() string { return "taurus" }
+
+// Supports implements Target: the MapReduce fabric executes all families.
+func (t *TaurusTarget) Supports(kind ir.Kind) bool { return true }
+
+// ResourceKey implements Target: compute units bind first on the grid.
+func (t *TaurusTarget) ResourceKey() string { return "cus" }
+
+// Estimate implements Target.
+func (t *TaurusTarget) Estimate(m *ir.Model) (Verdict, error) {
+	r, err := taurus.Estimate(t.Grid, t.Constraints, m)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Feasible: r.Feasible(),
+		Reason:   r.Reason,
+		Metrics: map[string]float64{
+			"cus":              float64(r.CUs),
+			"mus":              float64(r.MUs),
+			"stages":           float64(r.Stages),
+			"latency_ns":       r.LatencyNS,
+			"throughput_gpkts": r.ThroughputGPkts,
+		},
+	}, nil
+}
+
+// Generate implements Target (Spatial source).
+func (t *TaurusTarget) Generate(m *ir.Model) (string, error) {
+	p, err := spatialgen.Generate(m)
+	if err != nil {
+		return "", fmt.Errorf("backend: taurus codegen: %w", err)
+	}
+	return p.Source, nil
+}
+
+// EstimateComposition implements Composer: a multi-model schedule maps
+// onto one fabric, with latency following the longest chain (Table 3).
+func (t *TaurusTarget) EstimateComposition(models []*ir.Model, chainDepth int) (Verdict, error) {
+	rep, err := taurus.EstimateComposition(t.Grid, t.Constraints, models, chainDepth)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Feasible: rep.Feasible(),
+		Reason:   rep.Reason,
+		Metrics: map[string]float64{
+			"cus":              float64(rep.CUs),
+			"mus":              float64(rep.MUs),
+			"stages":           float64(rep.Stages),
+			"latency_ns":       rep.LatencyNS,
+			"throughput_gpkts": rep.ThroughputGPkts,
+			"models":           float64(len(models)),
+			"chain_depth":      float64(chainDepth),
+		},
+	}, nil
+}

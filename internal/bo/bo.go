@@ -14,6 +14,7 @@
 package bo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -312,7 +313,12 @@ func newSuggestScratch(nCands, dims int) *suggestScratch {
 // with scheduling-independent seeds and a lowest-index argmax. Every
 // evaluation error is fatal (the caller's black box is expected to encode
 // failures as infeasible rather than erroring).
-func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
+//
+// Cancellation is checked before every evaluation: once ctx is done,
+// Maximize returns the history so far together with an error wrapping
+// ctx.Err(). An undone ctx never changes the trajectory, so fixed-seed
+// runs stay byte-identical to the uncancellable API.
+func Maximize(ctx context.Context, space Space, cfg Config, obj Objective) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -325,6 +331,9 @@ func Maximize(space Space, cfg Config, obj Objective) (Result, error) {
 	scratch := newSuggestScratch(cfg.Candidates, len(space.Params))
 
 	evaluate := func(x []float64) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("bo: search cancelled after %d evaluations: %w", len(res.History), err)
+		}
 		val, feas, metrics, err := obj(x)
 		if err != nil {
 			return fmt.Errorf("bo: objective evaluation failed: %w", err)

@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -121,7 +122,7 @@ func TestMaximizeFindsOptimum(t *testing.T) {
 	cfg.InitSamples = 5
 	cfg.Iterations = 25
 	cfg.Seed = 3
-	res, err := Maximize(space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+	res, err := Maximize(context.Background(), space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 		return -(x[0] - 2) * (x[0] - 2), true, nil, nil
 	})
 	if err != nil {
@@ -157,7 +158,7 @@ func TestBOConvergesAcrossSeeds(t *testing.T) {
 		cfg.InitSamples = 5
 		cfg.Iterations = 30
 		cfg.Seed = seed
-		res, err := Maximize(space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+		res, err := Maximize(context.Background(), space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 			return f(x), true, nil, nil
 		})
 		if err != nil {
@@ -179,7 +180,7 @@ func TestFeasibilityConstraintRespected(t *testing.T) {
 	cfg.InitSamples = 6
 	cfg.Iterations = 20
 	cfg.Seed = 5
-	res, err := Maximize(space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+	res, err := Maximize(context.Background(), space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 		return -(x[0] - 4) * (x[0] - 4), x[0] <= 0, nil, nil
 	})
 	if err != nil {
@@ -200,7 +201,7 @@ func TestAllInfeasible(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.InitSamples = 3
 	cfg.Iterations = 3
-	res, err := Maximize(space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+	res, err := Maximize(context.Background(), space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 		return 0, false, nil, nil
 	})
 	if err != nil {
@@ -217,7 +218,7 @@ func TestAllInfeasible(t *testing.T) {
 func TestObjectiveErrorPropagates(t *testing.T) {
 	cfg := DefaultConfig()
 	boom := errors.New("boom")
-	_, err := Maximize(space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+	_, err := Maximize(context.Background(), space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 		return 0, false, nil, boom
 	})
 	if !errors.Is(err, boom) {
@@ -232,8 +233,8 @@ func TestDeterministicRuns(t *testing.T) {
 	obj := func(x []float64) (float64, bool, map[string]float64, error) {
 		return math.Sin(x[0]), true, nil, nil
 	}
-	r1, _ := Maximize(space1D(), cfg, obj)
-	r2, _ := Maximize(space1D(), cfg, obj)
+	r1, _ := Maximize(context.Background(), space1D(), cfg, obj)
+	r2, _ := Maximize(context.Background(), space1D(), cfg, obj)
 	for i := range r1.History {
 		if r1.History[i].X[0] != r2.History[i].X[0] {
 			t.Fatal("same seed must replay identical evaluations")
@@ -270,7 +271,7 @@ func TestEvaluationsInBoundsQuick(t *testing.T) {
 		cfg.Iterations = 3
 		cfg.Candidates = 50
 		cfg.Seed = seed
-		res, err := Maximize(space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+		res, err := Maximize(context.Background(), space, cfg, func(x []float64) (float64, bool, map[string]float64, error) {
 			return x[0] + x[1], x[2] != 6, nil, nil
 		})
 		if err != nil {
@@ -297,5 +298,53 @@ func TestEvaluationsInBoundsQuick(t *testing.T) {
 func TestKindString(t *testing.T) {
 	if Real.String() != "real" || Categorical.String() != "categorical" || Kind(9).String() == "" {
 		t.Fatal("Kind stringer")
+	}
+}
+
+func TestMaximizeCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitSamples = 3
+	cfg.Iterations = 20
+	cfg.Candidates = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	res, err := Maximize(ctx, space1D(), cfg, func(x []float64) (float64, bool, map[string]float64, error) {
+		evals++
+		if evals == 5 {
+			cancel()
+		}
+		return -x[0] * x[0], true, nil, nil
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped Canceled, got %v", err)
+	}
+	if evals != 5 {
+		t.Fatalf("search must stop at the next evaluation after cancel, ran %d", evals)
+	}
+	if len(res.History) != 5 {
+		t.Fatalf("partial history must survive cancellation: %d", len(res.History))
+	}
+}
+
+func TestMaximizeMultiCancellation(t *testing.T) {
+	space := Space{Params: []Param{{Name: "x", Kind: Real, Min: 0, Max: 1}}}
+	cfg := DefaultConfig()
+	cfg.InitSamples = 2
+	cfg.Iterations = 20
+	cfg.Candidates = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	_, err := MaximizeMulti(ctx, space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
+		evals++
+		if evals == 4 {
+			cancel()
+		}
+		return []float64{x[0], -x[0]}, true, nil, nil
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped Canceled, got %v", err)
+	}
+	if evals != 4 {
+		t.Fatalf("ran %d evaluations after cancel", evals)
 	}
 }

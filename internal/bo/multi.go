@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -82,8 +83,9 @@ func ParetoFront(evals []MultiEvaluation) []MultiEvaluation {
 // nObjectives objectives. Each iteration draws a random weight vector on
 // the simplex and runs the single-objective acquisition against the
 // weighted sum; the returned result carries the full history and its
-// Pareto front.
-func MaximizeMulti(space Space, cfg Config, nObjectives int, obj MultiObjective) (MultiResult, error) {
+// Pareto front. Cancellation follows the Maximize contract: checked
+// before every evaluation, trajectory untouched while ctx is undone.
+func MaximizeMulti(ctx context.Context, space Space, cfg Config, nObjectives int, obj MultiObjective) (MultiResult, error) {
 	if err := space.Validate(); err != nil {
 		return MultiResult{}, err
 	}
@@ -97,6 +99,9 @@ func MaximizeMulti(space Space, cfg Config, nObjectives int, obj MultiObjective)
 	var res MultiResult
 
 	evaluate := func(x []float64) (MultiEvaluation, error) {
+		if err := ctx.Err(); err != nil {
+			return MultiEvaluation{}, fmt.Errorf("bo: search cancelled after %d evaluations: %w", len(res.History), err)
+		}
 		values, feasible, metrics, err := obj(x)
 		if err != nil {
 			return MultiEvaluation{}, fmt.Errorf("bo: multi-objective evaluation failed: %w", err)

@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -55,7 +56,7 @@ func TestMaximizeMultiTradeoff(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.InitSamples = 5
 	cfg.Iterations = 10
-	res, err := MaximizeMulti(space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
+	res, err := MaximizeMulti(context.Background(), space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
 		return []float64{x[0], 1 - x[0]}, true, nil, nil
 	})
 	if err != nil {
@@ -85,7 +86,7 @@ func TestMaximizeMultiFindsKnee(t *testing.T) {
 	cfg.InitSamples = 5
 	cfg.Iterations = 20
 	cfg.Seed = 2
-	res, err := MaximizeMulti(space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
+	res, err := MaximizeMulti(context.Background(), space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
 		return []float64{-(x[0] - 1) * (x[0] - 1), -(x[1] + 1) * (x[1] + 1)}, true, nil, nil
 	})
 	if err != nil {
@@ -107,7 +108,7 @@ func TestMaximizeMultiFeasibility(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.InitSamples = 4
 	cfg.Iterations = 8
-	res, err := MaximizeMulti(space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
+	res, err := MaximizeMulti(context.Background(), space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
 		return []float64{x[0], 1 - x[0]}, x[0] <= 0.5, nil, nil
 	})
 	if err != nil {
@@ -123,16 +124,16 @@ func TestMaximizeMultiFeasibility(t *testing.T) {
 func TestMaximizeMultiErrors(t *testing.T) {
 	space := Space{Params: []Param{{Name: "x", Kind: Real, Min: 0, Max: 1}}}
 	cfg := DefaultConfig()
-	if _, err := MaximizeMulti(space, cfg, 1, nil); err == nil {
+	if _, err := MaximizeMulti(context.Background(), space, cfg, 1, nil); err == nil {
 		t.Fatal("single objective must be rejected")
 	}
 	boom := errors.New("boom")
-	if _, err := MaximizeMulti(space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
+	if _, err := MaximizeMulti(context.Background(), space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
 		return nil, false, nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatal("objective error must propagate")
 	}
-	if _, err := MaximizeMulti(space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
+	if _, err := MaximizeMulti(context.Background(), space, cfg, 2, func(x []float64) ([]float64, bool, map[string]float64, error) {
 		return []float64{1}, true, nil, nil // wrong arity
 	}); err == nil {
 		t.Fatal("wrong value arity must fail")

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
-	"repro/internal/taurus"
 )
 
 // CompOp is a composition operator from the Alchemy DSL (§3.1.1):
@@ -150,29 +149,18 @@ func ThroughputConsistent(rates []float64) (float64, error) {
 	return min, nil
 }
 
-// EstimateComposition maps a composition onto a Taurus target, returning
-// the Table-3 style verdict. Resources are strategy-independent (glue
-// logic folds into existing CUs); latency follows the longest chain.
-func EstimateComposition(t *TaurusTarget, c *Composition) (Verdict, error) {
+// EstimateComposition maps a composition onto a target that implements
+// the Composer capability, returning the Table-3 style verdict. On
+// Taurus, resources are strategy-independent (glue logic folds into
+// existing CUs) and latency follows the longest chain. Targets without
+// whole-pipeline support return an error.
+func EstimateComposition(t Target, c *Composition) (Verdict, error) {
+	comp, ok := t.(Composer)
+	if !ok {
+		return Verdict{}, fmt.Errorf("core: target %s cannot host multi-model compositions", t.Name())
+	}
 	if err := c.Validate(); err != nil {
 		return Verdict{}, err
 	}
-	models := c.Models()
-	rep, err := taurus.EstimateComposition(t.Grid, t.Constraints, models, c.ChainDepth())
-	if err != nil {
-		return Verdict{}, err
-	}
-	return Verdict{
-		Feasible: rep.Feasible(),
-		Reason:   rep.Reason,
-		Metrics: map[string]float64{
-			"cus":              float64(rep.CUs),
-			"mus":              float64(rep.MUs),
-			"stages":           float64(rep.Stages),
-			"latency_ns":       rep.LatencyNS,
-			"throughput_gpkts": rep.ThroughputGPkts,
-			"models":           float64(len(models)),
-			"chain_depth":      float64(c.ChainDepth()),
-		},
-	}, nil
+	return comp.EstimateComposition(c.Models(), c.ChainDepth())
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/fixed"
 	"repro/internal/ir"
 )
@@ -72,7 +73,7 @@ func TestCompositionValidateErrors(t *testing.T) {
 func TestTable3ResourceInvariance(t *testing.T) {
 	// The Table-3 experiment: identical CU/MU totals across strategies.
 	m := adModel(t)
-	target := NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 	seq, err := EstimateComposition(target, Chain(Leaf(m), Leaf(m), Leaf(m), Leaf(m)))
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +115,7 @@ func TestThroughputConsistent(t *testing.T) {
 }
 
 func TestEstimateCompositionInvalid(t *testing.T) {
-	target := NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 	if _, err := EstimateComposition(target, &Composition{}); err == nil {
 		t.Fatal("invalid composition must error")
 	}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/parallel"
 	"repro/internal/synth/nslkdd"
 )
@@ -64,7 +66,7 @@ func TestSearchDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	sc.Seed = 42
 
 	run := func() []byte {
-		res, err := Search(app, NewTaurusTarget(), sc)
+		res, err := Search(context.Background(), app, backend.NewTaurusTarget(), sc)
 		if err != nil {
 			t.Fatal(err)
 		}

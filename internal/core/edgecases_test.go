@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/dataset"
 	"repro/internal/ir"
 )
@@ -26,7 +28,7 @@ func TestSearchSingleClassDataset(t *testing.T) {
 	app := App{Name: "degenerate", Train: train, Test: test, Normalize: true}
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DTree}
-	res, err := Search(app, NewTaurusTarget(), cfg)
+	res, err := Search(context.Background(), app, backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func TestSearchConstantFeatures(t *testing.T) {
 	app := App{Name: "constfeat", Train: train, Test: test, Normalize: true}
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.SVM}
-	res, err := Search(app, NewTaurusTarget(), cfg)
+	res, err := Search(context.Background(), app, backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestSearchTinyDataset(t *testing.T) {
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.KMeans} // K may exceed sample count: those evals are infeasible, not fatal
 	cfg.Metric = MetricVMeasure
-	res, err := Search(app, NewMATTarget(8), cfg)
+	res, err := Search(context.Background(), app, backend.NewMATTarget(8), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,9 +95,9 @@ func TestSearchImpossibleGrid(t *testing.T) {
 	app := smallApp(t, 30)
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
-	target := NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 	target.Grid.Rows, target.Grid.Cols = 1, 1
-	res, err := Search(app, target, cfg)
+	res, err := Search(context.Background(), app, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/dataset"
 	"repro/internal/ir"
 )
@@ -92,13 +94,13 @@ func TestTable4FusedResourcesNearOneModel(t *testing.T) {
 	a, b := twoOverlappingApps(t, 4)
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
-	target := NewTaurusTarget()
+	target := backend.NewTaurusTarget()
 
-	resA, err := Search(a, target, cfg)
+	resA, err := Search(context.Background(), a, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := Search(b, target, cfg)
+	resB, err := Search(context.Background(), b, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestTable4FusedResourcesNearOneModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resF, err := Search(fused, target, cfg)
+	resF, err := Search(context.Background(), fused, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,24 +35,11 @@ type ParetoSearchResult struct {
 	Evaluations int
 }
 
-// resourceKey picks the binding resource metric for a target.
-func resourceKey(target Target) string {
-	switch target.(type) {
-	case *TaurusTarget:
-		return "cus"
-	case *MATTarget:
-		return "tables"
-	case *FPGATarget:
-		return "lut_pct"
-	default:
-		return "cus"
-	}
-}
-
 // SearchPareto runs a two-objective BO (maximize metric, minimize the
-// target's binding resource) over one algorithm family and returns the
-// feasible Pareto front.
-func SearchPareto(app App, target Target, cfg SearchConfig, kind ir.Kind) (*ParetoSearchResult, error) {
+// target's binding resource, per target.ResourceKey) over one algorithm
+// family and returns the feasible Pareto front. Cancellation follows the
+// Search contract.
+func SearchPareto(ctx context.Context, app App, target Target, cfg SearchConfig, kind ir.Kind) (*ParetoSearchResult, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -65,7 +53,7 @@ func SearchPareto(app App, target Target, cfg SearchConfig, kind ir.Kind) (*Pare
 		return nil, fmt.Errorf("core: target %s does not support %s", target.Name(), kind)
 	}
 	space, build := familySpace(app, cfg, kind)
-	key := resourceKey(target)
+	key := target.ResourceKey()
 
 	var norm *dataset.Normalizer
 	train, test := app.Train, app.Test
@@ -124,7 +112,7 @@ func SearchPareto(app App, target Target, cfg SearchConfig, kind ir.Kind) (*Pare
 		return []float64{metric, -resource}, verdict.Feasible, metrics, nil
 	}
 
-	multiRes, err := bo.MaximizeMulti(space, boCfg, 2, objective)
+	multiRes, err := bo.MaximizeMulti(ctx, space, boCfg, 2, objective)
 	if err != nil {
 		return nil, fmt.Errorf("core: pareto search: %w", err)
 	}

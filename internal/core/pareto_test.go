@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/ir"
 )
 
@@ -11,7 +13,7 @@ func TestSearchParetoFrontier(t *testing.T) {
 	cfg := fastSearchConfig()
 	cfg.BO.InitSamples = 5
 	cfg.BO.Iterations = 10
-	res, err := SearchPareto(app, NewTaurusTarget(), cfg, ir.DNN)
+	res, err := SearchPareto(context.Background(), app, backend.NewTaurusTarget(), cfg, ir.DNN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestSearchParetoMAT(t *testing.T) {
 	app := smallApp(t, 21)
 	cfg := fastSearchConfig()
 	cfg.Metric = MetricVMeasure
-	res, err := SearchPareto(app, NewMATTarget(6), cfg, ir.KMeans)
+	res, err := SearchPareto(context.Background(), app, backend.NewMATTarget(6), cfg, ir.KMeans)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,15 +72,15 @@ func TestSearchParetoMAT(t *testing.T) {
 func TestSearchParetoErrors(t *testing.T) {
 	app := smallApp(t, 22)
 	cfg := fastSearchConfig()
-	if _, err := SearchPareto(app, nil, cfg, ir.DNN); err == nil {
+	if _, err := SearchPareto(context.Background(), app, nil, cfg, ir.DNN); err == nil {
 		t.Fatal("nil target must error")
 	}
-	if _, err := SearchPareto(app, NewMATTarget(8), cfg, ir.DNN); err == nil {
+	if _, err := SearchPareto(context.Background(), app, backend.NewMATTarget(8), cfg, ir.DNN); err == nil {
 		t.Fatal("unsupported family must error")
 	}
 	bad := app
 	bad.Name = ""
-	if _, err := SearchPareto(bad, NewTaurusTarget(), cfg, ir.DNN); err == nil {
+	if _, err := SearchPareto(context.Background(), bad, backend.NewTaurusTarget(), cfg, ir.DNN); err == nil {
 		t.Fatal("invalid app must error")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/dataset"
 	"repro/internal/svm"
 )
@@ -46,7 +47,7 @@ func svmCfgFor(app App) svm.Config {
 func TestPruneFitsLooseBudget(t *testing.T) {
 	app := wideApp(t, 6, 1)
 	// 8 tables: 6 features + decision fits without pruning.
-	res, err := PruneSVMToFit(app, NewMATTarget(8), fastSearchConfig(), svmCfgFor(app))
+	res, err := PruneSVMToFit(app, backend.NewMATTarget(8), fastSearchConfig(), svmCfgFor(app))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestPruneFitsLooseBudget(t *testing.T) {
 func TestPruneDropsLeastImpactfulFirst(t *testing.T) {
 	app := wideApp(t, 6, 2)
 	// 4 tables: only 3 features + decision fit; must drop 3.
-	res, err := PruneSVMToFit(app, NewMATTarget(4), fastSearchConfig(), svmCfgFor(app))
+	res, err := PruneSVMToFit(app, backend.NewMATTarget(4), fastSearchConfig(), svmCfgFor(app))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestPruneImpossibleBudget(t *testing.T) {
 	app := wideApp(t, 4, 3)
 	// 1 table cannot host even a single-feature SVM (needs feature +
 	// decision tables).
-	res, err := PruneSVMToFit(app, NewMATTarget(1), fastSearchConfig(), svmCfgFor(app))
+	res, err := PruneSVMToFit(app, backend.NewMATTarget(1), fastSearchConfig(), svmCfgFor(app))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestPruneErrors(t *testing.T) {
 	}
 	bad := app
 	bad.Name = ""
-	if _, err := PruneSVMToFit(bad, NewMATTarget(8), fastSearchConfig(), svmCfgFor(app)); err == nil {
+	if _, err := PruneSVMToFit(bad, backend.NewMATTarget(8), fastSearchConfig(), svmCfgFor(app)); err == nil {
 		t.Fatal("invalid app must error")
 	}
 }

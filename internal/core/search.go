@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -82,6 +83,22 @@ type SearchConfig struct {
 	// Format is the data-plane fixed-point format.
 	Format fixed.Format
 	Seed   int64
+	// OnCandidate, when non-nil, observes family-level search progress:
+	// one start event and one done event (carrying the result) per
+	// algorithm family, including pruned families. The core serializes
+	// calls, so the callback need not be thread-safe; it is observability
+	// only and cannot influence the (deterministic) search.
+	OnCandidate func(CandidateEvent)
+}
+
+// CandidateEvent is one family-level progress notification.
+type CandidateEvent struct {
+	App       string
+	Algorithm ir.Kind
+	// Done is false when the family's search starts, true when it
+	// finishes (Result set) or is pruned upfront (Result.Skipped set).
+	Done   bool
+	Result *CandidateResult
 }
 
 // DefaultSearchConfig mirrors the evaluation's setup at laptop scale.
@@ -131,19 +148,23 @@ type CandidateResult struct {
 	Skipped string
 }
 
-// SearchResult is the final model selection.
+// SearchResult is the final model selection. Code generation is a
+// separate pipeline stage: call target.Generate(res.Best.Model) on the
+// selection (what homunculus.Generate's codegen stage does).
 type SearchResult struct {
 	App        string
 	TargetName string
 	Best       *CandidateResult
 	Candidates []CandidateResult
-	Code       string // generated backend source for the best model
 }
 
 // Search runs the full optimization core for one application on one
 // target: candidate selection, parallel per-algorithm BO runs, and final
-// model selection + code generation (Figure 2's middle and bottom boxes).
-func Search(app App, target Target, cfg SearchConfig) (*SearchResult, error) {
+// model selection (Figure 2's middle box). Cancellation is cooperative:
+// when ctx is done, in-flight family searches abort at their next BO
+// evaluation and Search returns an error wrapping ctx.Err(); an undone
+// ctx leaves fixed-seed results byte-identical at any pool size.
+func Search(ctx context.Context, app App, target Target, cfg SearchConfig) (*SearchResult, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +177,18 @@ func Search(app App, target Target, cfg SearchConfig) (*SearchResult, error) {
 	algorithms := cfg.Algorithms
 	if len(algorithms) == 0 {
 		algorithms = []ir.Kind{ir.DNN, ir.SVM, ir.KMeans, ir.DTree}
+	}
+
+	// Serialize OnCandidate notifications across concurrently finishing
+	// families.
+	var notifyMu sync.Mutex
+	notify := func(ev CandidateEvent) {
+		if cfg.OnCandidate == nil {
+			return
+		}
+		notifyMu.Lock()
+		defer notifyMu.Unlock()
+		cfg.OnCandidate(ev)
 	}
 
 	// Phase 1: candidate selection — prune unsupported families (§3.2.1).
@@ -190,23 +223,32 @@ func Search(app App, target Target, cfg SearchConfig) (*SearchResult, error) {
 		results[i].Algorithm = j.kind
 		if j.skipped != "" {
 			results[i].Skipped = j.skipped
+			notify(CandidateEvent{App: app.Name, Algorithm: j.kind})
+			notify(CandidateEvent{App: app.Name, Algorithm: j.kind, Done: true, Result: &results[i]})
 			continue
 		}
 		i, kind := i, j.kind
 		tasks = append(tasks, func() {
-			res, err := searchFamily(app, target, cfg, kind)
+			notify(CandidateEvent{App: app.Name, Algorithm: kind})
+			res, err := searchFamily(ctx, app, target, cfg, kind)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			results[i] = res
+			notify(CandidateEvent{App: app.Name, Algorithm: kind, Done: true, Result: &results[i]})
 		})
 	}
-	parallel.Run(tasks...)
+	runErr := parallel.RunCtx(ctx, tasks...)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if runErr != nil {
+		// Cancelled between families: no family reported the ctx error
+		// itself, but some never ran.
+		return nil, fmt.Errorf("core: search cancelled: %w", runErr)
 	}
 
 	// Phase 3: final model selection.
@@ -220,18 +262,11 @@ func Search(app App, target Target, cfg SearchConfig) (*SearchResult, error) {
 			out.Best = r
 		}
 	}
-	if out.Best != nil {
-		code, err := target.Generate(out.Best.Model)
-		if err != nil {
-			return nil, err
-		}
-		out.Code = code
-	}
 	return out, nil
 }
 
 // searchFamily runs BO over one algorithm family's design space.
-func searchFamily(app App, target Target, cfg SearchConfig, kind ir.Kind) (CandidateResult, error) {
+func searchFamily(ctx context.Context, app App, target Target, cfg SearchConfig, kind ir.Kind) (CandidateResult, error) {
 	space, build := familySpace(app, cfg, kind)
 	res := CandidateResult{Algorithm: kind}
 
@@ -293,7 +328,7 @@ func searchFamily(app App, target Target, cfg SearchConfig, kind ir.Kind) (Candi
 		return metric, verdict.Feasible, verdict.Metrics, nil
 	}
 
-	boRes, err := bo.Maximize(space, boCfg, objective)
+	boRes, err := bo.Maximize(ctx, space, boCfg, objective)
 	if err != nil {
 		return res, fmt.Errorf("core: %s search: %w", kind, err)
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/dataset"
 	"repro/internal/ir"
 )
@@ -88,7 +90,7 @@ func TestSearchDNNOnTaurus(t *testing.T) {
 	app := smallApp(t, 2)
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
-	res, err := Search(app, NewTaurusTarget(), cfg)
+	res, err := Search(context.Background(), app, backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,11 @@ func TestSearchDNNOnTaurus(t *testing.T) {
 	if res.Best.Verdict.Metrics["cus"] <= 0 {
 		t.Fatal("verdict must carry CU count")
 	}
-	if !strings.Contains(res.Code, "@spatial") {
+	code, err := backend.NewTaurusTarget().Generate(res.Best.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "@spatial") {
 		t.Fatal("Taurus code must be Spatial")
 	}
 	// history recorded for regret plots
@@ -120,7 +126,7 @@ func TestSearchSelectsAcrossFamilies(t *testing.T) {
 	app := smallApp(t, 3)
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.SVM, ir.DTree}
-	res, err := Search(app, NewTaurusTarget(), cfg)
+	res, err := Search(context.Background(), app, backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +148,7 @@ func TestSearchPrunesDNNOnMAT(t *testing.T) {
 	app := smallApp(t, 4)
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN, ir.DTree}
-	res, err := Search(app, NewMATTarget(8), cfg)
+	res, err := Search(context.Background(), app, backend.NewMATTarget(8), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +164,11 @@ func TestSearchPrunesDNNOnMAT(t *testing.T) {
 	if res.Best == nil || res.Best.Algorithm != ir.DTree {
 		t.Fatal("DTree must win on MAT target")
 	}
-	if !strings.Contains(res.Code, "v1model") {
+	code, err := backend.NewMATTarget(8).Generate(res.Best.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "v1model") {
 		t.Fatal("MAT code must be P4")
 	}
 }
@@ -168,7 +178,7 @@ func TestSearchKMeansVMeasure(t *testing.T) {
 	cfg := fastSearchConfig()
 	cfg.Metric = MetricVMeasure
 	cfg.Algorithms = []ir.Kind{ir.KMeans, ir.SVM}
-	res, err := Search(app, NewMATTarget(6), cfg)
+	res, err := Search(context.Background(), app, backend.NewMATTarget(6), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +206,11 @@ func TestSearchRespectsTightResourceBudget(t *testing.T) {
 	cfg.Metric = MetricVMeasure
 	cfg.Algorithms = []ir.Kind{ir.KMeans}
 	cfg.MaxClusters = 8
-	loose, err := Search(app, NewMATTarget(8), cfg)
+	loose, err := Search(context.Background(), app, backend.NewMATTarget(8), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := Search(app, NewMATTarget(2), cfg)
+	tight, err := Search(context.Background(), app, backend.NewMATTarget(2), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +228,11 @@ func TestSearchRespectsTightResourceBudget(t *testing.T) {
 func TestSearchDeterministic(t *testing.T) {
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DTree}
-	a1, err := Search(smallApp(t, 7), NewTaurusTarget(), cfg)
+	a1, err := Search(context.Background(), smallApp(t, 7), backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := Search(smallApp(t, 7), NewTaurusTarget(), cfg)
+	a2, err := Search(context.Background(), smallApp(t, 7), backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,17 +243,17 @@ func TestSearchDeterministic(t *testing.T) {
 
 func TestSearchErrors(t *testing.T) {
 	app := smallApp(t, 8)
-	if _, err := Search(app, nil, fastSearchConfig()); err == nil {
+	if _, err := Search(context.Background(), app, nil, fastSearchConfig()); err == nil {
 		t.Fatal("nil target must error")
 	}
 	bad := app
 	bad.Name = ""
-	if _, err := Search(bad, NewTaurusTarget(), fastSearchConfig()); err == nil {
+	if _, err := Search(context.Background(), bad, backend.NewTaurusTarget(), fastSearchConfig()); err == nil {
 		t.Fatal("invalid app must error")
 	}
 	cfg := fastSearchConfig()
 	cfg.Metric = "zzz"
-	if _, err := Search(app, NewTaurusTarget(), cfg); err == nil {
+	if _, err := Search(context.Background(), app, backend.NewTaurusTarget(), cfg); err == nil {
 		t.Fatal("invalid config must error")
 	}
 }
@@ -272,7 +282,7 @@ func TestScoreModelMetrics(t *testing.T) {
 	cfg := fastSearchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DTree}
 	cfg.Metric = MetricAccuracy
-	res, err := Search(app, NewTaurusTarget(), cfg)
+	res, err := Search(context.Background(), app, backend.NewTaurusTarget(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

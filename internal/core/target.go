@@ -3,193 +3,26 @@
 // explores the design space of candidate ML algorithms with constrained
 // Bayesian optimization, trains candidates, tests feasibility against the
 // target's resources and the network performance constraints, and returns
-// the best compliant model together with generated backend code. It also
-// implements multi-model composition (§3.1.1 scheduling operators) and
-// model fusion (§3.2.5).
+// the best compliant model. It also implements multi-model composition
+// (§3.1.1 scheduling operators) and model fusion (§3.2.5).
+//
+// The core is backend-agnostic by construction: it sees platforms only
+// through the internal/backend interfaces below, never through concrete
+// Taurus/MAT/FPGA types or their code generators. New backends register
+// with internal/backend and work here unchanged.
 package core
 
-import (
-	"fmt"
+import "repro/internal/backend"
 
-	"repro/internal/fpga"
-	"repro/internal/ir"
-	"repro/internal/mat"
-	"repro/internal/p4gen"
-	"repro/internal/spatialgen"
-	"repro/internal/taurus"
-)
+// Verdict is the backend-neutral feasibility report (see
+// backend.Verdict); aliased so the core's API reads in core vocabulary
+// without re-wrapping every report.
+type Verdict = backend.Verdict
 
-// Verdict is the backend-neutral feasibility report the optimization core
-// consumes for a candidate model (§3.3 "the testing infrastructure is
-// responsible for computing throughput and latency as well as identifying
-// whether the application can be mapped within the available resources").
-type Verdict struct {
-	Feasible bool
-	Reason   string
-	// Metrics carries backend-specific measurements (CUs, MUs, tables,
-	// LUT%, latency_ns, throughput_gpkts, ...).
-	Metrics map[string]float64
-}
+// Target is the deployable-backend interface the core searches against
+// (see backend.Target).
+type Target = backend.Target
 
-// Target is a deployable backend: it estimates resources/performance for
-// a model and generates its data-plane code. Implementations: Taurus
-// (Spatial), MAT switches (P4 via IIsy), and the FPGA testbed.
-type Target interface {
-	// Name identifies the backend in reports.
-	Name() string
-	// Estimate maps the model and returns the feasibility verdict.
-	Estimate(m *ir.Model) (Verdict, error)
-	// Generate emits the platform code for a (feasible) model.
-	Generate(m *ir.Model) (string, error)
-	// Supports reports whether the backend can execute the algorithm
-	// family at all — the §3.2.1 pre-pruning ("the core tries to rule out
-	// as many algorithms as possible based on the data-plane platform").
-	Supports(kind ir.Kind) bool
-}
-
-// TaurusTarget deploys onto the Taurus CGRA fabric.
-type TaurusTarget struct {
-	Grid        taurus.Grid
-	Constraints taurus.Constraints
-}
-
-// NewTaurusTarget returns the default 16×16 grid at 1 GPkt/s / 500 ns.
-func NewTaurusTarget() *TaurusTarget {
-	return &TaurusTarget{Grid: taurus.DefaultGrid(), Constraints: taurus.DefaultConstraints()}
-}
-
-// Name implements Target.
-func (t *TaurusTarget) Name() string { return "taurus" }
-
-// Supports implements Target: the MapReduce fabric executes all families.
-func (t *TaurusTarget) Supports(kind ir.Kind) bool { return true }
-
-// Estimate implements Target.
-func (t *TaurusTarget) Estimate(m *ir.Model) (Verdict, error) {
-	r, err := taurus.Estimate(t.Grid, t.Constraints, m)
-	if err != nil {
-		return Verdict{}, err
-	}
-	return Verdict{
-		Feasible: r.Feasible(),
-		Reason:   r.Reason,
-		Metrics: map[string]float64{
-			"cus":              float64(r.CUs),
-			"mus":              float64(r.MUs),
-			"stages":           float64(r.Stages),
-			"latency_ns":       r.LatencyNS,
-			"throughput_gpkts": r.ThroughputGPkts,
-		},
-	}, nil
-}
-
-// Generate implements Target (Spatial source).
-func (t *TaurusTarget) Generate(m *ir.Model) (string, error) {
-	p, err := spatialgen.Generate(m)
-	if err != nil {
-		return "", fmt.Errorf("core: taurus codegen: %w", err)
-	}
-	return p.Source, nil
-}
-
-// MATTarget deploys onto a match-action pipeline through IIsy.
-type MATTarget struct {
-	Pipeline mat.Pipeline
-}
-
-// NewMATTarget returns a MAT target with the given table budget (the
-// Figure-7 resource sweep) atop the default pipeline geometry.
-func NewMATTarget(tables int) *MATTarget {
-	p := mat.DefaultPipeline()
-	if tables > 0 {
-		p.Tables = tables
-	}
-	return &MATTarget{Pipeline: p}
-}
-
-// Name implements Target.
-func (t *MATTarget) Name() string { return "tofino-mat" }
-
-// Supports implements Target: DNNs are pruned upfront — general matrix
-// multiplies do not map onto MATs at line rate (§3.2.1's example of
-// ruling out DNNs on table-limited switches).
-func (t *MATTarget) Supports(kind ir.Kind) bool { return kind != ir.DNN }
-
-// Estimate implements Target.
-func (t *MATTarget) Estimate(m *ir.Model) (Verdict, error) {
-	r, err := mat.Estimate(t.Pipeline, m)
-	if err != nil {
-		return Verdict{}, err
-	}
-	return Verdict{
-		Feasible: r.Feasible(),
-		Reason:   r.Reason,
-		Metrics: map[string]float64{
-			"tables":           float64(r.TablesUsed),
-			"entries":          float64(r.EntriesUsed),
-			"latency_ns":       r.LatencyNS,
-			"throughput_gpkts": r.ThroughputGPkts,
-		},
-	}, nil
-}
-
-// Generate implements Target (P4 source).
-func (t *MATTarget) Generate(m *ir.Model) (string, error) {
-	p, err := p4gen.Generate(m)
-	if err != nil {
-		return "", fmt.Errorf("core: MAT codegen: %w", err)
-	}
-	return p.Source, nil
-}
-
-// FPGATarget deploys onto the bump-in-the-wire FPGA testbed (P4-SDNet /
-// Spatial-to-Verilog flow). Resource feasibility uses utilization caps.
-type FPGATarget struct {
-	Shell fpga.Shell
-	// MaxLUTPct/MaxPowerW bound the deployment (100% / unbounded default).
-	MaxLUTPct float64
-	MaxPowerW float64
-}
-
-// NewFPGATarget returns the Alveo U250 testbed model.
-func NewFPGATarget() *FPGATarget {
-	return &FPGATarget{Shell: fpga.U250Shell(), MaxLUTPct: 100, MaxPowerW: 1e9}
-}
-
-// Name implements Target.
-func (t *FPGATarget) Name() string { return "fpga" }
-
-// Supports implements Target.
-func (t *FPGATarget) Supports(kind ir.Kind) bool { return true }
-
-// Estimate implements Target.
-func (t *FPGATarget) Estimate(m *ir.Model) (Verdict, error) {
-	r, err := fpga.Estimate(t.Shell, m)
-	if err != nil {
-		return Verdict{}, err
-	}
-	v := Verdict{
-		Metrics: map[string]float64{
-			"lut_pct":  r.LUTPct,
-			"ff_pct":   r.FFPct,
-			"bram_pct": r.BRAMPct,
-			"power_w":  r.PowerW,
-		},
-	}
-	v.Feasible = r.LUTPct <= t.MaxLUTPct && r.PowerW <= t.MaxPowerW
-	if !v.Feasible {
-		v.Reason = fmt.Sprintf("utilization %.2f%% LUT / %.2f W exceeds caps", r.LUTPct, r.PowerW)
-	}
-	return v, nil
-}
-
-// Generate implements Target: the FPGA flow compiles Spatial to Verilog,
-// so the emitted source is Spatial (§5.2 "compiled to Verilog using the
-// Spatial compiler").
-func (t *FPGATarget) Generate(m *ir.Model) (string, error) {
-	p, err := spatialgen.Generate(m)
-	if err != nil {
-		return "", fmt.Errorf("core: fpga codegen: %w", err)
-	}
-	return p.Source, nil
-}
+// Composer is the optional whole-pipeline estimation capability a Target
+// may implement (see backend.Composer).
+type Composer = backend.Composer

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -220,4 +221,18 @@ func scoreF1(m *ir.Model, test *dataset.Dataset) (float64, error) {
 		return conf.F1(1), nil
 	}
 	return conf.MacroF1(), nil
+}
+
+// taurusTarget resolves the evaluation's Taurus deployment through the
+// backend registry (default 16×16 grid at 1 GPkt/s / 500 ns).
+func taurusTarget() (core.Target, error) {
+	return backend.Build(backend.Spec{Kind: "taurus"})
+}
+
+// matTarget resolves a MAT switch with the given table budget through
+// the backend registry.
+func matTarget(tables int) (core.Target, error) {
+	return backend.Build(backend.Spec{Kind: "tofino", Constraints: backend.Constraints{
+		Resources: backend.Resources{Tables: tables},
+	}})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,7 +34,11 @@ func Figure4(b Budget) (Figure4Data, error) {
 	}
 	cfg := b.searchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
-	res, err := core.Search(ad, core.NewTaurusTarget(), cfg)
+	target, err := taurusTarget()
+	if err != nil {
+		return Figure4Data{}, err
+	}
+	res, err := core.Search(context.Background(), ad, target, cfg)
 	if err != nil {
 		return Figure4Data{}, err
 	}
@@ -125,7 +130,11 @@ func Figure7(b Budget) ([]Figure7Series, error) {
 		cfg.Metric = core.MetricVMeasure
 		cfg.MaxClusters = 8
 		cfg.Seed = b.Seed + int64(tables)*31
-		res, err := core.Search(tc, core.NewMATTarget(tables), cfg)
+		target, err := matTarget(tables)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Search(context.Background(), tc, target, cfg)
 		if err != nil {
 			return nil, err
 		}

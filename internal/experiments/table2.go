@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -32,7 +33,10 @@ func Table2(b Budget) ([]Table2Row, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	target := core.NewTaurusTarget()
+	target, err := taurusTarget()
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table2Row
 
 	// ---- Anomaly detection ----
@@ -52,7 +56,7 @@ func Table2(b Budget) ([]Table2Row, error) {
 
 	cfg := b.searchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
-	homAD, err := core.Search(ad, target, cfg)
+	homAD, err := core.Search(context.Background(), ad, target, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +84,7 @@ func Table2(b Budget) ([]Table2Row, error) {
 	cfg = b.searchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
 	cfg.Seed = b.Seed + 1
-	homTC, err := core.Search(tc, target, cfg)
+	homTC, err := core.Search(context.Background(), tc, target, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +119,7 @@ func Table2(b Budget) ([]Table2Row, error) {
 	cfg.MaxHiddenLayers = 8
 	cfg.MaxNeurons = 12
 	cfg.Seed = b.Seed + 2
-	homBD, err := core.Search(bd, target, cfg)
+	homBD, err := core.Search(context.Background(), bd, target, cfg)
 	if err != nil {
 		return nil, err
 	}

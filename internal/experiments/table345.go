@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,7 +35,10 @@ func Table3(b Budget) ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	target := core.NewTaurusTarget()
+	target, err := taurusTarget()
+	if err != nil {
+		return nil, err
+	}
 	l := func() *core.Composition { return core.Leaf(model) }
 	cases := []struct {
 		name string
@@ -87,7 +91,10 @@ func Table4(b Budget) ([]Table4Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	target := core.NewTaurusTarget()
+	target, err := taurusTarget()
+	if err != nil {
+		return nil, err
+	}
 	cfg := b.searchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
 
@@ -109,13 +116,13 @@ func Table4(b Budget) ([]Table4Row, error) {
 	// efficient model will use as many resources as needed without
 	// over-provisioning" (§3), so every row reports the cheapest model
 	// within one F1 point of its frontier's best.
-	res1, err := core.SearchPareto(app1, target, cfg, ir.DNN)
+	res1, err := core.SearchPareto(context.Background(), app1, target, cfg, ir.DNN)
 	if err != nil {
 		return nil, err
 	}
 	cfg2 := cfg
 	cfg2.Seed = cfg.Seed + 7
-	res2, err := core.SearchPareto(app2, target, cfg2, ir.DNN)
+	res2, err := core.SearchPareto(context.Background(), app2, target, cfg2, ir.DNN)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +132,7 @@ func Table4(b Budget) ([]Table4Row, error) {
 	}
 	cfg3 := cfg
 	cfg3.Seed = cfg.Seed + 13
-	resF, err := core.SearchPareto(fusedApp, target, cfg3, ir.DNN)
+	resF, err := core.SearchPareto(context.Background(), fusedApp, target, cfg3, ir.DNN)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +241,10 @@ func Table2Models(b Budget) ([]NamedModel, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	target := core.NewTaurusTarget()
+	target, err := taurusTarget()
+	if err != nil {
+		return nil, err
+	}
 	var out []NamedModel
 
 	ad, err := adApp(b)
@@ -248,7 +258,7 @@ func Table2Models(b Budget) ([]NamedModel, error) {
 	out = append(out, NamedModel{"Base-AD", baseAD})
 	cfg := b.searchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
-	homAD, err := core.Search(ad, target, cfg)
+	homAD, err := core.Search(context.Background(), ad, target, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +279,7 @@ func Table2Models(b Budget) ([]NamedModel, error) {
 	cfg = b.searchConfig()
 	cfg.Algorithms = []ir.Kind{ir.DNN}
 	cfg.Seed = b.Seed + 1
-	homTC, err := core.Search(tc, target, cfg)
+	homTC, err := core.Search(context.Background(), tc, target, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +303,7 @@ func Table2Models(b Budget) ([]NamedModel, error) {
 	cfg.MaxHiddenLayers = 8
 	cfg.MaxNeurons = 12
 	cfg.Seed = b.Seed + 2
-	homBD, err := core.Search(bd, target, cfg)
+	homBD, err := core.Search(context.Background(), bd, target, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -146,27 +147,48 @@ func chunkBounds(n, chunks, c int) (lo, hi int) {
 // tasks pack without idle helpers. With an empty pool it degrades to a
 // serial loop.
 func Run(tasks ...func()) {
+	RunCtx(context.Background(), tasks...)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, workers
+// stop pulling tasks off the cursor and RunCtx returns ctx.Err(). Tasks
+// already started always run to completion (they are expected to observe
+// ctx themselves if they are long); tasks never started are simply
+// skipped, so the caller must treat a non-nil return as "results
+// incomplete". With an undone ctx the task schedule is identical to Run.
+func RunCtx(ctx context.Context, tasks ...func()) error {
 	n := len(tasks)
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	t := pool()
-	if n == 1 || cap(t) == 0 {
+	done := ctx.Done()
+	serial := func() error {
 		for _, task := range tasks {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			task()
 		}
-		return
+		return ctx.Err()
+	}
+	if n == 1 || cap(t) == 0 {
+		return serial()
 	}
 	helpers := tryAcquire(t, n-1)
 	if helpers == 0 {
-		for _, task := range tasks {
-			task()
-		}
-		return
+		return serial()
 	}
 	var next int64
 	work := func() {
 		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			i := atomic.AddInt64(&next, 1) - 1
 			if i >= int64(n) {
 				return
@@ -185,4 +207,5 @@ func Run(tasks ...func()) {
 	work()
 	wg.Wait()
 	release(t, helpers)
+	return ctx.Err()
 }

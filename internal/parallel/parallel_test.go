@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -107,5 +109,58 @@ func TestChunkBoundsPartition(t *testing.T) {
 				t.Fatalf("n=%d chunks=%d: ranges end at %d", n, chunks, prev)
 			}
 		}
+	}
+}
+
+func TestRunCtxCancellationSkipsRemainingTasks(t *testing.T) {
+	withWorkers(t, 1) // serial path: deterministic task order
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int32
+	tasks := make([]func(), 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() {
+			atomic.AddInt32(&ran, 1)
+			if i == 2 {
+				cancel()
+			}
+		}
+	}
+	err := RunCtx(ctx, tasks...)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunCtx must return the ctx error, got %v", err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 3 {
+		t.Fatalf("serial RunCtx must stop after the cancelling task: ran %d", got)
+	}
+}
+
+func TestRunCtxUndoneMatchesRun(t *testing.T) {
+	withWorkers(t, 4)
+	var ran int32
+	tasks := make([]func(), 20)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt32(&ran, 1) }
+	}
+	if err := RunCtx(context.Background(), tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d of 20 tasks", ran)
+	}
+}
+
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	withWorkers(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := RunCtx(ctx, func() { atomic.AddInt32(&ran, 1) }, func() { atomic.AddInt32(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if ran != 0 {
+		t.Fatalf("no task should start under a dead ctx, ran %d", ran)
 	}
 }

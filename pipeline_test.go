@@ -1,0 +1,321 @@
+package homunculus
+
+// Tests for the staged compilation pipeline: cancellation, progress
+// events, buildComposition edge cases, Generate-level determinism across
+// pool sizes, and the cross-platform sweep.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/alchemy"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/parallel"
+)
+
+// --- cancellation ---
+
+// TestGenerateCancellationMidSearch: cancelling the context while the
+// search stage runs must abort promptly with an error wrapping
+// context.Canceled.
+func TestGenerateCancellationMidSearch(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "slow", Algorithms: []string{"dnn"}, DataLoader: sampleLoader(11)})
+	p := alchemy.Taurus()
+	p.Schedule(model)
+
+	// A budget big enough to run for a while uncancelled.
+	cfg := fastConfig()
+	cfg.BO.InitSamples = 10
+	cfg.BO.Iterations = 40
+	cfg.TrainEpochs = 20
+	cfg.MaxHiddenLayers = 4
+	cfg.MaxNeurons = 24
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel as soon as the search stage reports its first candidate.
+	var once sync.Once
+	progress := func(ev Event) {
+		if ev.Stage == StageSearch {
+			once.Do(cancel)
+		}
+	}
+	start := time.Now()
+	_, err := Generate(ctx, p, WithSearchConfig(cfg), WithProgress(progress))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled Generate must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error must wrap context.Canceled, got: %v", err)
+	}
+	// "Promptly": one BO evaluation at this scale is milliseconds; give
+	// slow CI boxes plenty of slack while still catching a
+	// run-to-completion regression (the full budget takes far longer).
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestGenerateDeadlineExceeded: an already-expired deadline must surface
+// as a wrapped DeadlineExceeded before any real work happens.
+func TestGenerateDeadlineExceeded(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "d", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(12)})
+	p := alchemy.Taurus()
+	p.Schedule(model)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := Generate(ctx, p, WithSearchConfig(fastConfig()))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error must wrap DeadlineExceeded, got: %v", err)
+	}
+}
+
+// --- progress events ---
+
+// TestGenerateProgressStages: a two-app composition must report every
+// stage in order, with app- and candidate-level search events.
+func TestGenerateProgressStages(t *testing.T) {
+	m1 := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "m1", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(13)})
+	m2 := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "m2", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(14)})
+	p := alchemy.Taurus()
+	p.Schedule(alchemy.Seq(m1, m2))
+
+	var mu sync.Mutex
+	var events []Event
+	pipe, err := Generate(context.Background(), p, WithSearchConfig(fastConfig()),
+		WithProgress(func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Composition == nil {
+		t.Fatal("two-app Taurus schedule must compose")
+	}
+
+	seen := map[string]int{}
+	firstIdx := map[Stage]int{}
+	lastIdx := map[Stage]int{}
+	for i, ev := range events {
+		if ev.Candidate != "" {
+			if ev.Done {
+				seen["candidate"]++
+			}
+		} else if ev.Done {
+			seen[string(ev.Stage)+"/done"]++
+		} else {
+			seen[string(ev.Stage)+"/start"]++
+		}
+		if _, ok := firstIdx[ev.Stage]; !ok {
+			firstIdx[ev.Stage] = i
+		}
+		lastIdx[ev.Stage] = i
+	}
+	if seen["load/done"] != 2 || seen["search/done"] != 2 || seen["codegen/done"] != 2 {
+		t.Fatalf("per-app events wrong: %v", seen)
+	}
+	if seen["compose/done"] != 1 {
+		t.Fatalf("compose events wrong: %v", seen)
+	}
+	if seen["candidate"] != 2 { // one dtree candidate per app
+		t.Fatalf("candidate events wrong: %v", seen)
+	}
+	// Stage ordering: loads all precede searches; composition precedes
+	// codegen.
+	if lastIdx[StageLoad] > firstIdx[StageSearch] {
+		t.Fatal("load events must precede search events")
+	}
+	if lastIdx[StageCompose] > firstIdx[StageCodegen] {
+		t.Fatal("compose must precede codegen")
+	}
+}
+
+// --- buildComposition edge cases ---
+
+func leafApp(name string, withModel bool) AppResult {
+	out := AppResult{Name: name}
+	if withModel {
+		out.Model = &ir.Model{Name: name, Kind: ir.DTree}
+	}
+	return out
+}
+
+func schedModel(name string) *alchemy.Model {
+	return alchemy.NewModel(alchemy.ModelSpec{
+		Name: name, DataLoader: alchemy.DataLoaderFunc(func() (*alchemy.Data, error) { return nil, nil })})
+}
+
+func TestBuildCompositionAllInfeasible(t *testing.T) {
+	s := alchemy.Seq(schedModel("a"), schedModel("b"))
+	comp := buildComposition(s, []AppResult{leafApp("a", false), leafApp("b", false)})
+	if comp != nil {
+		t.Fatal("schedule with no searched models must produce no composition")
+	}
+}
+
+func TestBuildCompositionSingleChildCollapse(t *testing.T) {
+	// Only one of the two scheduled models was satisfiable: the operator
+	// node must collapse to the surviving leaf, not wrap it.
+	s := alchemy.Seq(schedModel("a"), schedModel("b"))
+	comp := buildComposition(s, []AppResult{leafApp("a", true), leafApp("b", false)})
+	if comp == nil || comp.Model == nil || comp.Model.Name != "a" {
+		t.Fatalf("single survivor must collapse to a leaf, got %v", comp)
+	}
+}
+
+func TestBuildCompositionOpMapping(t *testing.T) {
+	apps := []AppResult{leafApp("a", true), leafApp("b", true)}
+	seq := buildComposition(alchemy.Seq(schedModel("a"), schedModel("b")), apps)
+	if seq == nil || seq.Op != core.Seq || len(seq.Children) != 2 {
+		t.Fatalf("Seq schedule must map to core.Seq, got %v", seq)
+	}
+	par := buildComposition(alchemy.Par(schedModel("a"), schedModel("b")), apps)
+	if par == nil || par.Op != core.Par || len(par.Children) != 2 {
+		t.Fatalf("Par schedule must map to core.Par, got %v", par)
+	}
+	// Nested: a > (b | c) with all satisfiable keeps its shape.
+	apps = append(apps, leafApp("c", true))
+	nested := buildComposition(
+		alchemy.Seq(schedModel("a"), alchemy.Par(schedModel("b"), schedModel("c"))), apps)
+	if nested == nil || nested.Op != core.Seq || len(nested.Children) != 2 {
+		t.Fatalf("nested shape lost: %v", nested)
+	}
+	if inner := nested.Children[1]; inner.Op != core.Par || len(inner.Children) != 2 {
+		t.Fatalf("inner Par lost: %v", nested)
+	}
+}
+
+// --- Generate-level determinism across pool sizes ---
+
+// pipelineFingerprint serializes everything Generate promises to be
+// deterministic about.
+func pipelineFingerprint(t *testing.T, pipe *Pipeline) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "platform=%s apps=%d\n", pipe.Platform, len(pipe.Apps))
+	for _, app := range pipe.Apps {
+		fmt.Fprintf(&buf, "app=%s alg=%s metric=%x code=%d\n", app.Name, app.Algorithm, app.Metric, len(app.Code))
+		buf.WriteString(app.Code)
+		if app.Model != nil {
+			if err := app.Model.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if pipe.Composition != nil {
+		fmt.Fprintf(&buf, "comp=%v %x\n", pipe.Composition.Feasible, pipe.Composition.Metrics["cus"])
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateDeterministicAcrossPoolSizes extends the core-level
+// regression to the whole staged pipeline: a fixed-seed multi-app
+// Generate — per-app fan-out, family fan-out, kernels — must be
+// byte-identical with the pool disabled and fully populated.
+func TestGenerateDeterministicAcrossPoolSizes(t *testing.T) {
+	build := func() *alchemy.Platform {
+		m1 := alchemy.NewModel(alchemy.ModelSpec{
+			Name: "ad1", Algorithms: []string{"dnn"}, DataLoader: sampleLoader(15)})
+		m2 := alchemy.NewModel(alchemy.ModelSpec{
+			Name: "ad2", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(16)})
+		p := alchemy.Taurus()
+		p.Schedule(alchemy.Par(m1, m2))
+		return p
+	}
+	cfg := fastConfig()
+
+	oldWorkers := parallel.Workers()
+	defer parallel.SetWorkers(oldWorkers)
+
+	var reference []byte
+	for _, workers := range []int{1, runtime.NumCPU(), 3} {
+		parallel.SetWorkers(workers)
+		for rep := 0; rep < 2; rep++ {
+			pipe, err := Generate(context.Background(), build(), WithSearchConfig(cfg), WithSeed(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pipelineFingerprint(t, pipe)
+			if reference == nil {
+				reference = got
+				continue
+			}
+			if !bytes.Equal(got, reference) {
+				t.Fatalf("workers=%d rep=%d: pipeline diverged from reference", workers, rep)
+			}
+		}
+	}
+}
+
+// --- cross-platform sweep ---
+
+func TestGenerateAcrossAllBackends(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "sweep", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(17)})
+	p := alchemy.Taurus()
+	p.Schedule(model)
+
+	reports, err := GenerateAcross(context.Background(), p, nil, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 3 {
+		t.Fatalf("sweep must cover every registered backend, got %d", len(reports))
+	}
+	byKind := map[string]TargetReport{}
+	for _, r := range reports {
+		byKind[r.Platform] = r
+	}
+	for kind, codeSig := range map[string]string{"taurus": "@spatial", "tofino": "v1model", "fpga": "@spatial"} {
+		r, ok := byKind[kind]
+		if !ok {
+			t.Fatalf("missing backend %s in sweep", kind)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", kind, r.Err)
+		}
+		app := r.Pipeline.Apps[0]
+		if app.Model == nil {
+			t.Fatalf("%s: dtree must deploy", kind)
+		}
+		if !strings.Contains(app.Code, codeSig) {
+			t.Fatalf("%s: code missing %q", kind, codeSig)
+		}
+	}
+}
+
+func TestGenerateAcrossSelectedKinds(t *testing.T) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name: "dnn_sweep", Algorithms: []string{"dnn"}, DataLoader: sampleLoader(18)})
+	p := alchemy.FPGA()
+	p.Schedule(model)
+	reports, err := GenerateAcross(context.Background(), p, []string{"tofino", "taurus"}, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Platform != "tofino" || reports[1].Platform != "taurus" {
+		t.Fatalf("kind selection lost: %+v", reports)
+	}
+	// DNN on tofino: pruned — report present, no model, no error.
+	if reports[0].Err != nil || reports[0].Pipeline.Apps[0].Model != nil {
+		t.Fatalf("tofino DNN must be an empty (pruned) result: %+v", reports[0])
+	}
+	if reports[1].Pipeline.Apps[0].Model == nil {
+		t.Fatal("taurus DNN must deploy")
+	}
+}
