@@ -26,6 +26,7 @@ package alchemy
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/dataset"
 )
@@ -99,6 +100,22 @@ func (d *Data) Datasets() (train, test *dataset.Dataset, err error) {
 	return train, test, nil
 }
 
+// FromDatasets renders internal train/test datasets as loader output —
+// the converter every bundled-generator DataLoader (CLI, daemon,
+// experiment sweeps) funnels through.
+func FromDatasets(train, test *dataset.Dataset) *Data {
+	data := &Data{FeatureNames: train.FeatureNames}
+	for i := 0; i < train.Len(); i++ {
+		data.TrainX = append(data.TrainX, append([]float64{}, train.X.Row(i)...))
+		data.TrainY = append(data.TrainY, train.Y[i])
+	}
+	for i := 0; i < test.Len(); i++ {
+		data.TestX = append(data.TestX, append([]float64{}, test.X.Row(i)...))
+		data.TestY = append(data.TestY, test.Y[i])
+	}
+	return data
+}
+
 // DataLoader supplies and preprocesses the labeled dataset (the
 // @DataLoader decorator).
 type DataLoader interface {
@@ -110,6 +127,9 @@ type DataLoaderFunc func() (*Data, error)
 
 // Load implements DataLoader.
 func (f DataLoaderFunc) Load() (*Data, error) { return f() }
+
+// MetricNames lists the accepted optimization metrics.
+func MetricNames() []string { return []string{"f1", "accuracy", "vmeasure"} }
 
 // ModelSpec mirrors the arguments of Alchemy's Model class.
 type ModelSpec struct {
@@ -155,10 +175,9 @@ func (m *Model) Validate() error {
 	if m.Spec.DataLoader == nil {
 		return fmt.Errorf("alchemy: model %q has no data loader", m.Spec.Name)
 	}
-	switch m.Spec.OptimizationMetric {
-	case "f1", "accuracy", "vmeasure":
-	default:
-		return fmt.Errorf("alchemy: model %q has unknown metric %q", m.Spec.Name, m.Spec.OptimizationMetric)
+	if !slices.Contains(MetricNames(), m.Spec.OptimizationMetric) {
+		return fmt.Errorf("alchemy: model %q has unknown metric %q (accepted: %v)",
+			m.Spec.Name, m.Spec.OptimizationMetric, MetricNames())
 	}
 	return nil
 }

@@ -10,10 +10,13 @@ package homunculus
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"repro/alchemy"
 	"repro/internal/backend"
 	"repro/internal/bo"
 	"repro/internal/core"
@@ -558,4 +561,48 @@ func BenchmarkSimPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(sim.Stages()), "stages")
+}
+
+// BenchmarkServiceSubmit measures the admission hot path of the job
+// service: Submit must be enqueue-only (validate + clone + ticket), with
+// no loading, hashing, or searching — the <1ms budget of the job-based
+// API. The single dispatch slot is pinned by a never-dispatched blocker,
+// so every measured submission is admitted, queued, and then withdrawn.
+func BenchmarkServiceSubmit(b *testing.B) {
+	svc := New(ServiceOptions{MaxInFlight: 1, QueueDepth: -1, RetainJobs: 256})
+	defer svc.Close()
+	release := make(chan struct{})
+	// Deferred (LIFO, before svc.Close) so a b.Fatal anywhere below
+	// unblocks the pinned worker instead of deadlocking Close's drain.
+	defer close(release)
+	blockLoader := alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+		<-release
+		return nil, fmt.Errorf("bench blocker")
+	})
+	blocker := alchemy.Taurus()
+	blocker.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "pin", Algorithms: []string{"dtree"}, DataLoader: blockLoader}))
+	pin, err := svc.Submit(context.Background(), blocker, WithSearchConfig(fastConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	p := alchemy.Taurus()
+	p.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "bench", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(50)}))
+	cfg := fastConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, err := svc.Submit(context.Background(), p, WithSearchConfig(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		job.Cancel()
+	}
+	b.StopTimer()
+	if mean := b.Elapsed() / time.Duration(b.N); mean > time.Millisecond {
+		b.Fatalf("Submit mean latency %v exceeds the 1ms budget", mean)
+	}
+	pin.Cancel()
 }

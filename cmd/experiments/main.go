@@ -15,11 +15,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment: table2|table3|table4|table5|fig4|fig6|fig7|reaction|all")
+	run := flag.String("run", "all", "experiment: table2|table3|table4|table5|fig4|fig6|fig7|reaction|service|all")
 	quick := flag.Bool("quick", false, "use the reduced budget (faster, noisier)")
 	seed := flag.Int64("seed", 1, "global experiment seed")
 	flag.Parse()
@@ -104,6 +105,15 @@ func main() {
 		}
 		section("§5.1.1: reaction time — per-packet vs flow-level botnet detection")
 		fmt.Print(experiments.FormatReaction(res))
+	}
+	if want("service") {
+		ran = true
+		rows, err := sweep.Run(budget)
+		if err != nil {
+			log.Fatalf("service: %v", err)
+		}
+		section("Service sweep: bounded admission + content-addressed cache under load")
+		fmt.Print(sweep.Format(rows))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

@@ -7,11 +7,16 @@
 //	homunculus -spec pipeline.json -out build/
 //	homunculus -spec pipeline.json -platform all   # sweep every backend
 //	homunculus -spec pipeline.json -timeout 30s    # bound the search
+//	homunculus -spec pipeline.json -progress       # stage events on stderr
+//	homunculus -serve :8077                        # run as a daemon
 //
 // -platform overrides the spec's platform.kind; the special value "all"
 // compiles the spec against every registered backend and prints the
-// per-target feasibility table. -timeout cancels compilation through the
-// pipeline's context plumbing.
+// per-target feasibility table (sweep progress is always platform-tagged
+// on stderr, since per-target compilations interleave). -timeout cancels
+// compilation through the pipeline's context plumbing. -serve skips spec
+// compilation entirely and exposes the compilation service over HTTP —
+// the same daemon as cmd/homunculusd (see docs/api.md).
 //
 // Spec format (see cmd/homunculus/testdata/ad.json for a full example):
 //
@@ -46,11 +51,9 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/httpapi"
 	"repro/internal/ir"
-	"repro/internal/packet"
-	"repro/internal/synth/botnet"
-	"repro/internal/synth/iottc"
-	"repro/internal/synth/nslkdd"
+	"repro/internal/loaders"
 
 	homunculus "repro"
 )
@@ -96,13 +99,26 @@ type SearchSpec struct {
 	Seed       int64 `json:"seed,omitempty"`
 }
 
+// showProgress mirrors the -progress flag: print single-target stage
+// events to stderr (sweeps always print, platform-tagged).
+var showProgress bool
+
 func main() {
 	log.SetFlags(0)
-	specPath := flag.String("spec", "", "path to the pipeline spec JSON (required)")
+	specPath := flag.String("spec", "", "path to the pipeline spec JSON (required unless -serve)")
 	outDir := flag.String("out", "build", "output directory for generated artifacts")
 	platform := flag.String("platform", "", "override the spec's platform.kind; \"all\" sweeps every registered backend")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "print pipeline stage events to stderr")
+	serve := flag.String("serve", "", "run as a compilation daemon on this address (e.g. :8077) instead of compiling a spec")
 	flag.Parse()
+	showProgress = *progress
+	if *serve != "" {
+		if err := runServe(*serve); err != nil {
+			log.Fatalf("homunculus: %v", err)
+		}
+		return
+	}
 	if *specPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -110,6 +126,31 @@ func main() {
 	if err := run(*specPath, *outDir, *platform, *timeout); err != nil {
 		log.Fatalf("homunculus: %v", err)
 	}
+}
+
+// runServe exposes the compilation service over HTTP — the cmd/homunculusd
+// daemon with default bounds, reachable from the main CLI binary (one
+// shared serve loop: graceful drain on SIGINT/SIGTERM).
+func runServe(addr string) error {
+	httpapi.RegisterBuiltinLoaders()
+	svc := homunculus.New(homunculus.ServiceOptions{})
+	opts := svc.Options()
+	log.Printf("homunculus: serving on %s (max in-flight %d, queue depth %d, cache %d)",
+		addr, opts.MaxInFlight, opts.QueueDepth, opts.CacheEntries)
+	return httpapi.ListenAndServe(addr, svc)
+}
+
+// printEvent renders one platform-tagged progress line.
+func printEvent(ev homunculus.Event) {
+	mark := "start"
+	if ev.Done {
+		mark = "done"
+	}
+	line := fmt.Sprintf("[%s] %-8s %s", ev.Platform, ev.Stage, ev.App)
+	if ev.Candidate != "" {
+		line += "/" + ev.Candidate
+	}
+	fmt.Fprintf(os.Stderr, "%s %s\n", line, mark)
 }
 
 func run(specPath, outDir, platformOverride string, timeout time.Duration) error {
@@ -175,7 +216,11 @@ func run(specPath, outDir, platformOverride string, timeout time.Duration) error
 	}
 	platform.Schedule(model)
 
-	pipe, err := homunculus.Generate(ctx, platform, homunculus.WithSearchConfig(search))
+	genOpts := []homunculus.Option{homunculus.WithSearchConfig(search)}
+	if showProgress {
+		genOpts = append(genOpts, homunculus.WithProgress(printEvent))
+	}
+	pipe, err := homunculus.Generate(ctx, platform, genOpts...)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("compilation timed out after %v: %w", timeout, err)
@@ -273,64 +318,16 @@ func buildLoader(d DataSpec, baseDir string) (alchemy.DataLoader, error) {
 			if err != nil {
 				return nil, err
 			}
-			return toData(train, test), nil
+			return alchemy.FromDatasets(train, test), nil
 		}), nil
 	}
 	switch d.Generator {
 	case "nslkdd":
-		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
-			cfg := nslkdd.DefaultConfig()
-			if d.Samples > 0 {
-				cfg.Samples = d.Samples
-			}
-			if d.Seed != 0 {
-				cfg.Seed = d.Seed
-			}
-			train, test, err := nslkdd.TrainTest(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return toData(train, test), nil
-		}), nil
+		return loaders.NSLKDD(d.Samples, d.Seed), nil
 	case "iottc":
-		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
-			cfg := iottc.DefaultConfig()
-			if d.Samples > 0 {
-				cfg.Samples = d.Samples
-			}
-			if d.Seed != 0 {
-				cfg.Seed = d.Seed
-			}
-			train, test, err := iottc.TrainTest(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return toData(train, test), nil
-		}), nil
+		return loaders.IoTTC(d.Samples, d.Seed), nil
 	case "botnet":
-		return alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
-			cfg := botnet.DefaultConfig()
-			if d.Samples > 0 {
-				cfg.Flows = d.Samples
-			}
-			if d.Seed != 0 {
-				cfg.Seed = d.Seed
-			}
-			flows, err := botnet.Generate(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cut := len(flows) * 3 / 4
-			train, err := botnet.FlowmarkerDataset(flows[:cut], packet.PaperBD)
-			if err != nil {
-				return nil, err
-			}
-			test, err := botnet.PartialDataset(flows[cut:], packet.PaperBD, 8)
-			if err != nil {
-				return nil, err
-			}
-			return toData(train, test), nil
-		}), nil
+		return loaders.Botnet(d.Samples, d.Seed), nil
 	case "":
 		return nil, fmt.Errorf("spec needs data.generator or data.train_csv/test_csv")
 	default:
@@ -376,7 +373,11 @@ func runSweep(ctx context.Context, spec Spec, model *alchemy.Model, outDir strin
 	base.Constrain(spec.Platform.constraints())
 	base.Schedule(model)
 
-	reports, err := homunculus.GenerateAcross(ctx, base, nil, homunculus.WithSearchConfig(search))
+	// Per-target compilations interleave on the service, so sweep
+	// progress is always printed platform-tagged: Event.Platform is what
+	// lets one observer tell the concurrent streams apart.
+	reports, err := homunculus.GenerateAcross(ctx, base, nil,
+		homunculus.WithSearchConfig(search), homunculus.WithProgress(printEvent))
 	if err != nil {
 		return err
 	}
@@ -440,19 +441,6 @@ func readCSV(path string) (*dataset.Dataset, error) {
 	}
 	defer f.Close()
 	return dataset.ReadCSV(f)
-}
-
-func toData(train, test *dataset.Dataset) *alchemy.Data {
-	data := &alchemy.Data{FeatureNames: train.FeatureNames}
-	for i := 0; i < train.Len(); i++ {
-		data.TrainX = append(data.TrainX, append([]float64{}, train.X.Row(i)...))
-		data.TrainY = append(data.TrainY, train.Y[i])
-	}
-	for i := 0; i < test.Len(); i++ {
-		data.TestX = append(data.TestX, append([]float64{}, test.X.Row(i)...))
-		data.TestY = append(data.TestY, test.Y[i])
-	}
-	return data
 }
 
 func resolve(baseDir, p string) string {

@@ -1,0 +1,51 @@
+// Command homunculusd runs the Homunculus compilation service as a
+// long-lived HTTP/JSON daemon: many clients submit declarative pipeline
+// specs, the service admits them under bounded concurrency,
+// deduplicates identical submissions through the content-addressed
+// cache, and streams per-stage progress. See docs/api.md for the wire
+// format and curl examples.
+//
+//	homunculusd -addr :8077
+//	homunculusd -addr :8077 -max-inflight 4 -queue-depth 128 -cache 256
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (SSE), DELETE /v1/jobs/{id},
+// GET /v1/backends. The bundled synthetic dataset generators ("nslkdd",
+// "iottc", "botnet") are pre-registered in the dataset catalog; embed
+// the daemon to register custom loaders with alchemy.RegisterLoader.
+//
+// SIGINT/SIGTERM shut down gracefully: HTTP drains, running
+// compilations finish, queued jobs fail with ErrServiceClosed
+// (httpapi.ListenAndServe — the same loop behind `homunculus -serve`).
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/httpapi"
+
+	homunculus "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8077", "listen address")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent compilations (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max queued submissions (0 = default 64, negative = unbounded)")
+	cacheEntries := flag.Int("cache", 0, "cached pipelines (0 = default 128, negative = disable caching)")
+	flag.Parse()
+
+	httpapi.RegisterBuiltinLoaders()
+	svc := homunculus.New(homunculus.ServiceOptions{
+		MaxInFlight:  *maxInFlight,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+	})
+	opts := svc.Options()
+	log.Printf("homunculusd: listening on %s (max in-flight %d, queue depth %d, cache %d)",
+		*addr, opts.MaxInFlight, opts.QueueDepth, opts.CacheEntries)
+	if err := httpapi.ListenAndServe(*addr, svc); err != nil {
+		log.Fatalf("homunculusd: %v", err)
+	}
+}

@@ -54,6 +54,11 @@ const (
 // search events additionally carry the algorithm family.
 type Event struct {
 	Stage Stage
+	// Platform is the backend kind being compiled for ("taurus",
+	// "tofino", ...). It disambiguates events when one observer watches
+	// concurrent per-target compilations — a GenerateAcross sweep or a
+	// multi-tenant Service.
+	Platform string
 	// App is the application (model) name; empty for pipeline-level
 	// events (the compose stage).
 	App string
@@ -64,10 +69,13 @@ type Event struct {
 	Done bool
 }
 
-// ProgressFunc observes pipeline progress. Calls are serialized (no
-// internal locking needed) but may come from worker goroutines; keep it
-// fast or hand off to a channel. Observability only — it cannot change
-// compilation results.
+// ProgressFunc observes pipeline progress. Calls are serialized within
+// one compilation (no internal locking needed for per-job observers) but
+// may come from worker goroutines — and an observer shared across
+// concurrent compilations (a GenerateAcross sweep) sees interleaved
+// streams, distinguishable by Event.Platform, and must synchronize its
+// own state. Keep it fast or hand off to a channel. Observability only —
+// it cannot change compilation results.
 type ProgressFunc func(Event)
 
 // Option customizes Generate.
@@ -75,8 +83,10 @@ type Option func(*options)
 
 type options struct {
 	search   core.SearchConfig
-	override bool
 	progress ProgressFunc
+	// preloaded carries per-model data already materialized by the
+	// service's spec-hashing pass, so a cache miss does not load twice.
+	preloaded map[*alchemy.Model]*alchemy.Data
 }
 
 // WithSearchConfig replaces the default search configuration (BO budget,
@@ -84,7 +94,6 @@ type options struct {
 func WithSearchConfig(cfg core.SearchConfig) Option {
 	return func(o *options) {
 		o.search = cfg
-		o.override = true
 	}
 }
 
@@ -136,19 +145,17 @@ type Pipeline struct {
 // at their next evaluation and Generate returns an error wrapping
 // ctx.Err(). With an undone ctx, fixed-seed output is byte-identical at
 // any GOMAXPROCS.
+//
+// Generate is a thin wrapper over the process-wide DefaultService: it
+// submits the declaration as a job and blocks on its completion. For
+// asynchronous handles, bounded admission, and content-addressed result
+// caching, construct a Service and call Submit directly (docs/api.md).
 func Generate(ctx context.Context, p *alchemy.Platform, opts ...Option) (*Pipeline, error) {
-	if err := p.Validate(); err != nil {
+	job, err := DefaultService().Submit(ctx, p, opts...)
+	if err != nil {
 		return nil, err
 	}
-	o := options{search: core.DefaultSearchConfig()}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	target, err := backend.Build(p.BackendSpec())
-	if err != nil {
-		return nil, fmt.Errorf("homunculus: %w", err)
-	}
-	return compile(ctx, p, target, &o)
+	return job.Wait(ctx)
 }
 
 // appJob is one unique scheduled model flowing through the stages.
@@ -162,12 +169,16 @@ type appJob struct {
 
 func compile(ctx context.Context, p *alchemy.Platform, target core.Target, o *options) (*Pipeline, error) {
 	// Progress calls are serialized across the concurrently searching
-	// apps so the observer needs no locking of its own.
+	// apps so the observer needs no locking of its own. Every event is
+	// stamped with the platform kind so observers of concurrent
+	// compilations (sweeps, the Service) can tell the streams apart.
 	var progressMu sync.Mutex
+	kind := p.Kind.String()
 	emit := func(ev Event) {
 		if o.progress == nil {
 			return
 		}
+		ev.Platform = kind
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		o.progress(ev)
@@ -187,7 +198,7 @@ func compile(ctx context.Context, p *alchemy.Platform, target core.Target, o *op
 			return nil, fmt.Errorf("homunculus: compilation cancelled: %w", err)
 		}
 		emit(Event{Stage: StageLoad, App: m.Spec.Name})
-		job, err := loadApp(m, target, o.search)
+		job, err := loadApp(m, target, o.search, o.preloaded[m])
 		if err != nil {
 			return nil, err
 		}
@@ -288,10 +299,15 @@ func compile(ctx context.Context, p *alchemy.Platform, target core.Target, o *op
 }
 
 // loadApp materializes one model's datasets and search configuration.
-func loadApp(m *alchemy.Model, target core.Target, search core.SearchConfig) (*appJob, error) {
-	data, err := m.Spec.DataLoader.Load()
-	if err != nil {
-		return nil, fmt.Errorf("homunculus: load data for %q: %w", m.Spec.Name, err)
+// A non-nil data skips the loader call (the service passes data it
+// already materialized while fingerprinting the spec).
+func loadApp(m *alchemy.Model, target core.Target, search core.SearchConfig, data *alchemy.Data) (*appJob, error) {
+	if data == nil {
+		var err error
+		data, err = m.Spec.DataLoader.Load()
+		if err != nil {
+			return nil, fmt.Errorf("homunculus: load data for %q: %w", m.Spec.Name, err)
+		}
 	}
 	train, test, err := data.Datasets()
 	if err != nil {
@@ -338,24 +354,40 @@ type TargetReport struct {
 // scenario-diversity sweep the backend registry enables. The platform's
 // declared kind is ignored; its constraints and schedule apply to every
 // target (zero-valued constraint fields take each backend's defaults).
-// Targets compile in sorted-kind order, each through the full staged
-// pipeline, so per-target results match a direct Generate call with that
-// kind. Hard failures on one target do not stop the sweep; cancellation
-// does.
+//
+// Per-target compilations are submitted concurrently through the
+// DefaultService — its admission bound (GOMAXPROCS in flight) paces the
+// sweep — and each runs the full staged pipeline, so per-target results
+// match a direct Generate call with that kind (every Event carries its
+// Platform so one observer can tell the interleaved streams apart).
+// Reports come back in the order of kinds. Hard failures on one target
+// do not stop the sweep; cancellation does.
 func GenerateAcross(ctx context.Context, p *alchemy.Platform, kinds []string, opts ...Option) ([]TargetReport, error) {
 	if len(kinds) == 0 {
 		kinds = backend.Names()
 	}
-	reports := make([]TargetReport, 0, len(kinds))
-	for _, kind := range kinds {
+	svc := DefaultService()
+	jobs := make([]*Job, len(kinds))
+	submitErrs := make([]error, len(kinds))
+	for i, kind := range kinds {
 		if err := ctx.Err(); err != nil {
-			return reports, fmt.Errorf("homunculus: sweep cancelled: %w", err)
+			cancelJobs(jobs)
+			return nil, fmt.Errorf("homunculus: sweep cancelled: %w", err)
 		}
 		clone := *p
 		clone.Kind = alchemy.PlatformKind(kind)
-		pipe, err := Generate(ctx, &clone, opts...)
+		jobs[i], submitErrs[i] = svc.Submit(ctx, &clone, opts...)
+	}
+	reports := make([]TargetReport, 0, len(kinds))
+	for i, kind := range kinds {
+		if submitErrs[i] != nil {
+			reports = append(reports, TargetReport{Platform: kind, Err: submitErrs[i]})
+			continue
+		}
+		pipe, err := jobs[i].Wait(ctx)
 		if err != nil {
 			if ctx.Err() != nil {
+				cancelJobs(jobs[i:])
 				return reports, err
 			}
 			reports = append(reports, TargetReport{Platform: kind, Err: err})
@@ -364,6 +396,15 @@ func GenerateAcross(ctx context.Context, p *alchemy.Platform, kinds []string, op
 		reports = append(reports, TargetReport{Platform: kind, Pipeline: pipe})
 	}
 	return reports, nil
+}
+
+// cancelJobs cancels the still-pending tail of an abandoned sweep.
+func cancelJobs(jobs []*Job) {
+	for _, j := range jobs {
+		if j != nil {
+			j.Cancel()
+		}
+	}
 }
 
 // buildComposition mirrors the alchemy schedule tree over the searched

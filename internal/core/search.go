@@ -123,7 +123,8 @@ func (c SearchConfig) Validate() error {
 	switch c.Metric {
 	case MetricF1, MetricAccuracy, MetricVMeasure:
 	default:
-		return fmt.Errorf("core: unknown metric %q", c.Metric)
+		return fmt.Errorf("core: unknown metric %q (accepted: %q, %q, %q)",
+			c.Metric, MetricF1, MetricAccuracy, MetricVMeasure)
 	}
 	if c.MaxHiddenLayers < 1 || c.MaxNeurons < 2 {
 		return fmt.Errorf("core: DNN bounds too small (%d layers, %d neurons)", c.MaxHiddenLayers, c.MaxNeurons)

@@ -1,0 +1,46 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/experiments"
+)
+
+// TestRunQuick drives the full service sweep at the Quick budget: every
+// registered backend × two applications plus duplicate submissions, all
+// through one bounded service. The duplicates must resolve from the
+// content-addressed cache.
+func TestRunQuick(t *testing.T) {
+	b := experiments.Quick()
+	rows, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := len(backend.Names())
+	want := kinds*2 + 2
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	deployable := 0
+	for _, r := range rows {
+		if r.State != "done" {
+			t.Fatalf("job %s (%s on %s) state %q: %s", r.Job, r.App, r.Platform, r.State, r.Detail)
+		}
+		if r.Algorithm != "" {
+			deployable++
+		}
+	}
+	if deployable < kinds {
+		t.Fatalf("only %d deployable outcomes across %d submissions", deployable, len(rows))
+	}
+	// The trailing duplicate submissions hit the cache.
+	for _, r := range rows[len(rows)-2:] {
+		if !r.CacheHit {
+			t.Fatalf("duplicate submission %s (%s on %s) missed the cache", r.Job, r.App, r.Platform)
+		}
+	}
+	if out := Format(rows); len(out) == 0 {
+		t.Fatal("empty report")
+	}
+}

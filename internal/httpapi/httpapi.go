@@ -1,0 +1,409 @@
+// Package httpapi exposes a homunculus.Service over HTTP/JSON: the
+// handler set behind cmd/homunculusd and the CLI's -serve mode. The
+// wire surface (docs/api.md) is deliberately thin — every semantic
+// (admission bounds, job states, content-addressed caching,
+// single-flight) lives in the service layer and is reused verbatim:
+//
+//	POST   /v1/jobs             submit a compilation, returns the job
+//	GET    /v1/jobs             list jobs (admission order)
+//	GET    /v1/jobs/{id}        status snapshot (+ result when done)
+//	GET    /v1/jobs/{id}/events live progress stream (SSE)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/backends         registered platform kinds + defaults
+//
+// Dataset references resolve through the alchemy loader catalog;
+// RegisterBuiltinLoaders installs the bundled synthetic generators so a
+// fresh daemon can compile the quickstart spec out of the box.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/alchemy"
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/loaders"
+
+	homunculus "repro"
+)
+
+// registerBuiltins guards the catalog against double registration when
+// both a daemon and its tests initialize.
+var registerBuiltins sync.Once
+
+// RegisterBuiltinLoaders installs the bundled synthetic dataset
+// generators ("nslkdd", "iottc", "botnet", default configurations) in
+// the alchemy loader catalog. Idempotent.
+func RegisterBuiltinLoaders() {
+	registerBuiltins.Do(func() {
+		alchemy.RegisterLoader("nslkdd", loaders.NSLKDD(0, 0))
+		alchemy.RegisterLoader("iottc", loaders.IoTTC(0, 0))
+		alchemy.RegisterLoader("botnet", loaders.Botnet(0, 0))
+	})
+}
+
+// SubmitRequest is the POST /v1/jobs body: the canonical platform wire
+// document plus optional search-budget knobs (the CLI spec's "search"
+// section).
+type SubmitRequest struct {
+	Platform *alchemy.PlatformJSON `json:"platform"`
+	Search   *SearchJSON           `json:"search,omitempty"`
+}
+
+// SearchJSON mirrors the CLI spec's search knobs; zero fields keep
+// defaults.
+type SearchJSON struct {
+	Init       int   `json:"init,omitempty"`
+	Iterations int   `json:"iterations,omitempty"`
+	Epochs     int   `json:"epochs,omitempty"`
+	MaxLayers  int   `json:"max_layers,omitempty"`
+	MaxNeurons int   `json:"max_neurons,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+}
+
+// Config applies the knobs over the default search configuration.
+func (s *SearchJSON) Config() core.SearchConfig {
+	cfg := core.DefaultSearchConfig()
+	if s == nil {
+		return cfg
+	}
+	if s.Init > 0 {
+		cfg.BO.InitSamples = s.Init
+	}
+	if s.Iterations > 0 {
+		cfg.BO.Iterations = s.Iterations
+	}
+	if s.Epochs > 0 {
+		cfg.TrainEpochs = s.Epochs
+	}
+	if s.MaxLayers > 0 {
+		cfg.MaxHiddenLayers = s.MaxLayers
+	}
+	if s.MaxNeurons > 0 {
+		cfg.MaxNeurons = s.MaxNeurons
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	return cfg
+}
+
+// JobJSON is the wire rendering of a job status snapshot.
+type JobJSON struct {
+	ID       string                                        `json:"id"`
+	Platform string                                        `json:"platform"`
+	State    homunculus.JobState                           `json:"state"`
+	CacheHit bool                                          `json:"cache_hit,omitempty"`
+	SpecHash string                                        `json:"spec_hash,omitempty"`
+	Stages   map[homunculus.Stage]homunculus.StageProgress `json:"stages,omitempty"`
+	Error    string                                        `json:"error,omitempty"`
+	Result   *ResultJSON                                   `json:"result,omitempty"`
+}
+
+// ResultJSON summarizes a completed pipeline.
+type ResultJSON struct {
+	Platform    string         `json:"platform"`
+	Apps        []AppJSON      `json:"apps"`
+	Composition map[string]any `json:"composition,omitempty"`
+}
+
+// AppJSON is one compiled application.
+type AppJSON struct {
+	Name      string             `json:"name"`
+	Algorithm string             `json:"algorithm,omitempty"`
+	Metric    float64            `json:"metric"`
+	Feasible  bool               `json:"feasible"`
+	Verdict   map[string]float64 `json:"verdict,omitempty"`
+	// Code is included only when the status request asks for it
+	// (?include=code) — generated sources can be large.
+	Code string `json:"code,omitempty"`
+}
+
+// EventJSON is one SSE progress payload.
+type EventJSON struct {
+	Stage     homunculus.Stage `json:"stage"`
+	Platform  string           `json:"platform,omitempty"`
+	App       string           `json:"app,omitempty"`
+	Candidate string           `json:"candidate,omitempty"`
+	Done      bool             `json:"done"`
+}
+
+// BackendJSON describes one registered platform kind.
+type BackendJSON struct {
+	Kind     string                  `json:"kind"`
+	CodeExt  string                  `json:"code_ext"`
+	Defaults alchemy.ConstraintsJSON `json:"defaults"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ListenAndServe is the daemon loop shared by cmd/homunculusd and the
+// CLI's -serve mode: HTTP on addr over svc, with graceful shutdown on
+// SIGINT/SIGTERM — stop accepting requests, drain in-flight handlers
+// (30 s bound), then Close the service so running compilations finish
+// and queued jobs fail with their ErrServiceClosed terminal state.
+func ListenAndServe(addr string, svc *homunculus.Service) error {
+	srv := &http.Server{Addr: addr, Handler: NewServer(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		// Listen/serve failure (e.g. port in use) before any signal.
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		_ = svc.Close()
+		return fmt.Errorf("httpapi: shutdown: %w", err)
+	}
+	return svc.Close()
+}
+
+// NewServer wraps the service in the /v1 HTTP handler set.
+func NewServer(svc *homunculus.Service) http.Handler {
+	h := &handler{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", h.submit)
+	mux.HandleFunc("GET /v1/jobs", h.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /v1/backends", h.backends)
+	return mux
+}
+
+type handler struct {
+	svc *homunculus.Service
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
+		return
+	}
+	if req.Platform == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request needs a platform document"))
+		return
+	}
+	p, err := alchemy.PlatformFromJSON(req.Platform)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fail unknown dataset names at submission time (the catalog lookup
+	// otherwise happens inside the job, where the client can only see
+	// the failure by polling).
+	for _, m := range p.Sched.Models() {
+		if named, ok := m.Spec.DataLoader.(alchemy.NamedDataLoader); ok {
+			if _, err := alchemy.LoaderFor(named.LoaderName()); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+	}
+	// The job must outlive this request: submit with a background
+	// context rather than r.Context(). DELETE /v1/jobs/{id} is the
+	// cancellation path.
+	job, err := h.svc.Submit(context.Background(), p,
+		homunculus.WithSearchConfig(req.Search.Config()))
+	if err != nil {
+		switch {
+		case errors.Is(err, homunculus.ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, homunculus.ErrServiceClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, jobJSON(job, false))
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	jobs := h.svc.Jobs()
+	out := make([]JobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, jobJSON(j, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(job, r.URL.Query().Get("include") == "code"))
+}
+
+func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	// Cancellation is asynchronous for running jobs; report the state a
+	// poll would now see.
+	writeJSON(w, http.StatusOK, jobJSON(job, false))
+}
+
+// events streams the job's progress as Server-Sent Events: one
+// "progress" event per pipeline Event (replaying history first), then a
+// terminal "state" event, then EOF.
+func (h *handler) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ch := job.Events()
+	defer func() {
+		// On early client disconnect, release the feed goroutine by
+		// draining what remains (it closes once the job is terminal).
+		go func() {
+			for range ch {
+			}
+		}()
+	}()
+	enc := func(name string, v any) bool {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, raw); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				st := job.Status()
+				final := JobJSON{ID: st.ID, Platform: st.Platform, State: st.State, CacheHit: st.CacheHit}
+				if st.Err != nil {
+					final.Error = st.Err.Error()
+				}
+				enc("state", final)
+				return
+			}
+			if !enc("progress", EventJSON{
+				Stage: ev.Stage, Platform: ev.Platform, App: ev.App,
+				Candidate: ev.Candidate, Done: ev.Done,
+			}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (h *handler) backends(w http.ResponseWriter, r *http.Request) {
+	names := backend.Names()
+	out := make([]BackendJSON, 0, len(names))
+	for _, kind := range names {
+		defaults, err := backend.Defaults(kind)
+		if err != nil {
+			continue
+		}
+		out = append(out, BackendJSON{
+			Kind:    kind,
+			CodeExt: backend.CodeExt(kind),
+			Defaults: alchemy.ConstraintsJSON{
+				ThroughputGPkts: defaults.Performance.ThroughputGPkts,
+				LatencyNS:       defaults.Performance.LatencyNS,
+				Rows:            defaults.Resources.Rows,
+				Cols:            defaults.Resources.Cols,
+				Tables:          defaults.Resources.Tables,
+				MaxLUTPct:       defaults.Resources.MaxLUTPct,
+				MaxPowerW:       defaults.Resources.MaxPowerW,
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobJSON renders a status snapshot (with the result when terminal).
+func jobJSON(j *homunculus.Job, includeCode bool) JobJSON {
+	st := j.Status()
+	out := JobJSON{
+		ID:       st.ID,
+		Platform: st.Platform,
+		State:    st.State,
+		CacheHit: st.CacheHit,
+		SpecHash: st.SpecHash,
+	}
+	if len(st.Stages) > 0 {
+		out.Stages = st.Stages
+	}
+	if st.Err != nil {
+		out.Error = st.Err.Error()
+	}
+	if pipe, err := j.Result(); err == nil && pipe != nil {
+		res := &ResultJSON{Platform: pipe.Platform}
+		for _, app := range pipe.Apps {
+			aj := AppJSON{
+				Name:      app.Name,
+				Algorithm: app.Algorithm,
+				Metric:    app.Metric,
+				Feasible:  app.Verdict.Feasible,
+				Verdict:   app.Verdict.Metrics,
+			}
+			if includeCode {
+				aj.Code = app.Code
+			}
+			res.Apps = append(res.Apps, aj)
+		}
+		if pipe.Composition != nil {
+			res.Composition = map[string]any{
+				"feasible": pipe.Composition.Feasible,
+				"metrics":  pipe.Composition.Metrics,
+			}
+		}
+		out.Result = res
+	}
+	return out
+}

@@ -47,7 +47,15 @@ func (k Kind) String() string {
 	}
 }
 
-// ParseKind maps an Alchemy algorithm name to a Kind.
+// KindNames lists the accepted Alchemy algorithm names, in Kind order
+// ("decision_tree" is also accepted as an alias of "dtree").
+func KindNames() []string {
+	return []string{"dnn", "svm", "kmeans", "dtree"}
+}
+
+// ParseKind maps an Alchemy algorithm name to a Kind; an unknown name's
+// error lists the accepted values so a typo in a spec is a one-glance
+// fix (matching the backend registry's unknown-kind style).
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "dnn":
@@ -59,7 +67,7 @@ func ParseKind(s string) (Kind, error) {
 	case "dtree", "decision_tree":
 		return DTree, nil
 	default:
-		return 0, fmt.Errorf("ir: unknown algorithm %q", s)
+		return 0, fmt.Errorf("ir: unknown algorithm %q (accepted: %v)", s, KindNames())
 	}
 }
 

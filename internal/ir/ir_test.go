@@ -2,6 +2,7 @@ package ir
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/dataset"
@@ -49,8 +50,14 @@ func TestKindStrings(t *testing.T) {
 	if k, err := ParseKind("decision_tree"); err != nil || k != DTree {
 		t.Fatal("ParseKind alias")
 	}
-	if _, err := ParseKind("nope"); err == nil {
+	_, err := ParseKind("nope")
+	if err == nil {
 		t.Fatal("ParseKind must reject unknown")
+	}
+	for _, name := range KindNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-algorithm error must list %q, got: %v", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,370 @@
+package homunculus
+
+// Service is the long-lived compilation front end: bounded admission
+// over the staged pipeline, asynchronous Job handles, and a
+// content-addressed result cache with single-flight coalescing. It is
+// the shape the ROADMAP's "serve heavy traffic from many concurrent
+// users" north star needs — Generate/GenerateAcross are now thin
+// wrappers over a process-wide default service, and cmd/homunculusd
+// exposes the same service over HTTP (docs/api.md).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/alchemy"
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/jobqueue"
+)
+
+var (
+	// ErrServiceClosed rejects submissions to a closed service and is
+	// the terminal error of jobs still queued when Close ran.
+	ErrServiceClosed = errors.New("homunculus: service closed")
+	// ErrQueueFull rejects a submission when the admission backlog is at
+	// capacity: shed load at the door instead of queueing unboundedly.
+	ErrQueueFull = errors.New("homunculus: admission queue full")
+)
+
+// ServiceOptions bounds a service. Zero values select defaults.
+type ServiceOptions struct {
+	// MaxInFlight caps concurrent compilations (dispatch slots). The
+	// searches inside each compilation still share the process-wide
+	// worker pool, so this bounds admission, not CPU oversubscription.
+	// Default: GOMAXPROCS.
+	MaxInFlight int
+	// QueueDepth caps jobs admitted but not yet dispatched. Submit
+	// returns ErrQueueFull beyond it. Default 64; negative = unbounded.
+	QueueDepth int
+	// CacheEntries caps completed pipelines kept for content-addressed
+	// reuse (oldest evicted first). Default 128; negative disables
+	// caching entirely — every submission compiles.
+	CacheEntries int
+	// RetainJobs caps how many job handles the service keeps reachable
+	// by ID: when exceeded, the oldest *terminal* jobs are forgotten
+	// (live jobs are never evicted, and handles already held by callers
+	// keep working). This bounds a long-lived daemon's memory. Default
+	// 4096; negative = retain forever.
+	RetainJobs int
+}
+
+func (o ServiceOptions) withDefaults() ServiceOptions {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight < 1 {
+		o.MaxInFlight = 1
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 128
+	}
+	if o.RetainJobs == 0 {
+		o.RetainJobs = 4096
+	}
+	return o
+}
+
+// Service admits, deduplicates, schedules, and observes compilations.
+// Create one with New; a Service must not be copied.
+type Service struct {
+	opts  ServiceOptions
+	queue *jobqueue.Queue
+	cache *flightCache // nil when caching is disabled
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*Job
+	order  []string // job IDs in admission order
+
+	// fingerprints memoizes per-model dataset fingerprints so repeated
+	// submissions of the same *Model (sweeps, resubmitted specs) do not
+	// re-Load anonymous datasets just to hash them.
+	fpMu         sync.Mutex
+	fingerprints map[*alchemy.Model]string
+}
+
+// New constructs a service with the given bounds.
+func New(opts ServiceOptions) *Service {
+	o := opts.withDefaults()
+	s := &Service{
+		opts:         o,
+		queue:        jobqueue.New(o.MaxInFlight, o.QueueDepth),
+		jobs:         map[string]*Job{},
+		fingerprints: map[*alchemy.Model]string{},
+	}
+	if o.CacheEntries > 0 {
+		s.cache = newFlightCache(o.CacheEntries)
+	}
+	return s
+}
+
+// Options returns the effective (defaulted) service bounds.
+func (s *Service) Options() ServiceOptions { return s.opts }
+
+// Submit admits a compilation and returns immediately with its Job
+// handle — it validates the declaration and enqueues, but never loads
+// data, hashes, or searches, so it returns in well under a millisecond
+// regardless of spec size. The job inherits cancellation and deadline
+// from ctx (pass context.Background to decouple the job's lifetime from
+// the caller's, as the HTTP daemon does); Job.Cancel works either way.
+//
+// Submission errors: validation errors from the declaration,
+// ErrQueueFull when the backlog is at capacity, ErrServiceClosed after
+// Close.
+func (s *Service) Submit(ctx context.Context, p *alchemy.Platform, opts ...Option) (*Job, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := options{search: core.DefaultSearchConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	// Snapshot the declaration's top level so a caller mutating Kind or
+	// Constraints after Submit cannot race the compilation. (The
+	// schedule tree and loaders are shared by design — they are the
+	// declaration's identity.)
+	clone := *p
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.mu.Unlock()
+
+	jctx, cancel := context.WithCancel(ctx)
+	j := newJob(id, clone.Kind.String(), cancel)
+	ticket, err := s.queue.Submit(
+		func() { s.run(jctx, j, &clone, &o) },
+		func(error) {
+			j.finish(nil, fmt.Errorf("homunculus: job %s dropped before dispatch: %w", id, ErrServiceClosed))
+		},
+	)
+	if err != nil {
+		cancel()
+		switch {
+		case errors.Is(err, jobqueue.ErrClosed):
+			return nil, ErrServiceClosed
+		case errors.Is(err, jobqueue.ErrFull):
+			return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.opts.QueueDepth)
+		}
+		return nil, err
+	}
+	j.mu.Lock()
+	j.ticket = ticket
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pruneLocked()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// pruneLocked forgets the oldest terminal jobs once the retention cap is
+// exceeded. Caller holds s.mu.
+func (s *Service) pruneLocked() {
+	if s.opts.RetainJobs < 0 || len(s.order) <= s.opts.RetainJobs {
+		return
+	}
+	excess := len(s.order) - s.opts.RetainJobs
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job looks up a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every submitted job in admission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Stats reports the admission backlog and in-flight compilation counts.
+func (s *Service) Stats() (queued, running int) {
+	return s.queue.Stats()
+}
+
+// Close stops admission, fails every still-queued job with an error
+// wrapping ErrServiceClosed, and drains: it blocks until running
+// compilations finish (they are not cancelled — cancel jobs explicitly
+// for a hard stop). Idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.queue.Close()
+	return nil
+}
+
+// run executes one admitted job on a dispatch slot.
+func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *options) {
+	if err := ctx.Err(); err != nil {
+		j.finish(nil, fmt.Errorf("homunculus: compilation cancelled: %w", err))
+		return
+	}
+	j.setRunning()
+	if s.cache == nil {
+		pipe, err := s.compileJob(ctx, j, p, o)
+		j.finish(pipe, err)
+		return
+	}
+	// Data materialized while fingerprinting anonymous loaders is kept
+	// for the load stage, so a cache miss costs one Load, not two.
+	preload := map[*alchemy.Model]*alchemy.Data{}
+	key, err := specHash(p, o.search, func(m *alchemy.Model) (string, error) {
+		return s.fingerprint(m, preload)
+	})
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	j.setSpecHash(key)
+	for {
+		f, leader := s.cache.acquire(key)
+		if leader {
+			lo := *o
+			lo.preloaded = preload
+			pipe, err := s.compileJob(ctx, j, p, &lo)
+			s.cache.complete(key, f, pipe, err)
+			j.finish(pipe, err)
+			return
+		}
+		// Single-flight follower: park until the leader completes. A
+		// cached success returns immediately (done already closed) with
+		// zero additional pipeline events.
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			j.finish(nil, fmt.Errorf("homunculus: compilation cancelled: %w", ctx.Err()))
+			return
+		}
+		if f.err == nil {
+			j.markCacheHit()
+			j.finish(f.pipe, nil)
+			return
+		}
+		// The leader failed; failures are not cached, so re-acquire —
+		// this submission may become the new leader and retry.
+	}
+}
+
+// fingerprint memoizes per-model dataset fingerprints. Anonymous
+// loaders must materialize their data to hash it; that data lands in
+// preload so the compile's load stage reuses it instead of loading
+// again. A *Model is treated as an immutable declaration: its
+// fingerprint is computed once, so a loader whose underlying data
+// changes between submissions must be wrapped in a NEW Model (the same
+// contract catalog references have, whose fingerprint is just the
+// name). The Load runs outside the lock; a racing duplicate computes
+// the same value. The map is bounded crudely — fingerprints are small,
+// models few.
+func (s *Service) fingerprint(m *alchemy.Model, preload map[*alchemy.Model]*alchemy.Data) (string, error) {
+	s.fpMu.Lock()
+	fp, ok := s.fingerprints[m]
+	s.fpMu.Unlock()
+	if ok {
+		return fp, nil
+	}
+	var err error
+	loader := m.Spec.DataLoader
+	_, cheapFP := loader.(alchemy.Fingerprinter)
+	_, named := loader.(alchemy.NamedDataLoader)
+	if cheapFP || named {
+		fp, err = alchemy.DatasetFingerprint(loader)
+	} else {
+		var data *alchemy.Data
+		data, err = loader.Load()
+		if err != nil {
+			return "", fmt.Errorf("homunculus: fingerprint load: %w", err)
+		}
+		fp, err = alchemy.DataFingerprint(data)
+		if err == nil && preload != nil {
+			preload[m] = data
+		}
+	}
+	if err != nil {
+		return "", err
+	}
+	s.fpMu.Lock()
+	if len(s.fingerprints) >= 4096 {
+		s.fingerprints = map[*alchemy.Model]string{}
+	}
+	s.fingerprints[m] = fp
+	s.fpMu.Unlock()
+	return fp, nil
+}
+
+// compileJob runs the staged pipeline, teeing progress events into the
+// job's feed and the submitter's WithProgress callback.
+func (s *Service) compileJob(ctx context.Context, j *Job, p *alchemy.Platform, o *options) (*Pipeline, error) {
+	target, err := backend.Build(p.BackendSpec())
+	if err != nil {
+		return nil, fmt.Errorf("homunculus: %w", err)
+	}
+	inner := *o
+	user := o.progress
+	inner.progress = func(ev Event) {
+		j.observe(ev)
+		if user != nil {
+			user(ev)
+		}
+	}
+	return compile(ctx, p, target, &inner)
+}
+
+// defaultService backs Generate/GenerateAcross: admission bounded at
+// GOMAXPROCS with an unbounded backlog (a blocking Generate call must
+// queue, not fail), caching disabled (direct calls keep their
+// compile-every-time semantics; construct a Service to opt into reuse),
+// and near-zero job retention — Generate discards its handle after
+// Wait, so parking finished pipelines here would only pin memory.
+var (
+	defaultServiceOnce sync.Once
+	defaultSvc         *Service
+)
+
+// DefaultService returns the process-wide service behind Generate and
+// GenerateAcross. It is never closed.
+func DefaultService() *Service {
+	defaultServiceOnce.Do(func() {
+		defaultSvc = New(ServiceOptions{QueueDepth: -1, CacheEntries: -1, RetainJobs: 8})
+	})
+	return defaultSvc
+}
