@@ -1,10 +1,13 @@
 # Developer entry points. `make check` is the tier-1 gate; `make
 # bench-smoke` executes every benchmark once so the bench harness cannot
-# silently rot.
+# silently rot; `make bench-json` snapshots the full benchmark pass into
+# BENCH_pr4.json (the artifact CI's bench-compare job uploads and
+# checks); `make staticcheck` runs the pinned lint gate.
 
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check vet build test bench-smoke bench
+.PHONY: check vet build test bench-smoke bench bench-json staticcheck
 
 check: vet build test
 
@@ -25,3 +28,21 @@ bench-smoke:
 # Full benchmark pass with allocation reporting (slow).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Snapshot the benchmark pass as BENCH_pr4.json (one iteration per
+# benchmark, with allocation reporting so the budget comparison in CI
+# has allocs_per_op for every entry). The bench output goes through a
+# temp file, not a pipe, so a failing benchmark run fails the target
+# instead of feeding a truncated snapshot to the parser.
+bench-json:
+	$(GO) version > BENCH_pr4.out
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . >> BENCH_pr4.out
+	python3 scripts/bench2json.py --pr 4 \
+	    --description "Deployment-runtime snapshot (go test -bench . -benchmem -benchtime=1x). PR1-PR3 budgets hold; BenchmarkServeClassify asserts the serve path's 0 allocs/op steady state (steady_allocs metric) through deploy -> micro-batcher -> shard -> prepared quantized predictor." \
+	    < BENCH_pr4.out > BENCH_pr4.json
+	rm -f BENCH_pr4.out
+
+# Pinned staticcheck (the CI lint gate); requires network on first run
+# to install the tool.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -561,6 +562,123 @@ func BenchmarkSimPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(sim.Stages()), "stages")
+}
+
+// BenchmarkServeClassify measures the deployment runtime's serving hot
+// path: a single-client classify through the micro-batcher (greedy
+// flush), one shard, and the prepared quantized predictor. The
+// steady-state path must be allocation-free — request structs, feature
+// buffers, batch slices, and completion channels are all pooled — which
+// is asserted here (and enforced by CI's bench-compare job) on top of
+// being reported as the steady_allocs metric.
+func BenchmarkServeClassify(b *testing.B) {
+	nc := nn.Config{
+		Inputs: 7, Hidden: []int{12, 6}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.SGD,
+		LearnRate: 0.1, BatchSize: 32, Epochs: 1, Seed: 1,
+	}
+	net, err := nn.New(nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ir.FromNN("ad", net, fixed.Q8_8)
+	svc := New(ServiceOptions{})
+	defer svc.Close()
+	dep, err := svc.DeployPipeline(
+		&Pipeline{Platform: "taurus", Apps: []AppResult{{Name: "ad", Algorithm: "dnn", Model: m}}},
+		DeployOptions{Shards: 1, BatchSize: 32, MaxDelay: -1},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = make([]float64, 7)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	for i := 0; i < 256; i++ { // warm the pools
+		if _, err := dep.Classify(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	steady := 0.0
+	if !testing.Short() {
+		// The serve-path allocation budget: 0 allocs/op steady state.
+		steady = testing.AllocsPerRun(200, func() {
+			if _, err := dep.Classify(rows[0]); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if steady > 0 {
+			b.Fatalf("steady-state Classify allocated %.1f times per op, budget 0", steady)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Classify(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Metrics must be reported after ResetTimer (which clears them) —
+	// CI's bench-compare job reads steady_allocs from the snapshot.
+	b.ReportMetric(steady, "steady_allocs")
+	st := dep.Stats()
+	b.ReportMetric(st.MeanBatch, "mean_batch")
+}
+
+// BenchmarkServeClassifyConcurrent measures batched serving throughput
+// under parallel load: GOMAXPROCS clients hammer one deployment, so the
+// micro-batcher actually forms multi-request batches and the shards
+// split them.
+func BenchmarkServeClassifyConcurrent(b *testing.B) {
+	nc := nn.Config{
+		Inputs: 7, Hidden: []int{12, 6}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.SGD,
+		LearnRate: 0.1, BatchSize: 32, Epochs: 1, Seed: 1,
+	}
+	net, err := nn.New(nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ir.FromNN("ad", net, fixed.Q8_8)
+	svc := New(ServiceOptions{})
+	defer svc.Close()
+	dep, err := svc.DeployPipeline(
+		&Pipeline{Platform: "taurus", Apps: []AppResult{{Name: "ad", Algorithm: "dnn", Model: m}}},
+		DeployOptions{BatchSize: 32, MaxDelay: -1},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Worker goroutines must not call b.Fatal (FailNow is only legal on
+	// the benchmark goroutine); collect the first error and fail after.
+	var (
+		errOnce     sync.Once
+		classifyErr error
+	)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := dep.Classify(x); err != nil {
+				errOnce.Do(func() { classifyErr = err })
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if classifyErr != nil {
+		b.Fatal(classifyErr)
+	}
+	st := dep.Stats()
+	b.ReportMetric(st.MeanBatch, "mean_batch")
+	b.ReportMetric(float64(st.Dropped), "dropped")
 }
 
 // BenchmarkServiceSubmit measures the admission hot path of the job

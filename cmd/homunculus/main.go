@@ -8,6 +8,8 @@
 //	homunculus -spec pipeline.json -platform all   # sweep every backend
 //	homunculus -spec pipeline.json -timeout 30s    # bound the search
 //	homunculus -spec pipeline.json -progress       # stage events on stderr
+//	homunculus -spec pipeline.json -deploy         # serve + replay a trace
+//	homunculus -spec pipeline.json -replay 5000    # replay 5000 samples
 //	homunculus -serve :8077                        # run as a daemon
 //
 // -platform overrides the spec's platform.kind; the special value "all"
@@ -17,6 +19,17 @@
 // compilation through the pipeline's context plumbing. -serve skips spec
 // compilation entirely and exposes the compilation service over HTTP —
 // the same daemon as cmd/homunculusd (see docs/api.md).
+//
+// -deploy promotes the freshly compiled pipeline into an in-process
+// deployment runtime (micro-batched, sharded quantized inference — see
+// docs/serving.md) and drives it with a replayed synthetic trace,
+// printing the achieved rate, latency quantiles, and accuracy against
+// the trace's ground-truth labels. For the botnet generator the trace is
+// the per-packet partial-flowmarker stream (internal/stream.Trace); for
+// the other generators and CSV data it is the test split. -replay N sets
+// the replayed sample count (cycling the trace as needed) and implies
+// -deploy; -clients, -batch, -batch-delay, and -shards tune the replay
+// concurrency and the runtime's batching knobs.
 //
 // Spec format (see cmd/homunculus/testdata/ad.json for a full example):
 //
@@ -44,6 +57,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -54,6 +68,10 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/ir"
 	"repro/internal/loaders"
+	"repro/internal/packet"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/synth/botnet"
 
 	homunculus "repro"
 )
@@ -103,6 +121,20 @@ type SearchSpec struct {
 // events to stderr (sweeps always print, platform-tagged).
 var showProgress bool
 
+// replaySettings mirrors the -deploy/-replay flag group: when enabled,
+// the compiled pipeline is deployed in-process and driven with a
+// replayed synthetic trace.
+type replaySettings struct {
+	deploy  bool
+	samples int
+	clients int
+	batch   int
+	delay   time.Duration
+	shards  int
+}
+
+var replayCfg replaySettings
+
 func main() {
 	log.SetFlags(0)
 	specPath := flag.String("spec", "", "path to the pipeline spec JSON (required unless -serve)")
@@ -111,8 +143,22 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print pipeline stage events to stderr")
 	serve := flag.String("serve", "", "run as a compilation daemon on this address (e.g. :8077) instead of compiling a spec")
+	deploy := flag.Bool("deploy", false, "deploy the compiled pipeline in-process and replay a synthetic trace through it")
+	replay := flag.Int("replay", 0, "replay this many trace samples through the deployment (implies -deploy; 0 = one pass over the natural trace)")
+	clients := flag.Int("clients", 0, "concurrent replay clients (default GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "deployment micro-batch flush threshold (default 64)")
+	batchDelay := flag.Duration("batch-delay", 0, "deployment micro-batch flush deadline (default 500µs; negative = greedy)")
+	shards := flag.Int("shards", 0, "deployment inference shards (default GOMAXPROCS)")
 	flag.Parse()
 	showProgress = *progress
+	replayCfg = replaySettings{
+		deploy:  *deploy || *replay > 0,
+		samples: *replay,
+		clients: *clients,
+		batch:   *batch,
+		delay:   *batchDelay,
+		shards:  *shards,
+	}
 	if *serve != "" {
 		if err := runServe(*serve); err != nil {
 			log.Fatalf("homunculus: %v", err)
@@ -207,6 +253,9 @@ func run(specPath, outDir, platformOverride string, timeout time.Duration) error
 	}
 
 	if spec.Platform.Kind == "all" {
+		if replayCfg.deploy {
+			return fmt.Errorf("-deploy/-replay apply to a single-target compilation, not -platform all")
+		}
 		return runSweep(ctx, spec, model, outDir, search)
 	}
 
@@ -290,7 +339,105 @@ func run(specPath, outDir, platformOverride string, timeout time.Duration) error
 	fmt.Println()
 	fmt.Printf("  code:       %s\n", codePath)
 	fmt.Printf("  model:      %s\n", modelPath)
+	if replayCfg.deploy {
+		return runDeploy(spec, loader, pipe)
+	}
 	return nil
+}
+
+// runDeploy promotes the compiled pipeline into an in-process deployment
+// runtime and replays a synthetic trace through it — the live-serving
+// leg of the compile → serve lifecycle (docs/serving.md).
+func runDeploy(spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline) error {
+	svc := homunculus.New(homunculus.ServiceOptions{})
+	defer svc.Close()
+	dep, err := svc.DeployPipeline(pipe, homunculus.DeployOptions{
+		Shards:    replayCfg.shards,
+		BatchSize: replayCfg.batch,
+		MaxDelay:  replayCfg.delay,
+	})
+	if err != nil {
+		return err
+	}
+	xs, labels, err := buildTrace(spec, loader, replayCfg.samples)
+	if err != nil {
+		return err
+	}
+	clients := replayCfg.clients
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+	}
+	cfg := dep.Config()
+	fmt.Printf("deployment %s: app=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
+		dep.ID(), dep.App(), dep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
+	res, err := serve.Replay(dep, xs, labels, clients)
+	if err != nil {
+		return err
+	}
+	st := dep.Stats()
+	fmt.Printf("replayed %d samples in %v: %.0f req/s, accuracy %.4f (delivered %d, dropped %d, errors %d)\n",
+		res.Requests, res.Elapsed.Round(time.Microsecond), res.Rate, res.Accuracy,
+		res.Delivered, res.Dropped, res.Errors)
+	fmt.Printf("latency: p50=%v p99=%v; batches=%d (mean %.1f, %d full, %d deadline)\n",
+		st.P50, st.P99, st.Batches, st.MeanBatch, st.FullFlushes, st.DeadlineFlushes)
+	fmt.Printf("per-class:")
+	for c, n := range st.PerClass {
+		fmt.Printf(" %d=%d", c, n)
+	}
+	fmt.Println()
+	if _, err := svc.Undeploy(dep.ID()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildTrace assembles the replay trace. The botnet generator replays
+// the per-packet partial-flowmarker stream a data plane would actually
+// classify (internal/stream.Trace over the regenerated packet corpus);
+// every other source replays its test split. n > 0 cycles or truncates
+// the trace to exactly n samples.
+func buildTrace(spec Spec, loader alchemy.DataLoader, n int) ([][]float64, []int, error) {
+	var xs [][]float64
+	var labels []int
+	if spec.Data.Generator == "botnet" {
+		cfg := botnet.DefaultConfig()
+		if spec.Data.Samples > 0 {
+			cfg.Flows = spec.Data.Samples
+		}
+		if spec.Data.Seed != 0 {
+			cfg.Seed = spec.Data.Seed
+		}
+		flows, err := botnet.Generate(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		xs, labels, err = stream.Trace(packet.PaperBD, botnet.MergePackets(flows))
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		_, test, err := loaderDatasets(loader)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < test.Len(); i++ {
+			xs = append(xs, append([]float64{}, test.X.Row(i)...))
+		}
+		labels = append(labels, test.Y...)
+	}
+	if len(xs) == 0 {
+		return nil, nil, fmt.Errorf("replay trace is empty")
+	}
+	if n > 0 {
+		cx := make([][]float64, n)
+		cl := make([]int, n)
+		for i := 0; i < n; i++ {
+			cx[i] = xs[i%len(xs)]
+			cl[i] = labels[i%len(labels)]
+		}
+		xs, labels = cx, cl
+	}
+	return xs, labels, nil
 }
 
 // loaderDatasets materializes a loader's output as internal datasets.

@@ -194,3 +194,44 @@ func TestBuildLoaderValidation(t *testing.T) {
 		t.Fatal("empty data spec must fail")
 	}
 }
+
+// TestRunDeployReplay drives the -deploy/-replay leg: compile the AD
+// spec, deploy it in-process, and replay a cycled test-split trace.
+func TestRunDeployReplay(t *testing.T) {
+	replayCfg = replaySettings{deploy: true, samples: 500, clients: 4, batch: 16, delay: time.Millisecond}
+	defer func() { replayCfg = replaySettings{} }()
+	if err := run("testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDeployRejectsSweep: -deploy only makes sense for one target.
+func TestRunDeployRejectsSweep(t *testing.T) {
+	replayCfg = replaySettings{deploy: true}
+	defer func() { replayCfg = replaySettings{} }()
+	if err := run("testdata/ad.json", t.TempDir(), "all", 0); err == nil {
+		t.Fatal("-deploy with -platform all must fail")
+	}
+}
+
+// TestBuildTraceBotnet: the botnet trace is the per-packet stream, and
+// -replay cycles it to the requested length.
+func TestBuildTraceBotnet(t *testing.T) {
+	xs, labels, err := buildTrace(Spec{Data: DataSpec{Generator: "botnet", Samples: 40, Seed: 2}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) == 0 || len(xs) != len(labels) {
+		t.Fatalf("trace %d/%d", len(xs), len(labels))
+	}
+	if got := len(xs[0]); got != 30 {
+		t.Fatalf("flowmarker width %d, want 30", got)
+	}
+	cycled, cl, err := buildTrace(Spec{Data: DataSpec{Generator: "botnet", Samples: 40, Seed: 2}}, nil, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycled) != 17 || len(cl) != 17 {
+		t.Fatalf("cycled trace %d/%d, want 17", len(cycled), len(cl))
+	}
+}

@@ -10,7 +10,11 @@
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/events (SSE), DELETE /v1/jobs/{id},
-// GET /v1/backends. The bundled synthetic dataset generators ("nslkdd",
+// GET /v1/backends. Finished jobs can be promoted to live inference
+// servers through POST /v1/deployments, classified in batches via
+// POST /v1/deployments/{id}/classify, observed at
+// GET /v1/deployments/{id}/stats, and drained with DELETE
+// (docs/serving.md). The bundled synthetic dataset generators ("nslkdd",
 // "iottc", "botnet") are pre-registered in the dataset catalog; embed
 // the daemon to register custom loaders with alchemy.RegisterLoader.
 //

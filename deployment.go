@@ -1,0 +1,246 @@
+package homunculus
+
+// Deployment is the serving-side handle a Service.Deploy returns,
+// mirroring the Job API: compile → Job, serve → Deployment. Where a Job
+// represents one finite compilation, a Deployment is a long-lived
+// inference server over the compiled pipeline's winning model — live
+// traffic flows through the internal/serve runtime (micro-batching,
+// sharded zero-alloc quantized inference, bounded-queue backpressure)
+// and per-deployment metrics accumulate from the first request.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/serve"
+)
+
+var (
+	// ErrOverloaded sheds a classify request because the deployment's
+	// bounded intake queue is full — back off and retry (HTTP 429).
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDeploymentClosed rejects requests to a deployment that is
+	// draining or drained.
+	ErrDeploymentClosed = serve.ErrClosed
+	// ErrNotDeployable rejects deploying a pipeline (or app) that
+	// carries no compiled model.
+	ErrNotDeployable = errors.New("homunculus: pipeline has no deployable model")
+)
+
+// DeployOptions tunes a deployment's serving runtime. Zero values select
+// defaults (see internal/serve and docs/serving.md).
+type DeployOptions struct {
+	// App selects which compiled application of a multi-model pipeline
+	// to serve. Empty selects the first app with a deployable model.
+	App string
+	// Shards is the number of inference workers (default: the shared
+	// worker pool's size, i.e. GOMAXPROCS).
+	Shards int
+	// BatchSize is the micro-batcher's flush threshold (default 64).
+	BatchSize int
+	// MaxDelay bounds how long a request may wait for its batch to fill
+	// (default 500µs; negative = greedy flush).
+	MaxDelay time.Duration
+	// QueueDepth bounds the intake queue; requests beyond it shed with
+	// ErrOverloaded (default 1024).
+	QueueDepth int
+}
+
+// DeploymentStats is a point-in-time snapshot of a deployment's serving
+// metrics (throughput, latency quantiles, per-class counts, drops).
+type DeploymentStats = serve.Stats
+
+// Deployment is a live inference server over one compiled model. All
+// methods are safe for concurrent use.
+type Deployment struct {
+	id       string
+	jobID    string
+	app      string
+	platform string
+	created  time.Time
+	rt       *serve.Runtime
+}
+
+// ID returns the service-assigned deployment identifier.
+func (d *Deployment) ID() string { return d.id }
+
+// JobID returns the compilation job this deployment serves ("" when the
+// pipeline was deployed directly).
+func (d *Deployment) JobID() string { return d.jobID }
+
+// App returns the served application (model) name.
+func (d *Deployment) App() string { return d.app }
+
+// Platform returns the pipeline's backend kind.
+func (d *Deployment) Platform() string { return d.platform }
+
+// Model returns the served IR model.
+func (d *Deployment) Model() *ir.Model { return d.rt.Model() }
+
+// Created returns when the deployment started serving.
+func (d *Deployment) Created() time.Time { return d.created }
+
+// Config returns the effective (defaulted) serving options.
+func (d *Deployment) Config() DeployOptions {
+	o := d.rt.Options()
+	return DeployOptions{
+		App:        d.app,
+		Shards:     o.Shards,
+		BatchSize:  o.BatchSize,
+		MaxDelay:   o.MaxDelay,
+		QueueDepth: o.QueueDepth,
+	}
+}
+
+// Classify submits one feature vector to the serving runtime and blocks
+// until its class is computed (micro-batched under concurrent load).
+// Sheds with ErrOverloaded when the intake queue is full.
+func (d *Deployment) Classify(x []float64) (int, error) { return d.rt.Classify(x) }
+
+// ClassifyBatch classifies every vector of xs; classes[i] is -1 for shed
+// (counted in dropped) or failed requests. Accepted requests always
+// complete.
+func (d *Deployment) ClassifyBatch(xs [][]float64) (classes []int, dropped int, err error) {
+	return d.rt.ClassifyBatch(xs)
+}
+
+// Stats snapshots the deployment's serving metrics.
+func (d *Deployment) Stats() DeploymentStats { return d.rt.Stats() }
+
+// Close drains the deployment: intake stops, every accepted request is
+// still classified and delivered, then the runtime's workers exit.
+// Blocks until the drain completes; idempotent. The deployment stays
+// visible through Service.Deployment until Undeploy removes it.
+func (d *Deployment) Close() error { return d.rt.Close() }
+
+// Deploy turns a finished job's compiled pipeline into a live
+// deployment. The job must be done (ErrJobNotFinished otherwise) and its
+// pipeline must carry a deployable model for the selected app.
+func (s *Service) Deploy(jobID string, opts DeployOptions) (*Deployment, error) {
+	j, ok := s.Job(jobID)
+	if !ok {
+		return nil, fmt.Errorf("homunculus: deploy: no such job %q", jobID)
+	}
+	pipe, err := j.Result()
+	if err != nil {
+		return nil, fmt.Errorf("homunculus: deploy job %s: %w", jobID, err)
+	}
+	return s.deploy(pipe, jobID, opts)
+}
+
+// DeployPipeline serves a pipeline compiled out of band (for example by
+// a direct Generate call), registering it with the service's deployment
+// table like any Deploy result.
+func (s *Service) DeployPipeline(pipe *Pipeline, opts DeployOptions) (*Deployment, error) {
+	return s.deploy(pipe, "", opts)
+}
+
+func (s *Service) deploy(pipe *Pipeline, jobID string, opts DeployOptions) (*Deployment, error) {
+	if pipe == nil {
+		return nil, ErrNotDeployable
+	}
+	var app *AppResult
+	for i := range pipe.Apps {
+		a := &pipe.Apps[i]
+		if opts.App != "" {
+			if a.Name == opts.App {
+				app = a
+				break
+			}
+			continue
+		}
+		if a.Model != nil {
+			app = a
+			break
+		}
+	}
+	if opts.App != "" && app == nil {
+		return nil, fmt.Errorf("homunculus: deploy: pipeline has no app %q", opts.App)
+	}
+	if app == nil || app.Model == nil {
+		return nil, fmt.Errorf("%w (app %q)", ErrNotDeployable, opts.App)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	s.nextDepID++
+	id := fmt.Sprintf("dep-%06d", s.nextDepID)
+	s.mu.Unlock()
+
+	rt, err := serve.New(app.Model, serve.Options{
+		Shards:     opts.Shards,
+		BatchSize:  opts.BatchSize,
+		MaxDelay:   opts.MaxDelay,
+		QueueDepth: opts.QueueDepth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("homunculus: deploy %s: %w", app.Name, err)
+	}
+	d := &Deployment{
+		id:       id,
+		jobID:    jobID,
+		app:      app.Name,
+		platform: pipe.Platform,
+		created:  time.Now(),
+		rt:       rt,
+	}
+	s.mu.Lock()
+	if s.closed {
+		// Raced with Close: do not leak a live runtime past shutdown.
+		s.mu.Unlock()
+		_ = rt.Close()
+		return nil, ErrServiceClosed
+	}
+	s.deployments[id] = d
+	s.depOrder = append(s.depOrder, id)
+	s.mu.Unlock()
+	return d, nil
+}
+
+// Deployment looks up a live (or drained but not yet undeployed)
+// deployment by ID.
+func (s *Service) Deployment(id string) (*Deployment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.deployments[id]
+	return d, ok
+}
+
+// Deployments returns every registered deployment in creation order.
+func (s *Service) Deployments() []*Deployment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Deployment, 0, len(s.depOrder))
+	for _, id := range s.depOrder {
+		out = append(out, s.deployments[id])
+	}
+	return out
+}
+
+// Undeploy drains a deployment (delivering every accepted request) and
+// removes it from the service's table, returning its final stats.
+func (s *Service) Undeploy(id string) (DeploymentStats, error) {
+	s.mu.Lock()
+	d, ok := s.deployments[id]
+	if ok {
+		delete(s.deployments, id)
+		kept := s.depOrder[:0]
+		for _, did := range s.depOrder {
+			if did != id {
+				kept = append(kept, did)
+			}
+		}
+		s.depOrder = kept
+	}
+	s.mu.Unlock()
+	if !ok {
+		return DeploymentStats{}, fmt.Errorf("homunculus: undeploy: no such deployment %q", id)
+	}
+	_ = d.Close()
+	return d.Stats(), nil
+}

@@ -1,0 +1,182 @@
+package homunculus
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/alchemy"
+	"repro/internal/serve"
+)
+
+// deployService compiles a fast dtree pipeline through a fresh service
+// and returns both, with cleanup registered.
+func deployService(t *testing.T) (*Service, *Job) {
+	t.Helper()
+	svc := New(ServiceOptions{MaxInFlight: 2})
+	t.Cleanup(func() { _ = svc.Close() })
+	p := alchemy.Taurus()
+	p.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "ad", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(21)}))
+	job, err := svc.Submit(context.Background(), p, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return svc, job
+}
+
+// TestDeployServeUndeploy is the Go-API acceptance path: compile,
+// deploy, classify a replayed synthetic trace end-to-end, check the
+// deployment's stats account for every request with a nonzero p99, then
+// drain through Undeploy.
+func TestDeployServeUndeploy(t *testing.T) {
+	svc, job := deployService(t)
+	dep, err := svc.Deploy(job.ID(), DeployOptions{BatchSize: 16, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dep.ID(), "dep-") || dep.JobID() != job.ID() || dep.App() != "ad" || dep.Platform() != "taurus" {
+		t.Fatalf("deployment identity: %q %q %q %q", dep.ID(), dep.JobID(), dep.App(), dep.Platform())
+	}
+	if got, ok := svc.Deployment(dep.ID()); !ok || got != dep {
+		t.Fatal("Deployment lookup must return the handle")
+	}
+	if all := svc.Deployments(); len(all) != 1 || all[0] != dep {
+		t.Fatalf("Deployments listing: %v", all)
+	}
+
+	// Replay the model's own synthetic test split as live traffic.
+	data, err := sampleLoader(21).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := serve.Replay(dep, data.TestX, data.TestY, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(data.TestX) || res.Dropped != 0 {
+		t.Fatalf("replay must deliver the whole trace: %+v", res)
+	}
+	if res.Accuracy < 0.8 {
+		t.Fatalf("served accuracy %v implausibly low vs labels", res.Accuracy)
+	}
+
+	st := dep.Stats()
+	if st.Completed < uint64(len(data.TestX)) {
+		t.Fatalf("stats completed %d < replayed %d", st.Completed, len(data.TestX))
+	}
+	if st.P99 == 0 {
+		t.Fatalf("p99 must be nonzero after traffic: %+v", st)
+	}
+	if st.PerClass[0]+st.PerClass[1] != st.Completed-st.Errors {
+		t.Fatalf("per-class counts must partition completions: %+v", st)
+	}
+
+	final, err := svc.Undeploy(dep.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Completed != st.Completed {
+		t.Fatalf("final stats lost traffic: %+v vs %+v", final, st)
+	}
+	if _, ok := svc.Deployment(dep.ID()); ok {
+		t.Fatal("undeployed deployment must be gone")
+	}
+	if _, err := dep.Classify(data.TestX[0]); !errors.Is(err, ErrDeploymentClosed) {
+		t.Fatalf("classify after undeploy: %v, want ErrDeploymentClosed", err)
+	}
+	if _, err := svc.Undeploy(dep.ID()); err == nil {
+		t.Fatal("double undeploy must error")
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	svc, job := deployService(t)
+
+	if _, err := svc.Deploy("job-999999", DeployOptions{}); err == nil {
+		t.Fatal("unknown job must not deploy")
+	}
+	if _, err := svc.Deploy(job.ID(), DeployOptions{App: "nope"}); err == nil {
+		t.Fatal("unknown app must not deploy")
+	}
+	if _, err := svc.DeployPipeline(nil, DeployOptions{}); !errors.Is(err, ErrNotDeployable) {
+		t.Fatalf("nil pipeline: %v", err)
+	}
+	if _, err := svc.DeployPipeline(&Pipeline{Platform: "taurus", Apps: []AppResult{{Name: "empty"}}}, DeployOptions{}); !errors.Is(err, ErrNotDeployable) {
+		t.Fatalf("modelless pipeline: %v", err)
+	}
+
+	// A still-running job cannot deploy.
+	started, release := make(chan struct{}), make(chan struct{})
+	blocked := alchemy.Taurus()
+	blocked.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "slow", Algorithms: []string{"dtree"},
+		DataLoader: blockingLoader(5, started, release)}))
+	slow, err := svc.Submit(context.Background(), blocked, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := svc.Deploy(slow.ID(), DeployOptions{}); !errors.Is(err, ErrJobNotFinished) {
+		t.Fatalf("running job deploy: %v, want ErrJobNotFinished", err)
+	}
+	close(release)
+	if _, err := slow.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeployPipelineDirect serves a pipeline compiled via Generate (no
+// job handle), the CLI -deploy path.
+func TestDeployPipelineDirect(t *testing.T) {
+	p := alchemy.Taurus()
+	p.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "direct", Algorithms: []string{"dtree"}, DataLoader: sampleLoader(22)}))
+	pipe, err := Generate(context.Background(), p, WithSearchConfig(fastConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(ServiceOptions{})
+	defer svc.Close()
+	dep, err := svc.DeployPipeline(pipe, DeployOptions{MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.JobID() != "" {
+		t.Fatalf("direct deployment must have no job: %q", dep.JobID())
+	}
+	if _, err := dep.Classify([]float64{0.5, -0.5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := dep.Config()
+	if cfg.Shards < 1 || cfg.BatchSize != 64 || cfg.QueueDepth != 1024 {
+		t.Fatalf("defaulted config: %+v", cfg)
+	}
+}
+
+// TestServiceCloseDrainsDeployments: Close must drain registered
+// deployments so accepted traffic is never lost at shutdown.
+func TestServiceCloseDrainsDeployments(t *testing.T) {
+	svc, job := deployService(t)
+	dep, err := svc.Deploy(job.ID(), DeployOptions{MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Classify([]float64{1, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Classify([]float64{1, 1, 0}); !errors.Is(err, ErrDeploymentClosed) {
+		t.Fatalf("post-close classify: %v", err)
+	}
+	if _, err := svc.Deploy(job.ID(), DeployOptions{}); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("deploy on closed service: %v, want ErrServiceClosed", err)
+	}
+}

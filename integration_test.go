@@ -9,6 +9,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/alchemy"
 	"repro/internal/backend"
@@ -144,6 +145,34 @@ func TestEndToEndADOnTaurus(t *testing.T) {
 	// Generated code must reference the model's architecture.
 	if !strings.Contains(app.Code, "@spatial") || !strings.Contains(app.Code, "anomaly_detection") {
 		t.Fatal("generated code malformed")
+	}
+
+	// Serve the compiled pipeline on live traffic: deploy through the
+	// service, replay fresh synthetic samples, and require the served
+	// answers to match the bit-accurate quantized executor with stats
+	// accounting for every request.
+	svc := New(ServiceOptions{})
+	defer svc.Close()
+	dep, err := svc.DeployPipeline(pipe, DeployOptions{BatchSize: 16, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, probe.Len())
+	for i := range rows {
+		rows[i] = probe.X.Row(i)
+	}
+	classes, dropped, err := dep.ClassifyBatch(rows)
+	if err != nil || dropped != 0 {
+		t.Fatalf("serve replay: err=%v dropped=%d", err, dropped)
+	}
+	for i, c := range classes {
+		want, _ := app.Model.InferQ(probe.X.Row(i))
+		if c != want {
+			t.Fatalf("served class %d diverges from InferQ at %d", c, i)
+		}
+	}
+	if st := dep.Stats(); st.Completed < uint64(probe.Len()) || st.P99 == 0 {
+		t.Fatalf("serving stats must cover the replay with nonzero p99: %+v", st)
 	}
 }
 

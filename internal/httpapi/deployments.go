@@ -1,0 +1,231 @@
+package httpapi
+
+// Deployment endpoints: the serving side of the daemon. A finished
+// compilation job can be promoted to a live inference server and driven
+// with batched classify requests — the compile → serve lifecycle over
+// one wire surface (docs/serving.md):
+//
+//	POST   /v1/deployments                 deploy a finished job's pipeline
+//	GET    /v1/deployments                 list deployments
+//	GET    /v1/deployments/{id}            deployment info + stats
+//	POST   /v1/deployments/{id}/classify   classify a feature batch
+//	GET    /v1/deployments/{id}/stats      serving metrics snapshot
+//	DELETE /v1/deployments/{id}            drain and remove
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	homunculus "repro"
+)
+
+// DeployRequest is the POST /v1/deployments body. Zero-valued knobs
+// select the runtime defaults.
+type DeployRequest struct {
+	// JobID names the finished compilation job to serve.
+	JobID string `json:"job_id"`
+	// App selects one application of a multi-model pipeline (default:
+	// the first with a deployable model).
+	App        string `json:"app,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	BatchSize  int    `json:"batch_size,omitempty"`
+	MaxDelayUS int64  `json:"max_delay_us,omitempty"`
+	QueueDepth int    `json:"queue_depth,omitempty"`
+}
+
+// DeploymentJSON is the wire rendering of a deployment.
+type DeploymentJSON struct {
+	ID         string           `json:"id"`
+	JobID      string           `json:"job_id,omitempty"`
+	App        string           `json:"app"`
+	Platform   string           `json:"platform"`
+	Algorithm  string           `json:"algorithm"`
+	Features   int              `json:"features"`
+	Classes    int              `json:"classes"`
+	Shards     int              `json:"shards"`
+	BatchSize  int              `json:"batch_size"`
+	MaxDelayUS int64            `json:"max_delay_us"`
+	QueueDepth int              `json:"queue_depth"`
+	Stats      *DeployStatsJSON `json:"stats,omitempty"`
+}
+
+// DeployStatsJSON is the wire rendering of serving metrics.
+type DeployStatsJSON struct {
+	Accepted        uint64   `json:"accepted"`
+	Completed       uint64   `json:"completed"`
+	Dropped         uint64   `json:"dropped"`
+	Errors          uint64   `json:"errors"`
+	PerClass        []uint64 `json:"per_class"`
+	Batches         uint64   `json:"batches"`
+	FullFlushes     uint64   `json:"full_flushes"`
+	DeadlineFlushes uint64   `json:"deadline_flushes"`
+	MeanBatch       float64  `json:"mean_batch"`
+	P50NS           int64    `json:"p50_ns"`
+	P99NS           int64    `json:"p99_ns"`
+	ThroughputRPS   float64  `json:"throughput_rps"`
+	UptimeMS        int64    `json:"uptime_ms"`
+}
+
+// ClassifyRequest is the POST /v1/deployments/{id}/classify body: a
+// batch of feature vectors.
+type ClassifyRequest struct {
+	Features [][]float64 `json:"features"`
+}
+
+// ClassifyResponse reports per-vector classes (-1 for shed or failed
+// requests) plus the shed count — partial shedding under backpressure is
+// an expected outcome, not an HTTP error.
+type ClassifyResponse struct {
+	Classes []int  `json:"classes"`
+	Dropped int    `json:"dropped"`
+	Error   string `json:"error,omitempty"`
+}
+
+func statsJSON(st homunculus.DeploymentStats) *DeployStatsJSON {
+	return &DeployStatsJSON{
+		Accepted:        st.Accepted,
+		Completed:       st.Completed,
+		Dropped:         st.Dropped,
+		Errors:          st.Errors,
+		PerClass:        st.PerClass,
+		Batches:         st.Batches,
+		FullFlushes:     st.FullFlushes,
+		DeadlineFlushes: st.DeadlineFlushes,
+		MeanBatch:       st.MeanBatch,
+		P50NS:           st.P50.Nanoseconds(),
+		P99NS:           st.P99.Nanoseconds(),
+		ThroughputRPS:   st.Throughput,
+		UptimeMS:        st.Uptime.Milliseconds(),
+	}
+}
+
+func deploymentJSON(d *homunculus.Deployment, withStats bool) DeploymentJSON {
+	cfg := d.Config()
+	m := d.Model()
+	out := DeploymentJSON{
+		ID:         d.ID(),
+		JobID:      d.JobID(),
+		App:        d.App(),
+		Platform:   d.Platform(),
+		Algorithm:  m.Kind.String(),
+		Features:   m.Inputs,
+		Classes:    m.Outputs,
+		Shards:     cfg.Shards,
+		BatchSize:  cfg.BatchSize,
+		MaxDelayUS: cfg.MaxDelay.Microseconds(),
+		QueueDepth: cfg.QueueDepth,
+	}
+	if withStats {
+		out.Stats = statsJSON(d.Stats())
+	}
+	return out
+}
+
+func (h *handler) deploy(w http.ResponseWriter, r *http.Request) {
+	var req DeployRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
+		return
+	}
+	if req.JobID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request needs a job_id"))
+		return
+	}
+	dep, err := h.svc.Deploy(req.JobID, homunculus.DeployOptions{
+		App:        req.App,
+		Shards:     req.Shards,
+		BatchSize:  req.BatchSize,
+		MaxDelay:   time.Duration(req.MaxDelayUS) * time.Microsecond,
+		QueueDepth: req.QueueDepth,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, homunculus.ErrJobNotFinished):
+			// The job exists but has not produced a pipeline yet.
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, homunculus.ErrServiceClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, homunculus.ErrNotDeployable):
+			writeError(w, http.StatusConflict, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/deployments/"+dep.ID())
+	writeJSON(w, http.StatusCreated, deploymentJSON(dep, false))
+}
+
+func (h *handler) listDeployments(w http.ResponseWriter, r *http.Request) {
+	deps := h.svc.Deployments()
+	out := make([]DeploymentJSON, 0, len(deps))
+	for _, d := range deps {
+		out = append(out, deploymentJSON(d, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) deployment(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.svc.Deployment(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, deploymentJSON(d, true))
+}
+
+func (h *handler) deploymentStats(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.svc.Deployment(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, statsJSON(d.Stats()))
+}
+
+func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.svc.Deployment(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", r.PathValue("id")))
+		return
+	}
+	var req ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
+		return
+	}
+	if len(req.Features) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request needs a features batch"))
+		return
+	}
+	classes, dropped, err := d.ClassifyBatch(req.Features)
+	resp := ClassifyResponse{Classes: classes, Dropped: dropped}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	switch {
+	case errors.Is(err, homunculus.ErrDeploymentClosed):
+		writeJSON(w, http.StatusConflict, resp)
+	case dropped == len(req.Features):
+		// Nothing was admitted: the whole batch was shed — tell the
+		// client to back off.
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (h *handler) undeploy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := h.svc.Undeploy(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	// The drain has completed: the final stats are the deployment's
+	// lifetime totals.
+	writeJSON(w, http.StatusOK, statsJSON(st))
+}

@@ -11,6 +11,11 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/backends         registered platform kinds + defaults
 //
+// Finished jobs can be promoted to live inference servers through the
+// /v1/deployments endpoints (deployments.go, docs/serving.md): batched
+// classification over the compiled model's quantized fast path, with
+// backpressure and per-deployment latency/throughput stats.
+//
 // Dataset references resolve through the alchemy loader catalog;
 // RegisterBuiltinLoaders installs the bundled synthetic generators so a
 // fresh daemon can compile the quickstart spec out of the box.
@@ -185,6 +190,12 @@ func NewServer(svc *homunculus.Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /v1/backends", h.backends)
+	mux.HandleFunc("POST /v1/deployments", h.deploy)
+	mux.HandleFunc("GET /v1/deployments", h.listDeployments)
+	mux.HandleFunc("GET /v1/deployments/{id}", h.deployment)
+	mux.HandleFunc("POST /v1/deployments/{id}/classify", h.classify)
+	mux.HandleFunc("GET /v1/deployments/{id}/stats", h.deploymentStats)
+	mux.HandleFunc("DELETE /v1/deployments/{id}", h.undeploy)
 	return mux
 }
 

@@ -537,83 +537,21 @@ func (m *Model) ScoresQ(x []float64) ([]float64, error) {
 	}
 }
 
-// PredictQ classifies every sample of d with quantized inference.
+// PredictQ classifies every sample of d with quantized inference. It
+// rides the prepared Predictor fast path: parameters are quantized once
+// and every row streams through reusable buffers (InferQ re-quantizes
+// the weights per input, which dominates scoring during search). The
+// per-element operation order is identical to InferQ, so predictions
+// match bit-for-bit. The deployment runtime (internal/serve) uses the
+// same Predictor per shard to serve live traffic.
 func (m *Model) PredictQ(d *dataset.Dataset) ([]int, error) {
-	out := make([]int, d.Len())
-	if m.Kind == DNN {
-		// Batch fast path: InferQ re-quantizes every weight row per
-		// input, which dominates scoring during search. Quantize the
-		// parameters once and stream the rows through two ping-pong
-		// activation buffers; the per-element operation order is
-		// identical to InferQ, so predictions match bit-for-bit.
-		if d.Features() != m.Inputs {
-			return nil, fmt.Errorf("ir: input has %d features, model %q wants %d", d.Features(), m.Name, m.Inputs)
-		}
-		f := m.Format
-		wq := make([][][]int32, len(m.Layers))
-		bq := make([][]int32, len(m.Layers))
-		maxW := m.Inputs
-		for li, l := range m.Layers {
-			wq[li] = make([][]int32, l.Out)
-			bq[li] = make([]int32, l.Out)
-			for o := 0; o < l.Out; o++ {
-				wq[li][o] = f.QuantizeVec(l.W[o])
-				bq[li][o] = f.Quantize(l.B[o])
-			}
-			if l.Out > maxW {
-				maxW = l.Out
-			}
-		}
-		one := f.Quantize(1)
-		xbuf := make([]float64, m.Inputs)
-		vbuf := make([]int32, maxW)
-		nbuf := make([]int32, maxW)
-		for i := range out {
-			x := d.X.Row(i)
-			if len(m.Mean) == m.Inputs {
-				for j := range xbuf {
-					xbuf[j] = (x[j] - m.Mean[j]) / m.Std[j]
-				}
-				x = xbuf
-			}
-			cur := vbuf[:m.Inputs]
-			for j := range cur {
-				cur[j] = f.Quantize(x[j])
-			}
-			nxt := nbuf
-			for li, l := range m.Layers {
-				nv := nxt[:l.Out]
-				for o := 0; o < l.Out; o++ {
-					acc := f.DotQ(wq[li][o], cur)
-					acc = f.Add(acc, bq[li][o])
-					switch l.Activation {
-					case "relu":
-						acc = fixed.ReLUQ(acc)
-					case "sigmoid":
-						acc = f.SigmoidQ(acc)
-					case "tanh":
-						if acc > one {
-							acc = one
-						}
-						if acc < -one {
-							acc = -one
-						}
-					}
-					nv[o] = acc
-				}
-				nxt = cur[:cap(cur)]
-				cur = nv
-			}
-			out[i] = argMaxQ(cur)
-		}
-		return out, nil
+	p, err := NewPredictor(m)
+	if err != nil {
+		return nil, err
 	}
-	for i := range out {
-		y, err := m.InferQ(d.X.Row(i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = y
+	out := make([]int, d.Len())
+	if err := p.PredictDataset(d, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,191 @@
+package ir
+
+// Predictor is a prepared quantized-inference engine over one Model: the
+// trained parameters are quantized once at construction and every scratch
+// buffer is preallocated, so a steady-state Classify call performs zero
+// heap allocations. This is the serving-path counterpart of PredictQ's
+// batch fast path — the deployment runtime (internal/serve) builds one
+// Predictor per inference shard and streams live feature vectors through
+// it at line rate.
+//
+// Classify is bit-identical to Model.InferQ for every algorithm family:
+// the per-element operation order (quantize, wide-accumulator dot,
+// saturating add, PWL activations) is exactly the generated hardware's,
+// so a served answer matches what the data plane would output.
+//
+// A Predictor is NOT safe for concurrent use — it owns mutable scratch
+// state. Create one per goroutine; construction is cheap relative to the
+// model's lifetime (one pass over the parameters).
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+)
+
+// Predictor holds quantized parameters and reusable inference buffers.
+type Predictor struct {
+	m   *Model
+	f   fixed.Format
+	one int32
+
+	xbuf       []float64 // normalized-input staging
+	vbuf, nbuf []int32   // ping-pong activation buffers
+
+	wq [][][]int32 // DNN: quantized weights [layer][out][in]
+	bq [][]int32   // DNN: quantized biases [layer][out]
+
+	svmW   [][]int32 // SVM: quantized hyperplanes [class][feature]
+	svmB   []int32
+	scores []int32
+
+	cq [][]int32 // KMeans: quantized centroids
+}
+
+// NewPredictor validates m and prepares its quantized parameters.
+func NewPredictor(m *Model) (*Predictor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	f := m.Format
+	p := &Predictor{m: m, f: f, one: f.Quantize(1), xbuf: make([]float64, m.Inputs)}
+	maxW := m.Inputs
+	switch m.Kind {
+	case DNN:
+		p.wq = make([][][]int32, len(m.Layers))
+		p.bq = make([][]int32, len(m.Layers))
+		for li, l := range m.Layers {
+			p.wq[li] = make([][]int32, l.Out)
+			p.bq[li] = make([]int32, l.Out)
+			for o := 0; o < l.Out; o++ {
+				p.wq[li][o] = f.QuantizeVec(l.W[o])
+				p.bq[li][o] = f.Quantize(l.B[o])
+			}
+			if l.Out > maxW {
+				maxW = l.Out
+			}
+		}
+	case SVM:
+		if len(m.SVM.B) != m.Outputs {
+			return nil, fmt.Errorf("ir: SVM %q has %d biases, want %d", m.Name, len(m.SVM.B), m.Outputs)
+		}
+		p.svmW = make([][]int32, m.Outputs)
+		p.svmB = make([]int32, m.Outputs)
+		for k := 0; k < m.Outputs; k++ {
+			p.svmW[k] = f.QuantizeVec(m.SVM.W[k])
+			p.svmB[k] = f.Quantize(m.SVM.B[k])
+		}
+		p.scores = make([]int32, m.Outputs)
+	case KMeans:
+		p.cq = make([][]int32, len(m.Centroids))
+		for k, c := range m.Centroids {
+			p.cq[k] = f.QuantizeVec(c)
+		}
+	}
+	p.vbuf = make([]int32, maxW)
+	p.nbuf = make([]int32, maxW)
+	return p, nil
+}
+
+// Model returns the model this predictor was prepared from.
+func (p *Predictor) Model() *Model { return p.m }
+
+// Classify runs one quantized inference, reusing the predictor's buffers.
+// The result equals p.Model().InferQ(x) bit-for-bit; the input slice is
+// only read.
+func (p *Predictor) Classify(x []float64) (int, error) {
+	m := p.m
+	if len(x) != m.Inputs {
+		return 0, fmt.Errorf("ir: input has %d features, model %q wants %d", len(x), m.Name, m.Inputs)
+	}
+	f := p.f
+	in := x
+	if len(m.Mean) == m.Inputs {
+		for i := range p.xbuf {
+			p.xbuf[i] = (x[i] - m.Mean[i]) / m.Std[i]
+		}
+		in = p.xbuf
+	}
+	cur := p.vbuf[:m.Inputs]
+	for i := range cur {
+		cur[i] = f.Quantize(in[i])
+	}
+	switch m.Kind {
+	case DNN:
+		nxt := p.nbuf
+		for li, l := range m.Layers {
+			nv := nxt[:l.Out]
+			for o := 0; o < l.Out; o++ {
+				acc := f.DotQ(p.wq[li][o], cur)
+				acc = f.Add(acc, p.bq[li][o])
+				switch l.Activation {
+				case "relu":
+					acc = fixed.ReLUQ(acc)
+				case "sigmoid":
+					acc = f.SigmoidQ(acc)
+				case "tanh":
+					if acc > p.one {
+						acc = p.one
+					}
+					if acc < -p.one {
+						acc = -p.one
+					}
+				}
+				nv[o] = acc
+			}
+			nxt = cur[:cap(cur)]
+			cur = nv
+		}
+		return argMaxQ(cur), nil
+	case SVM:
+		for k := range p.scores {
+			p.scores[k] = f.Add(f.DotQ(p.svmW[k], cur), p.svmB[k])
+		}
+		return argMaxQ(p.scores), nil
+	case KMeans:
+		bestK, bestD := 0, int64(-1)
+		for k, cq := range p.cq {
+			var d int64
+			for i := range cq {
+				diff := int64(cur[i]) - int64(cq[i])
+				d += diff * diff
+			}
+			if bestD < 0 || d < bestD {
+				bestD, bestK = d, k
+			}
+		}
+		return bestK, nil
+	case DTree:
+		n := m.Tree
+		for n.Feature >= 0 {
+			if cur[n.Feature] <= f.Quantize(n.Threshold) {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+		return n.Class, nil
+	default:
+		return 0, fmt.Errorf("ir: cannot infer kind %d", int(m.Kind))
+	}
+}
+
+// PredictDataset classifies every row of d through the predictor's
+// reusable buffers, writing into out (which must have d.Len() slots).
+func (p *Predictor) PredictDataset(d *dataset.Dataset, out []int) error {
+	if d.Features() != p.m.Inputs {
+		return fmt.Errorf("ir: input has %d features, model %q wants %d", d.Features(), p.m.Name, p.m.Inputs)
+	}
+	if len(out) != d.Len() {
+		return fmt.Errorf("ir: output slice has %d slots for %d samples", len(out), d.Len())
+	}
+	for i := range out {
+		y, err := p.Classify(d.X.Row(i))
+		if err != nil {
+			return err
+		}
+		out[i] = y
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dtree"
+	"repro/internal/fixed"
+	"repro/internal/kmeans"
+	"repro/internal/svm"
+)
+
+// predictorModels builds one trained model per algorithm family over the
+// same 2-feature blob, with and without a folded normalizer for the DNN.
+func predictorModels(t *testing.T, d *dataset.Dataset) []*Model {
+	t.Helper()
+	net := trainSmallNN(t, d)
+	sm, err := svm.Train(svm.Config{Features: 2, Classes: 2, LearnRate: 0.1, Lambda: 0.001, Epochs: 10, Seed: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := kmeans.Train(kmeans.Config{K: 2, MaxIters: 30, Seed: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := dtree.Train(dtree.Config{MaxDepth: 4, MinLeaf: 2, Classes: 2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := dataset.FitNormalizer(d)
+	return []*Model{
+		FromNN("dnn", net, fixed.Q8_8),
+		FromNN("dnn412", net, fixed.Q4_12),
+		FromNN("dnnnorm", net, fixed.Q8_8).WithNormalizer(norm),
+		FromSVM("svm", sm, fixed.Q8_8),
+		FromKMeans("km", km, fixed.Q8_8),
+		FromDTree("dt", tm, 2, fixed.Q8_8),
+	}
+}
+
+// TestPredictorMatchesInferQ pins the prepared serving path to the
+// per-row InferQ reference for every algorithm family: quantizing the
+// parameters once and reusing buffers must not change a single answer.
+func TestPredictorMatchesInferQ(t *testing.T) {
+	d := blob2(300, 11)
+	for _, m := range predictorModels(t, d) {
+		p, err := NewPredictor(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := 0; i < d.Len(); i++ {
+			want, err := m.InferQ(d.X.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Classify(d.X.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s row %d: Predictor=%d InferQ=%d", m.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictorZeroAlloc asserts the steady-state Classify contract the
+// deployment runtime's 0 allocs/op serving budget is built on.
+func TestPredictorZeroAlloc(t *testing.T) {
+	d := blob2(64, 12)
+	for _, m := range predictorModels(t, d) {
+		p, err := NewPredictor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := d.X.Row(0)
+		if _, err := p.Classify(row); err != nil { // warm up
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := p.Classify(row); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: Classify allocates %.1f times per op, want 0", m.Name, allocs)
+		}
+	}
+}
+
+// TestPredictorErrors covers construction and input validation.
+func TestPredictorErrors(t *testing.T) {
+	if _, err := NewPredictor(&Model{Kind: DNN, Name: "bad", Inputs: 2, Outputs: 2}); err == nil {
+		t.Fatal("NewPredictor must reject an invalid model")
+	}
+	d := blob2(40, 13)
+	net := trainSmallNN(t, d)
+	p, err := NewPredictor(FromNN("dnn", net, fixed.Q8_8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify([]float64{1}); err == nil {
+		t.Fatal("Classify must reject a wrong-length input")
+	}
+	out := make([]int, 3)
+	if err := p.PredictDataset(d, out); err == nil {
+		t.Fatal("PredictDataset must reject a wrong-length output slice")
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+// Replay drives a recorded traffic trace through a live deployment the
+// way the CLI's -replay mode does: N concurrent clients issue the
+// trace's feature vectors as fast as the runtime admits them, and the
+// result reports the achieved rate plus accuracy against the trace's
+// ground-truth labels. Sheds are counted, not retried — the replayer
+// measures the deployment's real admission behaviour under offered load.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Classifier is the serving interface a replay drives: the Runtime, the
+// root package's Deployment handle, and internal/stream's model adapters
+// all satisfy it.
+type Classifier interface {
+	Classify(x []float64) (int, error)
+}
+
+// ReplayResult summarizes one replayed trace.
+type ReplayResult struct {
+	// Requests is the trace length; Delivered the classifications that
+	// came back; Dropped the requests shed by backpressure; Errors the
+	// inference failures.
+	Requests, Delivered, Dropped, Errors int
+	// Correct counts delivered classifications matching the trace label
+	// (0 when the trace carries no labels).
+	Correct int
+	// Elapsed is the wall-clock replay duration.
+	Elapsed time.Duration
+	// Rate is delivered classifications per second.
+	Rate float64
+	// Accuracy is Correct/Delivered (0 when nothing was delivered or the
+	// trace carries no labels).
+	Accuracy float64
+}
+
+// Replay streams xs through c from `clients` concurrent goroutines.
+// labels may be nil (accuracy is then not computed); otherwise it must
+// be parallel to xs. Requests shed with ErrOverloaded are counted and
+// skipped; any other classification error counts in Errors.
+func Replay(c Classifier, xs [][]float64, labels []int, clients int) (ReplayResult, error) {
+	if c == nil {
+		return ReplayResult{}, fmt.Errorf("serve: replay needs a classifier")
+	}
+	if labels != nil && len(labels) != len(xs) {
+		return ReplayResult{}, fmt.Errorf("serve: replay trace has %d samples but %d labels", len(xs), len(labels))
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > len(xs) {
+		clients = len(xs)
+	}
+	var cursor atomic.Int64
+	var delivered, dropped, errs, correct atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for w := 0; w < clients; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(xs) {
+					return
+				}
+				class, err := c.Classify(xs[i])
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					dropped.Add(1)
+				case err != nil:
+					errs.Add(1)
+				default:
+					delivered.Add(1)
+					if labels != nil && class == labels[i] {
+						correct.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := ReplayResult{
+		Requests:  len(xs),
+		Delivered: int(delivered.Load()),
+		Dropped:   int(dropped.Load()),
+		Errors:    int(errs.Load()),
+		Correct:   int(correct.Load()),
+		Elapsed:   time.Since(start),
+	}
+	if res.Elapsed > 0 {
+		res.Rate = float64(res.Delivered) / res.Elapsed.Seconds()
+	}
+	if res.Delivered > 0 && labels != nil {
+		res.Accuracy = float64(res.Correct) / float64(res.Delivered)
+	}
+	return res, nil
+}

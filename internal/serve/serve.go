@@ -1,0 +1,362 @@
+// Package serve is the deployment runtime: it turns a compiled model (the
+// winning *ir.Model of a homunculus compilation) into a long-lived
+// inference server for live traffic. This is the fourth architectural
+// layer — load → search → compose → codegen → **serve** — and the first
+// whose correctness is a throughput/latency contract rather than a result
+// value.
+//
+// The runtime micro-batches incoming feature vectors under a configurable
+// latency bound (a batch flushes when it reaches BatchSize OR when the
+// oldest request has waited MaxDelay), shards inference across worker
+// goroutines sized to the internal/parallel pool — each shard owns a
+// prepared ir.Predictor, so the steady-state classify path performs zero
+// heap allocations — and applies backpressure with a bounded intake
+// queue: when the queue is full, Classify sheds immediately with
+// ErrOverloaded instead of queueing unboundedly (the same
+// shed-at-the-door discipline as the compilation service's admission
+// queue). Per-deployment metrics (throughput, a log-scale latency
+// histogram for p50/p99, per-class counts, drops) are recorded inline
+// from day one — observability is part of the serving contract, not a
+// bolt-on.
+//
+// Close drains: intake stops (ErrClosed), every request already accepted
+// is still classified and delivered, then the shards exit. See
+// docs/serving.md for the knobs and wire API.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/parallel"
+)
+
+var (
+	// ErrOverloaded sheds a request because the bounded intake queue is
+	// full. Callers should back off (HTTP maps this to 429).
+	ErrOverloaded = errors.New("serve: deployment overloaded, request shed")
+	// ErrClosed rejects requests after Close began draining.
+	ErrClosed = errors.New("serve: deployment closed")
+)
+
+// Options bounds a deployment runtime. Zero values select defaults.
+type Options struct {
+	// Shards is the number of inference workers, each owning a prepared
+	// quantized predictor. Default: the shared parallel pool's worker
+	// count (GOMAXPROCS).
+	Shards int
+	// BatchSize is the flush threshold of the micro-batcher. Default 64.
+	BatchSize int
+	// MaxDelay bounds how long an accepted request may wait for its
+	// batch to fill before a partial flush. Default 500µs. Negative
+	// selects greedy batching: a batch flushes as soon as the intake is
+	// momentarily empty (minimum latency, batches form only under
+	// concurrent load).
+	MaxDelay time.Duration
+	// QueueDepth caps requests accepted but not yet dispatched to a
+	// shard. Classify sheds with ErrOverloaded beyond it. Default 1024.
+	QueueDepth int
+
+	// testHook, when set by white-box tests, runs before each request is
+	// classified — it lets tests hold shards busy deterministically.
+	testHook func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = parallel.Workers()
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = 500 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// request is one in-flight classification. Requests are pooled: the
+// feature buffer, the 1-slot done channel, and the struct itself are all
+// reused, which is what keeps the steady-state classify path at zero
+// allocations.
+type request struct {
+	x     []float64
+	class int
+	err   error
+	done  chan struct{}
+	start time.Time
+}
+
+// Runtime is a live deployment serving one compiled model. All exported
+// methods are safe for concurrent use.
+type Runtime struct {
+	opts  Options
+	model *ir.Model
+
+	intake  chan *request
+	batches chan *[]*request
+
+	reqPool   sync.Pool
+	batchPool sync.Pool
+
+	stats stats
+
+	// closeMu serializes intake sends against the close of the intake
+	// channel (a send on a closed channel panics; the RLock'd fast path
+	// costs no allocations).
+	closeMu sync.RWMutex
+	closed  bool
+
+	closeOnce sync.Once
+	shards    sync.WaitGroup
+}
+
+// New validates the model and starts the runtime's batcher and shards.
+func New(model *ir.Model, opts Options) (*Runtime, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	// Validate up front so a broken model fails at Deploy time, not on
+	// the first live request.
+	if _, err := ir.NewPredictor(model); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	rt := &Runtime{
+		opts:    o,
+		model:   model,
+		intake:  make(chan *request, o.QueueDepth),
+		batches: make(chan *[]*request, o.Shards),
+	}
+	rt.reqPool.New = func() any {
+		return &request{done: make(chan struct{}, 1), x: make([]float64, 0, model.Inputs)}
+	}
+	rt.batchPool.New = func() any {
+		s := make([]*request, 0, o.BatchSize)
+		return &s
+	}
+	rt.stats.init(model.Outputs)
+	rt.shards.Add(o.Shards)
+	for i := 0; i < o.Shards; i++ {
+		go rt.shard()
+	}
+	go rt.batcher()
+	return rt, nil
+}
+
+// Options returns the effective (defaulted) runtime bounds.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Model returns the deployed model.
+func (rt *Runtime) Model() *ir.Model { return rt.model }
+
+// Classify submits one feature vector and blocks until its class is
+// computed (micro-batched with concurrent submissions). It sheds with
+// ErrOverloaded when the intake queue is full and fails with ErrClosed
+// once draining began. The input slice is copied; the caller may reuse it
+// immediately.
+func (rt *Runtime) Classify(x []float64) (int, error) {
+	r := rt.reqPool.Get().(*request)
+	r.x = append(r.x[:0], x...)
+	r.start = time.Now()
+	if err := rt.enqueue(r); err != nil {
+		r.x = r.x[:0]
+		rt.reqPool.Put(r)
+		return 0, err
+	}
+	<-r.done
+	class, err := r.class, r.err
+	rt.reqPool.Put(r)
+	return class, err
+}
+
+// ClassifyBatch submits every vector of xs and waits for all results.
+// classes[i] is -1 for requests that were shed (counted in dropped) or
+// failed inference; err carries the first inference error, if any.
+// Accepted requests always complete, even when later ones shed.
+func (rt *Runtime) ClassifyBatch(xs [][]float64) (classes []int, dropped int, err error) {
+	classes = make([]int, len(xs))
+	pending := make([]*request, len(xs))
+	for i, x := range xs {
+		r := rt.reqPool.Get().(*request)
+		r.x = append(r.x[:0], x...)
+		r.start = time.Now()
+		if eerr := rt.enqueue(r); eerr != nil {
+			r.x = r.x[:0]
+			rt.reqPool.Put(r)
+			classes[i] = -1
+			dropped++
+			if errors.Is(eerr, ErrClosed) && err == nil {
+				err = eerr
+			}
+			continue
+		}
+		pending[i] = r
+	}
+	for i, r := range pending {
+		if r == nil {
+			continue
+		}
+		<-r.done
+		if r.err != nil {
+			classes[i] = -1
+			if err == nil {
+				err = r.err
+			}
+		} else {
+			classes[i] = r.class
+		}
+		rt.reqPool.Put(r)
+	}
+	return classes, dropped, err
+}
+
+// enqueue admits r into the bounded intake queue without blocking.
+func (rt *Runtime) enqueue(r *request) error {
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	select {
+	case rt.intake <- r:
+		rt.stats.accepted.Add(1)
+		return nil
+	default:
+		rt.stats.dropped.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// Stats snapshots the deployment's metrics.
+func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
+
+// Close stops intake and drains: every accepted request is classified
+// and delivered, then the batcher and shards exit. Blocks until the
+// drain completes. Idempotent; concurrent Classify calls either complete
+// or fail with ErrClosed.
+func (rt *Runtime) Close() error {
+	rt.closeOnce.Do(func() {
+		rt.closeMu.Lock()
+		rt.closed = true
+		close(rt.intake)
+		rt.closeMu.Unlock()
+		rt.shards.Wait()
+	})
+	return nil
+}
+
+// batcher folds intake into batches: flush on BatchSize, on the MaxDelay
+// deadline of the oldest queued request, or (greedy mode, MaxDelay < 0)
+// as soon as the intake is momentarily empty.
+func (rt *Runtime) batcher() {
+	defer close(rt.batches)
+	o := rt.opts
+	greedy := o.MaxDelay < 0
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	batch := rt.getBatch()
+	flush := func(deadline bool) {
+		if len(*batch) == 0 {
+			return
+		}
+		rt.stats.flush(len(*batch), deadline, len(*batch) >= o.BatchSize)
+		rt.batches <- batch
+		batch = rt.getBatch()
+	}
+	for {
+		if len(*batch) == 0 {
+			// Idle: block for the first request of the next batch. Its
+			// arrival starts the flush deadline.
+			r, ok := <-rt.intake
+			if !ok {
+				return
+			}
+			*batch = append(*batch, r)
+			if len(*batch) >= o.BatchSize {
+				flush(false)
+				continue
+			}
+			if !greedy {
+				timer.Reset(o.MaxDelay)
+			}
+		}
+		if greedy {
+			select {
+			case r, ok := <-rt.intake:
+				if !ok {
+					flush(false)
+					return
+				}
+				*batch = append(*batch, r)
+				if len(*batch) >= o.BatchSize {
+					flush(false)
+				}
+			default:
+				flush(false)
+			}
+			continue
+		}
+		select {
+		case r, ok := <-rt.intake:
+			if !ok {
+				flush(false)
+				return
+			}
+			*batch = append(*batch, r)
+			if len(*batch) >= o.BatchSize {
+				timer.Stop()
+				flush(false)
+			}
+		case <-timer.C:
+			flush(true)
+		}
+	}
+}
+
+// shard is one inference worker: it owns a prepared predictor and
+// processes whole batches pulled off the shared dispatch channel (free
+// shards steal work, so an expensive batch never blocks the others).
+func (rt *Runtime) shard() {
+	defer rt.shards.Done()
+	pred, err := ir.NewPredictor(rt.model)
+	if err != nil {
+		// New() already validated the model; this is unreachable, but a
+		// shard must never process with a nil predictor.
+		panic(fmt.Sprintf("serve: shard predictor: %v", err))
+	}
+	for batch := range rt.batches {
+		for _, r := range *batch {
+			if rt.opts.testHook != nil {
+				rt.opts.testHook()
+			}
+			r.class, r.err = pred.Classify(r.x)
+			rt.stats.observe(r.class, r.err, time.Since(r.start))
+			r.done <- struct{}{}
+		}
+		rt.putBatch(batch)
+	}
+}
+
+// getBatch and putBatch recycle batch slices by pointer so the pooled
+// header is never re-boxed (a per-batch allocation would break the
+// zero-alloc serving budget).
+func (rt *Runtime) getBatch() *[]*request {
+	b := rt.batchPool.Get().(*[]*request)
+	*b = (*b)[:0]
+	return b
+}
+
+func (rt *Runtime) putBatch(b *[]*request) {
+	rt.batchPool.Put(b)
+}

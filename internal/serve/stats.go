@@ -1,0 +1,154 @@
+package serve
+
+// Per-deployment metrics, recorded inline on the serving hot path with
+// atomics only (no locks, no allocations): counters, per-class tallies,
+// and a log2-bucketed latency histogram from which Stats derives p50/p99.
+// The memory-centric-profiling lesson applied to serving: latency and
+// throughput observability is built into the path, not sampled around it.
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the histogram size: bucket i counts latencies in
+// [2^(i-1), 2^i) nanoseconds, covering up to ~9.2 s in bucket 63.
+const latBuckets = 64
+
+type stats struct {
+	start time.Time
+
+	accepted  atomic.Uint64
+	completed atomic.Uint64
+	dropped   atomic.Uint64
+	errors    atomic.Uint64
+
+	batches         atomic.Uint64
+	batched         atomic.Uint64 // sum of flushed batch sizes
+	fullFlushes     atomic.Uint64
+	deadlineFlushes atomic.Uint64
+
+	perClass []atomic.Uint64
+	latency  [latBuckets]atomic.Uint64
+}
+
+func (s *stats) init(classes int) {
+	s.start = time.Now()
+	s.perClass = make([]atomic.Uint64, classes)
+}
+
+// flush records one batch dispatch. full means the batch reached
+// BatchSize; deadline means the MaxDelay bound fired. Greedy-mode and
+// drain flushes of partial batches count in neither subcounter.
+func (s *stats) flush(size int, deadline, full bool) {
+	s.batches.Add(1)
+	s.batched.Add(uint64(size))
+	switch {
+	case deadline:
+		s.deadlineFlushes.Add(1)
+	case full:
+		s.fullFlushes.Add(1)
+	}
+}
+
+// observe records one completed request.
+func (s *stats) observe(class int, err error, lat time.Duration) {
+	s.completed.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+	} else if class >= 0 && class < len(s.perClass) {
+		s.perClass[class].Add(1)
+	}
+	ns := lat.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	s.latency[b].Add(1)
+}
+
+// Stats is a point-in-time snapshot of a deployment's serving metrics.
+type Stats struct {
+	// Accepted counts requests admitted to the intake queue; Completed
+	// counts requests classified and delivered (Completed ≤ Accepted,
+	// equal once quiescent). Dropped counts requests shed at the door by
+	// backpressure; Errors counts accepted requests whose inference
+	// failed (e.g. wrong feature count).
+	Accepted, Completed, Dropped, Errors uint64
+	// PerClass tallies delivered predictions by class index.
+	PerClass []uint64
+	// Batches counts dispatched micro-batches; FullFlushes flushed at
+	// BatchSize, DeadlineFlushes on the MaxDelay bound (greedy-mode and
+	// drain flushes of partial batches count in neither). MeanBatch is
+	// the average flushed batch size.
+	Batches, FullFlushes, DeadlineFlushes uint64
+	MeanBatch                             float64
+	// P50 and P99 are latency-quantile upper bounds from the log2
+	// histogram (zero until a request completes): time from admission to
+	// delivered classification, batching wait included.
+	P50, P99 time.Duration
+	// Throughput is delivered requests per second averaged over the
+	// deployment's uptime.
+	Throughput float64
+	// Uptime is the time since the deployment started.
+	Uptime time.Duration
+}
+
+func (s *stats) snapshot() Stats {
+	out := Stats{
+		Accepted:        s.accepted.Load(),
+		Completed:       s.completed.Load(),
+		Dropped:         s.dropped.Load(),
+		Errors:          s.errors.Load(),
+		Batches:         s.batches.Load(),
+		FullFlushes:     s.fullFlushes.Load(),
+		DeadlineFlushes: s.deadlineFlushes.Load(),
+		Uptime:          time.Since(s.start),
+		PerClass:        make([]uint64, len(s.perClass)),
+	}
+	for i := range s.perClass {
+		out.PerClass[i] = s.perClass[i].Load()
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(s.batched.Load()) / float64(out.Batches)
+	}
+	if out.Uptime > 0 {
+		out.Throughput = float64(out.Completed) / out.Uptime.Seconds()
+	}
+	var hist [latBuckets]uint64
+	var total uint64
+	for i := range s.latency {
+		hist[i] = s.latency[i].Load()
+		total += hist[i]
+	}
+	out.P50 = quantile(hist[:], total, 0.50)
+	out.P99 = quantile(hist[:], total, 0.99)
+	return out
+}
+
+// quantile returns the upper bound (2^bucket ns) of the histogram bucket
+// containing the q-th completed request.
+func quantile(hist []uint64, total uint64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range hist {
+		cum += c
+		if cum > rank {
+			if i >= 63 {
+				return time.Duration(int64(^uint64(0) >> 1))
+			}
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return 0
+}

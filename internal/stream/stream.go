@@ -116,6 +116,28 @@ func Run(cfg packet.HistConfig, model Classifier, packets []packet.Packet, minPa
 	return res, nil
 }
 
+// Trace converts a time-ordered packet stream into the per-packet
+// inference requests a deployed pipeline would see: for every packet,
+// the running partial-flowmarker feature vector of its conversation
+// (post-update) and the conversation's ground-truth label. This is the
+// replay source the deployment runtime's traffic replayer
+// (cmd/homunculus -replay, internal/serve.Replay) drives live-serving
+// deployments with.
+func Trace(cfg packet.HistConfig, packets []packet.Packet) ([][]float64, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	table := packet.NewFlowTable(cfg)
+	xs := make([][]float64, 0, len(packets))
+	labels := make([]int, 0, len(packets))
+	for _, p := range packets {
+		state := table.Observe(p)
+		xs = append(xs, state.Features())
+		labels = append(labels, p.Label)
+	}
+	return xs, labels, nil
+}
+
 // FlowLevelResult summarizes the baseline protocol: one decision per
 // conversation after the full aggregation window.
 type FlowLevelResult struct {

@@ -168,3 +168,35 @@ func TestRunFlowLevelErrors(t *testing.T) {
 		t.Fatal("classifier error must propagate")
 	}
 }
+
+// TestTraceMatchesRun: the replay trace must contain exactly the feature
+// vectors Run would classify, in stream order, labelled with each
+// packet's ground truth.
+func TestTraceMatchesRun(t *testing.T) {
+	cfg := packet.PaperBD
+	stream := corpus(t)
+	xs, labels, err := Trace(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != len(stream) || len(labels) != len(stream) {
+		t.Fatalf("trace length %d/%d for %d packets", len(xs), len(labels), len(stream))
+	}
+	// Reconstruct the same running state and compare a sample of rows.
+	table := packet.NewFlowTable(cfg)
+	for i, p := range stream {
+		state := table.Observe(p)
+		if labels[i] != p.Label {
+			t.Fatalf("packet %d label %d, trace says %d", i, p.Label, labels[i])
+		}
+		want := state.Features()
+		for j := range want {
+			if xs[i][j] != want[j] {
+				t.Fatalf("packet %d feature %d: %v vs %v", i, j, xs[i][j], want[j])
+			}
+		}
+	}
+	if _, _, err := Trace(packet.HistConfig{}, stream); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}

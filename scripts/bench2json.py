@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench . -benchmem` output into the BENCH_prN.json
+snapshot schema (the format of BENCH_pr2.json / BENCH_pr3.json): one
+object per benchmark with iterations, ns_per_op, B_per_op,
+allocs_per_op, and any custom b.ReportMetric metrics.
+
+Usage: go test -bench=. -benchmem -run '^$' . | python3 scripts/bench2json.py \
+           --pr 4 --description "..." > BENCH_pr4.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$")
+METRIC = re.compile(r"([-+0-9.eE]+)\s+(\S+)")
+
+UNIT_KEYS = {
+    "ns/op": "ns_per_op",
+    "B/op": "B_per_op",
+    "allocs/op": "allocs_per_op",
+}
+
+
+def parse(lines):
+    benches = {}
+    go_version = ""
+    for line in lines:
+        line = line.strip()
+        if line.startswith("go version"):
+            # e.g. "go version go1.24.0 linux/amd64"
+            parts = line.split()
+            if len(parts) >= 3:
+                go_version = parts[2].removeprefix("go")
+        m = LINE.match(line)
+        if not m:
+            continue
+        name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+        entry = benches.setdefault(name, {})
+        entry["iterations"] = iters
+        for val, unit in METRIC.findall(rest):
+            key = UNIT_KEYS.get(unit, unit)
+            try:
+                entry[key] = float(val)
+            except ValueError:
+                continue
+    return benches, go_version
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--pr", type=int, default=0)
+    ap.add_argument("--description", default="")
+    ap.add_argument("--go", default="")
+    args = ap.parse_args()
+
+    benches, go_version = parse(sys.stdin)
+    if not benches:
+        sys.exit("bench2json: no benchmark lines found on stdin")
+    out = {"benchmarks": {k: benches[k] for k in sorted(benches)}}
+    if args.description:
+        out["description"] = args.description
+    if args.go or go_version:
+        out["go"] = args.go or go_version
+    if args.pr:
+        out["pr"] = args.pr
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -84,6 +84,13 @@ type Service struct {
 	jobs   map[string]*Job
 	order  []string // job IDs in admission order
 
+	// Deployments: live serving runtimes over compiled pipelines
+	// (deployment.go). Deployments are registered in creation order and
+	// drained on Close.
+	nextDepID   int
+	deployments map[string]*Deployment
+	depOrder    []string
+
 	// fingerprints memoizes per-model dataset fingerprints so repeated
 	// submissions of the same *Model (sweeps, resubmitted specs) do not
 	// re-Load anonymous datasets just to hash them.
@@ -98,6 +105,7 @@ func New(opts ServiceOptions) *Service {
 		opts:         o,
 		queue:        jobqueue.New(o.MaxInFlight, o.QueueDepth),
 		jobs:         map[string]*Job{},
+		deployments:  map[string]*Deployment{},
 		fingerprints: map[*alchemy.Model]string{},
 	}
 	if o.CacheEntries > 0 {
@@ -224,12 +232,20 @@ func (s *Service) Stats() (queued, running int) {
 // Close stops admission, fails every still-queued job with an error
 // wrapping ErrServiceClosed, and drains: it blocks until running
 // compilations finish (they are not cancelled — cancel jobs explicitly
-// for a hard stop). Idempotent.
+// for a hard stop) and until every deployment delivers its accepted
+// requests. Idempotent.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	deps := make([]*Deployment, 0, len(s.depOrder))
+	for _, id := range s.depOrder {
+		deps = append(deps, s.deployments[id])
+	}
 	s.mu.Unlock()
 	s.queue.Close()
+	for _, d := range deps {
+		_ = d.Close()
+	}
 	return nil
 }
 
