@@ -631,6 +631,61 @@ func BenchmarkServeClassify(b *testing.B) {
 	b.ReportMetric(st.MeanBatch, "mean_batch")
 }
 
+// BenchmarkEndpointClassifyCanary measures the endpoint routing tax on
+// the serving hot path with a live 50% canary: the atomic table load,
+// the splitmix split, and both revisions' pooled runtimes must keep the
+// steady-state classify at 0 allocs/op — hot-swap capability may not
+// cost the zero-alloc serving budget.
+func BenchmarkEndpointClassifyCanary(b *testing.B) {
+	nc := nn.Config{
+		Inputs: 7, Hidden: []int{12, 6}, Outputs: 2,
+		Activation: nn.ReLU, Optimizer: nn.SGD,
+		LearnRate: 0.1, BatchSize: 32, Epochs: 1, Seed: 1,
+	}
+	net, err := nn.New(nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ir.FromNN("ad", net, fixed.Q8_8)
+	svc := New(ServiceOptions{})
+	defer svc.Close()
+	pipe := &Pipeline{Platform: "taurus", Apps: []AppResult{{Name: "ad", Algorithm: "dnn", Model: m}}}
+	ep, err := svc.CreateEndpointPipeline("bench", pipe, EndpointOptions{Shards: 1, BatchSize: 32, MaxDelay: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ep.RolloutPipeline(pipe, RolloutOptions{CanaryPercent: 50}); err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7}
+	for i := 0; i < 256; i++ { // warm both revisions' pools
+		if _, err := ep.Classify(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	steady := 0.0
+	if !testing.Short() {
+		// The canary routing path shares the serve budget: 0 allocs/op.
+		steady = testing.AllocsPerRun(200, func() {
+			if _, err := ep.Classify(x); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if steady > 0 {
+			b.Fatalf("steady-state canary Classify allocated %.1f times per op, budget 0", steady)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ep.Classify(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(steady, "steady_allocs")
+}
+
 // BenchmarkServeClassifyConcurrent measures batched serving throughput
 // under parallel load: GOMAXPROCS clients hammer one deployment, so the
 // micro-batcher actually forms multi-request batches and the shards

@@ -12,6 +12,12 @@
 //	homunculus -spec pipeline.json -replay 5000    # replay 5000 samples
 //	homunculus -serve :8077                        # run as a daemon
 //
+//	# serve behind a named endpoint and drive a live canary rollout
+//	# (recompiled with seed+1) halfway through the replay, promoting at
+//	# the three-quarter mark:
+//	homunculus -spec pipeline.json -replay 5000 -endpoint ad \
+//	           -rollout -canary 25 -promote
+//
 // -platform overrides the spec's platform.kind; the special value "all"
 // compiles the spec against every registered backend and prints the
 // per-target feasibility table (sweep progress is always platform-tagged
@@ -23,13 +29,28 @@
 // -deploy promotes the freshly compiled pipeline into an in-process
 // deployment runtime (micro-batched, sharded quantized inference — see
 // docs/serving.md) and drives it with a replayed synthetic trace,
-// printing the achieved rate, latency quantiles, and accuracy against
-// the trace's ground-truth labels. For the botnet generator the trace is
-// the per-packet partial-flowmarker stream (internal/stream.Trace); for
-// the other generators and CSV data it is the test split. -replay N sets
-// the replayed sample count (cycling the trace as needed) and implies
+// printing the achieved rate, latency quantiles, accuracy against the
+// trace's ground-truth labels, and a sha256 digest of the delivered
+// classifications (fixed-seed replays are byte-comparable across
+// serving paths). For the botnet generator the trace is the per-packet
+// partial-flowmarker stream (internal/stream.Trace); for the other
+// generators and CSV data it is the test split. -replay N sets the
+// replayed sample count (cycling the trace as needed) and implies
 // -deploy; -clients, -batch, -batch-delay, and -shards tune the replay
 // concurrency and the runtime's batching knobs.
+//
+// -endpoint NAME serves the pipeline behind a named endpoint instead of
+// a flat deployment and unlocks the lifecycle flags: -rollout recompiles
+// the spec mid-replay (search seed+1) and rolls the result out as
+// revision 2 — a -canary N percent traffic slice (deterministic
+// splitmix split; 0 deploys it warm without traffic) or a -shadow
+// mirror (scored off the record, divergence report printed) — and
+// -promote / -rollback complete or revert the rollout at the
+// three-quarter mark. The final report breaks stats down per revision.
+//
+// -replay and -serve trap SIGINT/SIGTERM and drain gracefully: the
+// replayer stops issuing, every accepted request is still classified and
+// delivered, and the final stats are printed before exit.
 //
 // Spec format (see cmd/homunculus/testdata/ad.json for a full example):
 //
@@ -50,15 +71,20 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/alchemy"
@@ -121,9 +147,9 @@ type SearchSpec struct {
 // events to stderr (sweeps always print, platform-tagged).
 var showProgress bool
 
-// replaySettings mirrors the -deploy/-replay flag group: when enabled,
-// the compiled pipeline is deployed in-process and driven with a
-// replayed synthetic trace.
+// replaySettings mirrors the -deploy/-replay/-endpoint flag group: when
+// enabled, the compiled pipeline is served in-process (flat deployment
+// or named endpoint) and driven with a replayed synthetic trace.
 type replaySettings struct {
 	deploy  bool
 	samples int
@@ -131,6 +157,39 @@ type replaySettings struct {
 	batch   int
 	delay   time.Duration
 	shards  int
+
+	// Endpoint lifecycle: serve behind a named endpoint; optionally roll
+	// out a recompiled revision mid-replay as a canary or shadow, then
+	// promote or roll back before the final replay leg.
+	endpoint string
+	rollout  bool
+	canary   int
+	shadow   bool
+	promote  bool
+	rollback bool
+}
+
+// validate rejects contradictory lifecycle flag combinations.
+func (r replaySettings) validate() error {
+	if r.endpoint == "" {
+		if r.rollout || r.shadow || r.promote || r.rollback || r.canary != 0 {
+			return fmt.Errorf("-rollout/-canary/-shadow/-promote/-rollback require -endpoint")
+		}
+		return nil
+	}
+	if r.canary < 0 || r.canary > 100 {
+		return fmt.Errorf("-canary %d out of [0,100]", r.canary)
+	}
+	if r.shadow && r.canary != 0 {
+		return fmt.Errorf("-shadow and -canary are mutually exclusive")
+	}
+	if r.promote && r.rollback {
+		return fmt.Errorf("-promote and -rollback are mutually exclusive")
+	}
+	if (r.promote || r.rollback || r.shadow || r.canary != 0) && !r.rollout {
+		return fmt.Errorf("-canary/-shadow/-promote/-rollback shape the mid-replay rollout; add -rollout")
+	}
+	return nil
 }
 
 var replayCfg replaySettings
@@ -142,25 +201,40 @@ func main() {
 	platform := flag.String("platform", "", "override the spec's platform.kind; \"all\" sweeps every registered backend")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print pipeline stage events to stderr")
-	serve := flag.String("serve", "", "run as a compilation daemon on this address (e.g. :8077) instead of compiling a spec")
+	serveAddr := flag.String("serve", "", "run as a compilation daemon on this address (e.g. :8077) instead of compiling a spec")
 	deploy := flag.Bool("deploy", false, "deploy the compiled pipeline in-process and replay a synthetic trace through it")
 	replay := flag.Int("replay", 0, "replay this many trace samples through the deployment (implies -deploy; 0 = one pass over the natural trace)")
 	clients := flag.Int("clients", 0, "concurrent replay clients (default GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "deployment micro-batch flush threshold (default 64)")
 	batchDelay := flag.Duration("batch-delay", 0, "deployment micro-batch flush deadline (default 500µs; negative = greedy)")
 	shards := flag.Int("shards", 0, "deployment inference shards (default GOMAXPROCS)")
+	endpoint := flag.String("endpoint", "", "serve the compiled pipeline behind a named endpoint (implies -deploy)")
+	rollout := flag.Bool("rollout", false, "mid-replay, recompile the spec (seed+1) and roll it out as a new revision (requires -endpoint)")
+	canary := flag.Int("canary", 0, "canary traffic percent for the -rollout revision (0 = deploy warm, no traffic)")
+	shadow := flag.Bool("shadow", false, "mirror traffic to the -rollout revision off the record instead of splitting it")
+	promote := flag.Bool("promote", false, "promote the mid-replay rollout at the three-quarter mark")
+	rollback := flag.Bool("rollback", false, "roll the mid-replay rollout back at the three-quarter mark")
 	flag.Parse()
 	showProgress = *progress
 	replayCfg = replaySettings{
-		deploy:  *deploy || *replay > 0,
-		samples: *replay,
-		clients: *clients,
-		batch:   *batch,
-		delay:   *batchDelay,
-		shards:  *shards,
+		deploy:   *deploy || *replay > 0 || *endpoint != "",
+		samples:  *replay,
+		clients:  *clients,
+		batch:    *batch,
+		delay:    *batchDelay,
+		shards:   *shards,
+		endpoint: *endpoint,
+		rollout:  *rollout,
+		canary:   *canary,
+		shadow:   *shadow,
+		promote:  *promote,
+		rollback: *rollback,
 	}
-	if *serve != "" {
-		if err := runServe(*serve); err != nil {
+	if err := replayCfg.validate(); err != nil {
+		log.Fatalf("homunculus: %v", err)
+	}
+	if *serveAddr != "" {
+		if err := runServe(*serveAddr); err != nil {
 			log.Fatalf("homunculus: %v", err)
 		}
 		return
@@ -169,7 +243,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *outDir, *platform, *timeout); err != nil {
+	// SIGINT/SIGTERM cancel the run context: the replayer stops issuing
+	// and drains (accepted requests deliver, final stats print) instead
+	// of dying mid-batch; a compilation in progress aborts cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *specPath, *outDir, *platform, *timeout); err != nil {
 		log.Fatalf("homunculus: %v", err)
 	}
 }
@@ -199,8 +278,7 @@ func printEvent(ev homunculus.Event) {
 	fmt.Fprintf(os.Stderr, "%s %s\n", line, mark)
 }
 
-func run(specPath, outDir, platformOverride string, timeout time.Duration) error {
-	ctx := context.Background()
+func run(ctx context.Context, specPath, outDir, platformOverride string, timeout time.Duration) error {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -225,12 +303,6 @@ func run(specPath, outDir, platformOverride string, timeout time.Duration) error
 	if err != nil {
 		return err
 	}
-	model := alchemy.NewModel(alchemy.ModelSpec{
-		Name:               spec.Name,
-		OptimizationMetric: orDefault(spec.Metric, "f1"),
-		Algorithms:         spec.Algorithms,
-		DataLoader:         loader,
-	})
 
 	search := core.DefaultSearchConfig()
 	if spec.Search.Init > 0 {
@@ -256,20 +328,16 @@ func run(specPath, outDir, platformOverride string, timeout time.Duration) error
 		if replayCfg.deploy {
 			return fmt.Errorf("-deploy/-replay apply to a single-target compilation, not -platform all")
 		}
+		model := alchemy.NewModel(alchemy.ModelSpec{
+			Name:               spec.Name,
+			OptimizationMetric: orDefault(spec.Metric, "f1"),
+			Algorithms:         spec.Algorithms,
+			DataLoader:         loader,
+		})
 		return runSweep(ctx, spec, model, outDir, search)
 	}
 
-	platform, err := buildPlatform(spec.Platform)
-	if err != nil {
-		return err
-	}
-	platform.Schedule(model)
-
-	genOpts := []homunculus.Option{homunculus.WithSearchConfig(search)}
-	if showProgress {
-		genOpts = append(genOpts, homunculus.WithProgress(printEvent))
-	}
-	pipe, err := homunculus.Generate(ctx, platform, genOpts...)
+	pipe, err := compilePipeline(ctx, spec, loader, search)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("compilation timed out after %v: %w", timeout, err)
@@ -340,25 +408,78 @@ func run(specPath, outDir, platformOverride string, timeout time.Duration) error
 	fmt.Printf("  code:       %s\n", codePath)
 	fmt.Printf("  model:      %s\n", modelPath)
 	if replayCfg.deploy {
-		return runDeploy(spec, loader, pipe)
+		return runReplay(ctx, spec, loader, pipe, search)
 	}
 	return nil
 }
 
-// runDeploy promotes the compiled pipeline into an in-process deployment
-// runtime and replays a synthetic trace through it — the live-serving
-// leg of the compile → serve lifecycle (docs/serving.md).
-func runDeploy(spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline) error {
-	svc := homunculus.New(homunculus.ServiceOptions{})
-	defer svc.Close()
-	dep, err := svc.DeployPipeline(pipe, homunculus.DeployOptions{
-		Shards:    replayCfg.shards,
-		BatchSize: replayCfg.batch,
-		MaxDelay:  replayCfg.delay,
+// compilePipeline builds the spec's model/platform pair and runs one
+// single-target compilation — shared by run and the mid-replay rollout
+// (which recompiles the same spec under a bumped seed).
+func compilePipeline(ctx context.Context, spec Spec, loader alchemy.DataLoader, search core.SearchConfig) (*homunculus.Pipeline, error) {
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name:               spec.Name,
+		OptimizationMetric: orDefault(spec.Metric, "f1"),
+		Algorithms:         spec.Algorithms,
+		DataLoader:         loader,
 	})
+	platform, err := buildPlatform(spec.Platform)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	platform.Schedule(model)
+	genOpts := []homunculus.Option{homunculus.WithSearchConfig(search)}
+	if showProgress {
+		genOpts = append(genOpts, homunculus.WithProgress(printEvent))
+	}
+	return homunculus.Generate(ctx, platform, genOpts...)
+}
+
+// replayReport captures the outcome of the most recent replay so tests
+// can assert on it (the same pattern as the replayCfg global).
+type replayReport struct {
+	digest      string
+	result      serve.ReplayResult
+	final       homunculus.DeploymentStats // merged, post-drain
+	endpoint    *homunculus.EndpointStats  // nil for the flat path
+	interrupted bool
+}
+
+var lastReplayReport *replayReport
+
+// classesDigest hashes a recorded classification sequence so fixed-seed
+// replays can be compared byte-for-byte across serving paths.
+func classesDigest(record []int) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, c := range record {
+		binary.LittleEndian.PutUint32(buf[:], uint32(int32(c)))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// addResult folds one replay segment into an aggregate.
+func addResult(agg *serve.ReplayResult, res serve.ReplayResult) {
+	agg.Requests += res.Requests
+	agg.Issued += res.Issued
+	agg.Delivered += res.Delivered
+	agg.Dropped += res.Dropped
+	agg.Errors += res.Errors
+	agg.Correct += res.Correct
+	agg.Elapsed += res.Elapsed
+	if agg.Elapsed > 0 {
+		agg.Rate = float64(agg.Delivered) / agg.Elapsed.Seconds()
+	}
+	if agg.Delivered > 0 {
+		agg.Accuracy = float64(agg.Correct) / float64(agg.Delivered)
+	}
+}
+
+// runReplay serves the compiled pipeline in-process — behind a named
+// endpoint when -endpoint is set, a flat deployment otherwise — and
+// drives it with the replayed trace (docs/serving.md).
+func runReplay(ctx context.Context, spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline, search core.SearchConfig) error {
 	xs, labels, err := buildTrace(spec, loader, replayCfg.samples)
 	if err != nil {
 		return err
@@ -367,14 +488,188 @@ func runDeploy(spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline) 
 	if clients <= 0 {
 		clients = runtime.GOMAXPROCS(0)
 	}
-	cfg := dep.Config()
-	fmt.Printf("deployment %s: app=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
-		dep.ID(), dep.App(), dep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
-	res, err := serve.Replay(dep, xs, labels, clients)
+	svc := homunculus.New(homunculus.ServiceOptions{})
+	defer svc.Close()
+	if replayCfg.endpoint != "" {
+		return runEndpointReplay(ctx, svc, spec, loader, pipe, search, xs, labels, clients)
+	}
+	return runFlatReplay(ctx, svc, pipe, xs, labels, clients)
+}
+
+// runFlatReplay is the single-revision deployment path (PR4-compatible).
+func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculus.Pipeline, xs [][]float64, labels []int, clients int) error {
+	dep, err := svc.DeployPipeline(pipe, homunculus.DeployOptions{
+		Shards:    replayCfg.shards,
+		BatchSize: replayCfg.batch,
+		MaxDelay:  replayCfg.delay,
+	})
 	if err != nil {
 		return err
 	}
+	cfg := dep.Config()
+	fmt.Printf("deployment %s: app=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
+		dep.ID(), dep.App(), dep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
+	record := newRecord(len(xs))
+	res, err := serve.ReplayRun(ctx, dep, xs, labels, clients, record)
+	if err != nil {
+		return err
+	}
+	interrupted := ctx.Err() != nil
+	if interrupted {
+		fmt.Printf("interrupted after %d/%d samples; draining accepted requests\n", res.Issued, res.Requests)
+	}
 	st := dep.Stats()
+	printReplaySummary(res, st)
+	digest := classesDigest(record)
+	fmt.Printf("classes digest: sha256:%s\n", digest)
+	final, err := svc.Undeploy(dep.ID())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final: accepted=%d completed=%d dropped=%d errors=%d\n",
+		final.Accepted, final.Completed, final.Dropped, final.Errors)
+	lastReplayReport = &replayReport{
+		digest: digest, result: res, final: final, interrupted: interrupted,
+	}
+	return nil
+}
+
+// runEndpointReplay serves behind a named endpoint and optionally drives
+// a live rollout mid-replay: first half on revision 1, then -rollout
+// recompiles the spec (seed+1) and rolls it out as a canary or shadow,
+// the third quarter runs the split, -promote/-rollback fire at the
+// three-quarter mark, and the final quarter runs the settled route.
+func runEndpointReplay(ctx context.Context, svc *homunculus.Service, spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline, search core.SearchConfig, xs [][]float64, labels []int, clients int) error {
+	ep, err := svc.CreateEndpointPipeline(replayCfg.endpoint, pipe, homunculus.EndpointOptions{
+		Shards:    replayCfg.shards,
+		BatchSize: replayCfg.batch,
+		MaxDelay:  replayCfg.delay,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := ep.Config()
+	fmt.Printf("endpoint %q rev 1: platform=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
+		ep.Name(), ep.Platform(), ep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
+
+	record := newRecord(len(xs))
+	var agg serve.ReplayResult
+	segment := func(lo, hi int) error {
+		if lo >= hi || ctx.Err() != nil {
+			return nil
+		}
+		res, err := serve.ReplayRun(ctx, ep, xs[lo:hi], labels[lo:hi], clients, record[lo:hi])
+		if err != nil {
+			return err
+		}
+		addResult(&agg, res)
+		return nil
+	}
+
+	n := len(xs)
+	if !replayCfg.rollout {
+		if err := segment(0, n); err != nil {
+			return err
+		}
+	} else {
+		if err := segment(0, n/2); err != nil {
+			return err
+		}
+		if ctx.Err() == nil {
+			s2 := search
+			s2.Seed = search.Seed + 1
+			fmt.Printf("recompiling for rollout (seed %d)...\n", s2.Seed)
+			pipe2, err := compilePipeline(ctx, spec, loader, s2)
+			if err != nil {
+				return fmt.Errorf("rollout compilation: %w", err)
+			}
+			rev, err := ep.RolloutPipeline(pipe2, homunculus.RolloutOptions{
+				CanaryPercent: replayCfg.canary,
+				Shadow:        replayCfg.shadow,
+			})
+			if err != nil {
+				return err
+			}
+			switch {
+			case replayCfg.shadow:
+				fmt.Printf("rollout: revision %d shadowing all traffic (scored off the record)\n", rev.ID)
+			default:
+				fmt.Printf("rollout: revision %d serving %d%% canary traffic\n", rev.ID, replayCfg.canary)
+			}
+		}
+		if err := segment(n/2, 3*n/4); err != nil {
+			return err
+		}
+		if ctx.Err() == nil {
+			switch {
+			case replayCfg.promote:
+				if err := ep.Promote(); err != nil {
+					return err
+				}
+				stable, _, _, _ := ep.View()
+				fmt.Printf("promoted: revision %d is now stable\n", stable)
+			case replayCfg.rollback:
+				if err := ep.Rollback(); err != nil {
+					return err
+				}
+				stable, _, _, _ := ep.View()
+				fmt.Printf("rolled back: revision %d keeps all traffic\n", stable)
+			}
+		}
+		if err := segment(3*n/4, n); err != nil {
+			return err
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Printf("interrupted after %d/%d samples; draining accepted requests\n", agg.Issued, n)
+	}
+	printReplaySummary(agg, ep.Stats().Merged)
+	digest := classesDigest(record)
+	fmt.Printf("classes digest: sha256:%s\n", digest)
+
+	// Delete drains every revision (and flushes pending shadow mirrors),
+	// so the final report is the endpoint's complete lifetime.
+	final, err := svc.DeleteEndpoint(ep.Name())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final: accepted=%d completed=%d dropped=%d errors=%d\n",
+		final.Merged.Accepted, final.Merged.Completed, final.Merged.Dropped, final.Merged.Errors)
+	fmt.Println("revisions:")
+	for _, r := range final.Revisions {
+		fmt.Printf("  rev %d [%s] job=%s completed=%d dropped=%d p50=%v p99=%v\n",
+			r.ID, r.State, orDefault(r.JobID, "-"), r.Stats.Completed, r.Stats.Dropped, r.Stats.P50, r.Stats.P99)
+	}
+	if d := final.Shadow; d != nil {
+		fmt.Printf("shadow divergence (rev %d): mirrored=%d agree=%d disagree=%d errors=%d shed=%d\n",
+			d.Revision, d.Mirrored, d.Agreed, d.Disagreed, d.Errors, d.Shed)
+		for p, row := range d.Pairs {
+			for s, count := range row {
+				if p != s && count > 0 {
+					fmt.Printf("  primary=%d shadow=%d: %d\n", p, s, count)
+				}
+			}
+		}
+	}
+	lastReplayReport = &replayReport{
+		digest: digest, result: agg, final: final.Merged,
+		endpoint: &final, interrupted: ctx.Err() != nil,
+	}
+	return nil
+}
+
+// newRecord pre-fills a classification record with -2 ("never issued")
+// so interrupted replays digest distinctly from shed requests (-1).
+func newRecord(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = -2
+	}
+	return r
+}
+
+// printReplaySummary renders the replay aggregate and serving metrics.
+func printReplaySummary(res serve.ReplayResult, st homunculus.DeploymentStats) {
 	fmt.Printf("replayed %d samples in %v: %.0f req/s, accuracy %.4f (delivered %d, dropped %d, errors %d)\n",
 		res.Requests, res.Elapsed.Round(time.Microsecond), res.Rate, res.Accuracy,
 		res.Delivered, res.Dropped, res.Errors)
@@ -385,10 +680,6 @@ func runDeploy(spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline) 
 		fmt.Printf(" %d=%d", c, n)
 	}
 	fmt.Println()
-	if _, err := svc.Undeploy(dep.ID()); err != nil {
-		return err
-	}
-	return nil
 }
 
 // buildTrace assembles the replay trace. The botnet generator replays

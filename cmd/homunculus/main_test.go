@@ -15,7 +15,7 @@ import (
 
 func TestRunTaurusSpec(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/ad.json", out, "", 0); err != nil {
+	if err := run(context.Background(), "testdata/ad.json", out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	code, err := os.ReadFile(filepath.Join(out, "anomaly_detection.spatial"))
@@ -41,7 +41,7 @@ func TestRunTaurusSpec(t *testing.T) {
 
 func TestRunTofinoSpec(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/tc_tofino.json", out, "", 0); err != nil {
+	if err := run(context.Background(), "testdata/tc_tofino.json", out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	code, err := os.ReadFile(filepath.Join(out, "traffic_class.p4"))
@@ -91,7 +91,7 @@ func TestRunCSVSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := t.TempDir()
-	if err := run(specPath, out, "", 0); err != nil {
+	if err := run(context.Background(), specPath, out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "csv_pipeline.spatial")); err != nil {
@@ -101,28 +101,28 @@ func TestRunCSVSpec(t *testing.T) {
 
 func TestRunSpecErrors(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/does_not_exist.json", out, "", 0); err == nil {
+	if err := run(context.Background(), "testdata/does_not_exist.json", out, "", 0); err == nil {
 		t.Fatal("missing spec must fail")
 	}
 	dir := t.TempDir()
 	badPath := filepath.Join(dir, "bad.json")
 	os.WriteFile(badPath, []byte("not json"), 0o644)
-	if err := run(badPath, out, "", 0); err == nil {
+	if err := run(context.Background(), badPath, out, "", 0); err == nil {
 		t.Fatal("garbage spec must fail")
 	}
 	noName := filepath.Join(dir, "noname.json")
 	os.WriteFile(noName, []byte(`{"data": {"generator": "nslkdd"}}`), 0o644)
-	if err := run(noName, out, "", 0); err == nil {
+	if err := run(context.Background(), noName, out, "", 0); err == nil {
 		t.Fatal("nameless spec must fail")
 	}
 	badGen := filepath.Join(dir, "badgen.json")
 	os.WriteFile(badGen, []byte(`{"name": "x", "data": {"generator": "zzz"}}`), 0o644)
-	if err := run(badGen, out, "", 0); err == nil {
+	if err := run(context.Background(), badGen, out, "", 0); err == nil {
 		t.Fatal("unknown generator must fail")
 	}
 	badPlat := filepath.Join(dir, "badplat.json")
 	os.WriteFile(badPlat, []byte(`{"name": "x", "data": {"generator": "nslkdd"}, "platform": {"kind": "abacus"}}`), 0o644)
-	if err := run(badPlat, out, "", 0); err == nil {
+	if err := run(context.Background(), badPlat, out, "", 0); err == nil {
 		t.Fatal("unknown platform must fail")
 	}
 }
@@ -133,7 +133,7 @@ func TestRunSpecErrors(t *testing.T) {
 // the DNN and stays undeployable).
 func TestRunPlatformAllSweep(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/ad.json", out, "all", 0); err != nil {
+	if err := run(context.Background(), "testdata/ad.json", out, "all", 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"anomaly_detection.taurus.spatial", "anomaly_detection.fpga.spatial"} {
@@ -149,7 +149,7 @@ func TestRunPlatformAllSweep(t *testing.T) {
 // TestRunPlatformOverride: -platform swaps the spec's declared kind.
 func TestRunPlatformOverride(t *testing.T) {
 	out := t.TempDir()
-	if err := run("testdata/tc_tofino.json", out, "taurus", 0); err != nil {
+	if err := run(context.Background(), "testdata/tc_tofino.json", out, "taurus", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "traffic_class.spatial")); err != nil {
@@ -160,7 +160,7 @@ func TestRunPlatformOverride(t *testing.T) {
 // TestRunTimeout: a hopeless deadline must abort with a context error
 // instead of compiling.
 func TestRunTimeout(t *testing.T) {
-	err := run("testdata/ad.json", t.TempDir(), "", time.Nanosecond)
+	err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", time.Nanosecond)
 	if err == nil {
 		t.Fatal("1ns budget must time out")
 	}
@@ -175,7 +175,7 @@ func TestUnknownPlatformListsBackends(t *testing.T) {
 	dir := t.TempDir()
 	badPlat := filepath.Join(dir, "badplat.json")
 	os.WriteFile(badPlat, []byte(`{"name": "x", "data": {"generator": "nslkdd"}, "platform": {"kind": "abacus"}}`), 0o644)
-	err := run(badPlat, t.TempDir(), "", 0)
+	err := run(context.Background(), badPlat, t.TempDir(), "", 0)
 	if err == nil {
 		t.Fatal("unknown platform must fail")
 	}
@@ -200,8 +200,144 @@ func TestBuildLoaderValidation(t *testing.T) {
 func TestRunDeployReplay(t *testing.T) {
 	replayCfg = replaySettings{deploy: true, samples: 500, clients: 4, batch: 16, delay: time.Millisecond}
 	defer func() { replayCfg = replaySettings{} }()
-	if err := run("testdata/ad.json", t.TempDir(), "", 0); err != nil {
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunEndpointCanaryZeroByteIdentical is the acceptance criterion: a
+// fixed-seed replay served through a named endpoint — even with a live
+// 0%-canary rollout sitting in the table — must produce byte-identical
+// classifications to the PR4 flat deployment path, with nothing dropped.
+func TestRunEndpointCanaryZeroByteIdentical(t *testing.T) {
+	defer func() { replayCfg = replaySettings{}; lastReplayReport = nil }()
+
+	// Flat deployment replay (the PR4 path).
+	replayCfg = replaySettings{deploy: true, samples: 400, clients: 4, batch: 16, delay: time.Millisecond}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	flat := lastReplayReport
+	if flat == nil || flat.digest == "" || flat.endpoint != nil {
+		t.Fatalf("flat replay report: %+v", flat)
+	}
+	if flat.result.Dropped != 0 || flat.final.Accepted != flat.final.Completed {
+		t.Fatalf("flat replay dropped traffic: %+v", flat.final)
+	}
+
+	// The same spec through an endpoint with a mid-replay 0% canary
+	// rollout (recompiled at seed+1, routed no traffic).
+	replayCfg = replaySettings{
+		deploy: true, samples: 400, clients: 4, batch: 16, delay: time.Millisecond,
+		endpoint: "ad", rollout: true, canary: 0,
+	}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	ep := lastReplayReport
+	if ep == nil || ep.endpoint == nil {
+		t.Fatalf("endpoint replay report: %+v", ep)
+	}
+	if ep.digest != flat.digest {
+		t.Fatalf("0%%-canary endpoint replay diverged from the flat path:\n  flat:     %s\n  endpoint: %s", flat.digest, ep.digest)
+	}
+	if ep.result.Dropped != 0 || ep.final.Accepted != ep.final.Completed {
+		t.Fatalf("endpoint replay dropped traffic: %+v", ep.final)
+	}
+	if len(ep.endpoint.Revisions) != 2 {
+		t.Fatalf("rollout revision missing: %+v", ep.endpoint.Revisions)
+	}
+	if ep.endpoint.Revisions[1].Stats.Accepted != 0 {
+		t.Fatalf("0%% canary revision served traffic: %+v", ep.endpoint.Revisions[1])
+	}
+}
+
+// TestRunEndpointPromoteMidReplay is the second acceptance leg: a
+// mid-replay Promote completes with dropped == 0 and accepted ==
+// completed in the final stats.
+func TestRunEndpointPromoteMidReplay(t *testing.T) {
+	defer func() { replayCfg = replaySettings{}; lastReplayReport = nil }()
+	replayCfg = replaySettings{
+		deploy: true, samples: 400, clients: 4, batch: 16, delay: time.Millisecond,
+		endpoint: "ad", rollout: true, canary: 25, promote: true,
+	}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := lastReplayReport
+	if rep == nil || rep.endpoint == nil {
+		t.Fatalf("replay report: %+v", rep)
+	}
+	if rep.result.Dropped != 0 {
+		t.Fatalf("mid-replay promote dropped %d requests", rep.result.Dropped)
+	}
+	if rep.final.Dropped != 0 || rep.final.Accepted != rep.final.Completed {
+		t.Fatalf("final stats after promote: %+v", rep.final)
+	}
+	// After promote, revision 2 is stable and revision 1 retired.
+	revs := rep.endpoint.Revisions
+	if len(revs) != 2 || revs[1].State != "stable" || revs[0].State != "retired" {
+		t.Fatalf("post-promote revision states: %+v", revs)
+	}
+	if revs[1].Stats.Completed == 0 {
+		t.Fatalf("promoted revision never served: %+v", revs[1])
+	}
+}
+
+// TestRunEndpointShadowReplay: a mid-replay shadow rollout mirrors
+// traffic and fills the divergence report without touching the answers.
+func TestRunEndpointShadowReplay(t *testing.T) {
+	defer func() { replayCfg = replaySettings{}; lastReplayReport = nil }()
+	replayCfg = replaySettings{
+		deploy: true, samples: 400, clients: 4, batch: 16, delay: time.Millisecond,
+		endpoint: "ad", rollout: true, shadow: true,
+	}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := lastReplayReport
+	if rep == nil || rep.endpoint == nil || rep.endpoint.Shadow == nil {
+		t.Fatalf("shadow replay report: %+v", rep)
+	}
+	d := rep.endpoint.Shadow
+	if d.Mirrored == 0 {
+		t.Fatalf("shadow never scored: %+v", d)
+	}
+	if d.Agreed+d.Disagreed+d.Errors != d.Mirrored {
+		t.Fatalf("divergence accounting: %+v", d)
+	}
+	if rep.result.Dropped != 0 {
+		t.Fatalf("shadow rollout dropped primary traffic: %+v", rep.result)
+	}
+}
+
+// TestReplaySettingsValidate pins the lifecycle flag contract.
+func TestReplaySettingsValidate(t *testing.T) {
+	for _, bad := range []replaySettings{
+		{rollout: true},
+		{canary: 10},
+		{promote: true},
+		{endpoint: "x", canary: 101},
+		{endpoint: "x", rollout: true, shadow: true, canary: 10},
+		{endpoint: "x", rollout: true, promote: true, rollback: true},
+		{endpoint: "x", promote: true},
+		{endpoint: "x", canary: 25},
+		{endpoint: "x", shadow: true},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Fatalf("settings %+v must be rejected", bad)
+		}
+	}
+	for _, ok := range []replaySettings{
+		{},
+		{deploy: true},
+		{endpoint: "x"},
+		{endpoint: "x", rollout: true, canary: 50, promote: true},
+		{endpoint: "x", rollout: true, shadow: true, rollback: true},
+	} {
+		if err := ok.validate(); err != nil {
+			t.Fatalf("settings %+v must be accepted: %v", ok, err)
+		}
 	}
 }
 
@@ -209,7 +345,7 @@ func TestRunDeployReplay(t *testing.T) {
 func TestRunDeployRejectsSweep(t *testing.T) {
 	replayCfg = replaySettings{deploy: true}
 	defer func() { replayCfg = replaySettings{} }()
-	if err := run("testdata/ad.json", t.TempDir(), "all", 0); err == nil {
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "all", 0); err == nil {
 		t.Fatal("-deploy with -platform all must fail")
 	}
 }

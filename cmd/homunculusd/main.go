@@ -14,9 +14,15 @@
 // servers through POST /v1/deployments, classified in batches via
 // POST /v1/deployments/{id}/classify, observed at
 // GET /v1/deployments/{id}/stats, and drained with DELETE
-// (docs/serving.md). The bundled synthetic dataset generators ("nslkdd",
-// "iottc", "botnet") are pre-registered in the dataset catalog; embed
-// the daemon to register custom loaders with alchemy.RegisterLoader.
+// (docs/serving.md). The versioned serving surface lives under
+// /v1/endpoints: named routes whose revisions roll out gradually
+// (POST {name}/rollout with a canary percent or shadow mirror), get
+// promoted or rolled back atomically (POST {name}/promote|rollback),
+// and report per-revision stats plus shadow divergence
+// (GET {name}/stats). The bundled synthetic dataset generators
+// ("nslkdd", "iottc", "botnet") are pre-registered in the dataset
+// catalog; embed the daemon to register custom loaders with
+// alchemy.RegisterLoader.
 //
 // SIGINT/SIGTERM shut down gracefully: HTTP drains, running
 // compilations finish, queued jobs fail with ErrServiceClosed

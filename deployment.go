@@ -1,16 +1,19 @@
 package homunculus
 
 // Deployment is the serving-side handle a Service.Deploy returns,
-// mirroring the Job API: compile → Job, serve → Deployment. Where a Job
-// represents one finite compilation, a Deployment is a long-lived
-// inference server over the compiled pipeline's winning model — live
-// traffic flows through the internal/serve runtime (micro-batching,
-// sharded zero-alloc quantized inference, bounded-queue backpressure)
-// and per-deployment metrics accumulate from the first request.
+// mirroring the Job API: compile → Job, serve → Deployment. Since the
+// endpoint lifecycle API landed (endpoint.go), a Deployment is a thin
+// wrapper over a single-revision serve.Endpoint — same zero-alloc
+// micro-batched runtime underneath, but no named route, no rollouts, no
+// revision history. Prefer CreateEndpoint for new code: endpoints add
+// versioned revisions, canary/shadow rollouts, and rollback behind a
+// stable name (docs/serving.md covers the deprecation plan for the flat
+// Deploy surface).
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/ir"
@@ -52,15 +55,24 @@ type DeployOptions struct {
 // metrics (throughput, latency quantiles, per-class counts, drops).
 type DeploymentStats = serve.Stats
 
-// Deployment is a live inference server over one compiled model. All
-// methods are safe for concurrent use.
+// Deployment is a live inference server over one compiled model — a
+// single-revision endpoint without a named route. All methods are safe
+// for concurrent use.
+//
+// Deprecated-in-spirit: new code should use Service.CreateEndpoint,
+// which adds versioned revisions, canary/shadow rollouts, and rollback;
+// Deploy remains supported as the single-revision convenience.
 type Deployment struct {
 	id       string
 	jobID    string
 	app      string
 	platform string
+	model    *ir.Model
 	created  time.Time
-	rt       *serve.Runtime
+	ep       *serve.Endpoint
+	svc      *Service
+
+	forget sync.Once
 }
 
 // ID returns the service-assigned deployment identifier.
@@ -77,14 +89,14 @@ func (d *Deployment) App() string { return d.app }
 func (d *Deployment) Platform() string { return d.platform }
 
 // Model returns the served IR model.
-func (d *Deployment) Model() *ir.Model { return d.rt.Model() }
+func (d *Deployment) Model() *ir.Model { return d.model }
 
 // Created returns when the deployment started serving.
 func (d *Deployment) Created() time.Time { return d.created }
 
 // Config returns the effective (defaulted) serving options.
 func (d *Deployment) Config() DeployOptions {
-	o := d.rt.Options()
+	o := d.ep.Options()
 	return DeployOptions{
 		App:        d.app,
 		Shards:     o.Shards,
@@ -97,27 +109,34 @@ func (d *Deployment) Config() DeployOptions {
 // Classify submits one feature vector to the serving runtime and blocks
 // until its class is computed (micro-batched under concurrent load).
 // Sheds with ErrOverloaded when the intake queue is full.
-func (d *Deployment) Classify(x []float64) (int, error) { return d.rt.Classify(x) }
+func (d *Deployment) Classify(x []float64) (int, error) { return d.ep.Classify(x) }
 
 // ClassifyBatch classifies every vector of xs; classes[i] is -1 for shed
 // (counted in dropped) or failed requests. Accepted requests always
 // complete.
 func (d *Deployment) ClassifyBatch(xs [][]float64) (classes []int, dropped int, err error) {
-	return d.rt.ClassifyBatch(xs)
+	return d.ep.ClassifyBatch(xs)
 }
 
 // Stats snapshots the deployment's serving metrics.
-func (d *Deployment) Stats() DeploymentStats { return d.rt.Stats() }
+func (d *Deployment) Stats() DeploymentStats { return d.ep.Stats().Merged }
 
 // Close drains the deployment: intake stops, every accepted request is
 // still classified and delivered, then the runtime's workers exit.
-// Blocks until the drain completes; idempotent. The deployment stays
-// visible through Service.Deployment until Undeploy removes it.
-func (d *Deployment) Close() error { return d.rt.Close() }
+// Blocks until the drain completes; idempotent. Closing deregisters the
+// deployment from the service (Service.Deployment stops finding it), so
+// a directly closed deployment is never listed as live.
+func (d *Deployment) Close() error {
+	d.forget.Do(func() { d.svc.forgetDeployment(d.id, d) })
+	return d.ep.Close()
+}
 
 // Deploy turns a finished job's compiled pipeline into a live
 // deployment. The job must be done (ErrJobNotFinished otherwise) and its
 // pipeline must carry a deployable model for the selected app.
+//
+// Prefer CreateEndpoint: it serves the same runtime behind a stable
+// name with rollout/rollback support.
 func (s *Service) Deploy(jobID string, opts DeployOptions) (*Deployment, error) {
 	j, ok := s.Job(jobID)
 	if !ok {
@@ -138,29 +157,9 @@ func (s *Service) DeployPipeline(pipe *Pipeline, opts DeployOptions) (*Deploymen
 }
 
 func (s *Service) deploy(pipe *Pipeline, jobID string, opts DeployOptions) (*Deployment, error) {
-	if pipe == nil {
-		return nil, ErrNotDeployable
-	}
-	var app *AppResult
-	for i := range pipe.Apps {
-		a := &pipe.Apps[i]
-		if opts.App != "" {
-			if a.Name == opts.App {
-				app = a
-				break
-			}
-			continue
-		}
-		if a.Model != nil {
-			app = a
-			break
-		}
-	}
-	if opts.App != "" && app == nil {
-		return nil, fmt.Errorf("homunculus: deploy: pipeline has no app %q", opts.App)
-	}
-	if app == nil || app.Model == nil {
-		return nil, fmt.Errorf("%w (app %q)", ErrNotDeployable, opts.App)
+	app, err := selectApp(pipe, opts.App)
+	if err != nil {
+		return nil, err
 	}
 
 	s.mu.Lock()
@@ -172,7 +171,7 @@ func (s *Service) deploy(pipe *Pipeline, jobID string, opts DeployOptions) (*Dep
 	id := fmt.Sprintf("dep-%06d", s.nextDepID)
 	s.mu.Unlock()
 
-	rt, err := serve.New(app.Model, serve.Options{
+	ep, err := serve.NewEndpoint(id, app.Model, serve.Options{
 		Shards:     opts.Shards,
 		BatchSize:  opts.BatchSize,
 		MaxDelay:   opts.MaxDelay,
@@ -186,14 +185,16 @@ func (s *Service) deploy(pipe *Pipeline, jobID string, opts DeployOptions) (*Dep
 		jobID:    jobID,
 		app:      app.Name,
 		platform: pipe.Platform,
+		model:    app.Model,
 		created:  time.Now(),
-		rt:       rt,
+		ep:       ep,
+		svc:      s,
 	}
 	s.mu.Lock()
 	if s.closed {
 		// Raced with Close: do not leak a live runtime past shutdown.
 		s.mu.Unlock()
-		_ = rt.Close()
+		_ = ep.Close()
 		return nil, ErrServiceClosed
 	}
 	s.deployments[id] = d
@@ -202,8 +203,7 @@ func (s *Service) deploy(pipe *Pipeline, jobID string, opts DeployOptions) (*Dep
 	return d, nil
 }
 
-// Deployment looks up a live (or drained but not yet undeployed)
-// deployment by ID.
+// Deployment looks up a live deployment by ID.
 func (s *Service) Deployment(id string) (*Deployment, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -211,7 +211,7 @@ func (s *Service) Deployment(id string) (*Deployment, bool) {
 	return d, ok
 }
 
-// Deployments returns every registered deployment in creation order.
+// Deployments returns every live deployment in creation order.
 func (s *Service) Deployments() []*Deployment {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -222,21 +222,22 @@ func (s *Service) Deployments() []*Deployment {
 	return out
 }
 
+// forgetDeployment removes a closed deployment from the service table.
+func (s *Service) forgetDeployment(id string, d *Deployment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deployments[id] != d {
+		return
+	}
+	delete(s.deployments, id)
+	s.depOrder = removeFromOrder(s.depOrder, id)
+}
+
 // Undeploy drains a deployment (delivering every accepted request) and
 // removes it from the service's table, returning its final stats.
 func (s *Service) Undeploy(id string) (DeploymentStats, error) {
 	s.mu.Lock()
 	d, ok := s.deployments[id]
-	if ok {
-		delete(s.deployments, id)
-		kept := s.depOrder[:0]
-		for _, did := range s.depOrder {
-			if did != id {
-				kept = append(kept, did)
-			}
-		}
-		s.depOrder = kept
-	}
 	s.mu.Unlock()
 	if !ok {
 		return DeploymentStats{}, fmt.Errorf("homunculus: undeploy: no such deployment %q", id)

@@ -159,6 +159,42 @@ func TestDeployPipelineDirect(t *testing.T) {
 	}
 }
 
+// TestDeploymentCloseDeregisters is the regression test for the
+// leak where a Deployment closed directly (not via Service.Undeploy)
+// stayed registered in the service map and listed by Deployments()
+// forever: Close must deregister.
+func TestDeploymentCloseDeregisters(t *testing.T) {
+	svc, job := deployService(t)
+	dep, err := svc.Deploy(job.ID(), DeployOptions{MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := svc.Deploy(job.ID(), DeployOptions{MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.Deployment(dep.ID()); ok {
+		t.Fatal("directly closed deployment must be deregistered")
+	}
+	if all := svc.Deployments(); len(all) != 1 || all[0] != keep {
+		t.Fatalf("listing after direct close: %v", all)
+	}
+	// Closing is idempotent and Undeploy of the closed ID now misses.
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Undeploy(dep.ID()); err == nil {
+		t.Fatal("undeploy of a closed-and-deregistered deployment must error")
+	}
+	// The survivor is untouched.
+	if _, err := keep.Classify([]float64{1, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServiceCloseDrainsDeployments: Close must drain registered
 // deployments so accepted traffic is never lost at shutdown.
 func TestServiceCloseDrainsDeployments(t *testing.T) {

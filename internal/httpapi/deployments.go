@@ -202,6 +202,15 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	classes, dropped, err := d.ClassifyBatch(req.Features)
+	writeClassifyResponse(w, classes, dropped, err, len(req.Features))
+}
+
+// writeClassifyResponse maps a batch classify outcome to the wire: 409
+// when the target is draining, 429 with a Retry-After hint when the
+// whole batch was shed (nothing admitted — back off), 200 otherwise.
+// Partial shedding is a 200 with dropped > 0 and -1 placeholders —
+// expected behaviour under load, not an error.
+func writeClassifyResponse(w http.ResponseWriter, classes []int, dropped int, err error, batchLen int) {
 	resp := ClassifyResponse{Classes: classes, Dropped: dropped}
 	if err != nil {
 		resp.Error = err.Error()
@@ -209,9 +218,8 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, homunculus.ErrDeploymentClosed):
 		writeJSON(w, http.StatusConflict, resp)
-	case dropped == len(req.Features):
-		// Nothing was admitted: the whole batch was shed — tell the
-		// client to back off.
+	case dropped == batchLen:
+		writeRetryAfter(w)
 		writeJSON(w, http.StatusTooManyRequests, resp)
 	default:
 		writeJSON(w, http.StatusOK, resp)

@@ -14,7 +14,11 @@
 // Finished jobs can be promoted to live inference servers through the
 // /v1/deployments endpoints (deployments.go, docs/serving.md): batched
 // classification over the compiled model's quantized fast path, with
-// backpressure and per-deployment latency/throughput stats.
+// backpressure and per-deployment latency/throughput stats. The
+// versioned serving surface lives under /v1/endpoints (endpoints.go):
+// named routes with revisions, canary/shadow rollouts, promote, and
+// rollback — zero-downtime swaps over the same runtime. Every 429 the
+// API emits carries a Retry-After backoff hint.
 //
 // Dataset references resolve through the alchemy loader catalog;
 // RegisterBuiltinLoaders installs the bundled synthetic generators so a
@@ -196,6 +200,15 @@ func NewServer(svc *homunculus.Service) http.Handler {
 	mux.HandleFunc("POST /v1/deployments/{id}/classify", h.classify)
 	mux.HandleFunc("GET /v1/deployments/{id}/stats", h.deploymentStats)
 	mux.HandleFunc("DELETE /v1/deployments/{id}", h.undeploy)
+	mux.HandleFunc("POST /v1/endpoints", h.createEndpoint)
+	mux.HandleFunc("GET /v1/endpoints", h.listEndpoints)
+	mux.HandleFunc("GET /v1/endpoints/{name}", h.endpoint)
+	mux.HandleFunc("POST /v1/endpoints/{name}/rollout", h.rollout)
+	mux.HandleFunc("POST /v1/endpoints/{name}/promote", h.promote)
+	mux.HandleFunc("POST /v1/endpoints/{name}/rollback", h.rollback)
+	mux.HandleFunc("POST /v1/endpoints/{name}/classify", h.endpointClassify)
+	mux.HandleFunc("GET /v1/endpoints/{name}/stats", h.endpointStats)
+	mux.HandleFunc("DELETE /v1/endpoints/{name}", h.deleteEndpoint)
 	return mux
 }
 
@@ -210,7 +223,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		writeRetryAfter(w)
+	}
 	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// retryAfterSeconds is the backoff hint attached to every 429: both the
+// job queue and the classify intake shed in bursts that clear quickly,
+// so a short, fixed hint beats none at all.
+const retryAfterSeconds = "1"
+
+// writeRetryAfter marks a shed response with the standard backoff
+// header. Every 429 the API emits — job admission queue full, classify
+// batch fully shed — carries it.
+func writeRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
 }
 
 func (h *handler) submit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,623 @@
+package serve
+
+// Endpoint is the revisioned serving layer over the deployment Runtime:
+// a stable named route whose traffic can be moved between *revisions*
+// (each a full Runtime over one compiled model) without dropping a
+// request. This is what lets the compiler's continuous-recompilation
+// story (re-search as traffic drifts, then swap the data-plane model)
+// happen on live traffic: the routing table is an immutable value behind
+// an atomic.Pointer, so a rollout, promote, or rollback is one pointer
+// store — requests already routed finish on the revision that admitted
+// them, requests admitted afterwards see the new table, and nothing is
+// ever torn down while it still holds traffic (retired revisions stay
+// warm for instant rollback until the endpoint closes).
+//
+// Traffic splitting is deterministic: request N of the endpoint goes to
+// the canary iff splitmix64(N) mod 100 < CanaryPercent, so a fixed-seed
+// replay reproduces the exact same stable/canary partition on every run.
+// A shadow rollout mirrors traffic instead of splitting it: every
+// classified request is re-scored asynchronously on the shadow revision
+// and the (primary, shadow) class pair is tallied in a divergence
+// matrix, while the caller only ever sees the primary answer. The
+// steady-state classify path without a shadow stays allocation-free —
+// routing adds one atomic pointer load (plus one counter increment and a
+// hash while a canary is live) to the Runtime's pooled path.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ir"
+)
+
+var (
+	// ErrRolloutActive rejects a Rollout while another revision is
+	// already being rolled out — promote or roll back first.
+	ErrRolloutActive = errors.New("serve: a rollout is already in progress")
+	// ErrNoRollout rejects Promote when no rollout is in progress.
+	ErrNoRollout = errors.New("serve: no rollout in progress")
+	// ErrNoRollback rejects Rollback when there is neither a rollout to
+	// abort nor a previous stable revision to return to.
+	ErrNoRollback = errors.New("serve: no revision to roll back to")
+)
+
+// mirrorDepth bounds concurrent shadow mirrors: excess mirrors are shed
+// (counted in the divergence report) rather than queued behind a slow
+// shadow — the primary path must never wait on its shadow.
+const mirrorDepth = 64
+
+// splitmix64 is the traffic splitter's hash (the same finalizer the BO
+// forest uses for per-tree RNG seeding): it turns the endpoint's request
+// sequence number into a well-mixed word, so "CanaryPercent of traffic"
+// is an even, deterministic slice rather than a coarse modulus stripe.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Revision is one deployed model generation of an endpoint. Its Runtime
+// keeps serving (or stays warm, if retired) until the endpoint closes.
+type Revision struct {
+	// ID is the endpoint-local revision number, starting at 1.
+	ID int
+	// Created is when the revision was rolled out.
+	Created time.Time
+
+	rt *Runtime
+
+	// state and canaryPercent are display metadata guarded by the
+	// endpoint's mu; the hot path never reads them.
+	state         RevisionState
+	canaryPercent int
+}
+
+// Model returns the revision's compiled model.
+func (r *Revision) Model() *ir.Model { return r.rt.Model() }
+
+// Stats snapshots the revision's own serving metrics.
+func (r *Revision) Stats() Stats { return r.rt.Stats() }
+
+// RevisionState is a revision's place in the endpoint lifecycle.
+type RevisionState string
+
+const (
+	// RevStable is the revision serving the endpoint's main traffic.
+	RevStable RevisionState = "stable"
+	// RevCanary is a rollout receiving a weighted slice of traffic.
+	RevCanary RevisionState = "canary"
+	// RevShadow is a rollout scoring mirrored traffic off the record.
+	RevShadow RevisionState = "shadow"
+	// RevRetired no longer receives traffic; it stays warm for rollback
+	// until the endpoint closes.
+	RevRetired RevisionState = "retired"
+)
+
+// revTable is the endpoint's immutable routing state. Every lifecycle
+// operation builds a new table and publishes it with one atomic store;
+// the classify path loads it once per request and never blocks.
+type revTable struct {
+	stable        *Revision
+	canary        *Revision // non-nil during a canary rollout
+	canaryPercent uint64
+	shadow        *Revision   // non-nil during a shadow rollout
+	shadowCmp     *divergence // counters for the live shadow
+}
+
+// divergence tallies shadow-vs-primary outcomes for one shadow rollout.
+type divergence struct {
+	revision int
+	mirrored atomic.Uint64
+	shed     atomic.Uint64
+	errors   atomic.Uint64
+	agree    atomic.Uint64
+	disagree atomic.Uint64
+	// pairs is the flattened [primaryClasses x shadowClasses] confusion
+	// matrix of mirrored requests.
+	pairs         []atomic.Uint64
+	primaryStates int
+	shadowStates  int
+}
+
+func newDivergence(revision, primaryClasses, shadowClasses int) *divergence {
+	return &divergence{
+		revision:      revision,
+		pairs:         make([]atomic.Uint64, primaryClasses*shadowClasses),
+		primaryStates: primaryClasses,
+		shadowStates:  shadowClasses,
+	}
+}
+
+// record tallies one mirrored request once its shadow score arrives.
+func (d *divergence) record(primary, shadow int, err error) {
+	d.mirrored.Add(1)
+	if err != nil {
+		d.errors.Add(1)
+		return
+	}
+	if primary == shadow {
+		d.agree.Add(1)
+	} else {
+		d.disagree.Add(1)
+	}
+	if primary >= 0 && primary < d.primaryStates && shadow >= 0 && shadow < d.shadowStates {
+		d.pairs[primary*d.shadowStates+shadow].Add(1)
+	}
+}
+
+// DivergenceStats is the shadow comparison report of a rollout.
+type DivergenceStats struct {
+	// Revision is the shadow revision the report compares against.
+	Revision int
+	// Mirrored counts requests scored on the shadow; Shed counts mirrors
+	// dropped because the mirror pool was saturated (the primary path
+	// never waits); Errors counts shadow-side inference failures.
+	Mirrored, Shed, Errors uint64
+	// Agreed and Disagreed partition the successfully mirrored requests
+	// by whether the shadow matched the primary's class.
+	Agreed, Disagreed uint64
+	// Pairs[p][s] counts mirrored requests the primary classified p and
+	// the shadow classified s — the off-diagonal cells are exactly the
+	// per-class-pair disagreements.
+	Pairs [][]uint64
+}
+
+func (d *divergence) snapshot() *DivergenceStats {
+	out := &DivergenceStats{
+		Revision:  d.revision,
+		Mirrored:  d.mirrored.Load(),
+		Shed:      d.shed.Load(),
+		Errors:    d.errors.Load(),
+		Agreed:    d.agree.Load(),
+		Disagreed: d.disagree.Load(),
+		Pairs:     make([][]uint64, d.primaryStates),
+	}
+	for p := 0; p < d.primaryStates; p++ {
+		out.Pairs[p] = make([]uint64, d.shadowStates)
+		for s := 0; s < d.shadowStates; s++ {
+			out.Pairs[p][s] = d.pairs[p*d.shadowStates+s].Load()
+		}
+	}
+	return out
+}
+
+// RevisionStats is one revision's row in an endpoint stats snapshot.
+type RevisionStats struct {
+	ID      int
+	State   RevisionState
+	Created time.Time
+	// CanaryPercent is the traffic slice of a RevCanary revision.
+	CanaryPercent int
+	Stats         Stats
+}
+
+// EndpointStats is a point-in-time snapshot of an endpoint: the merged
+// serving metrics across every revision plus the per-revision breakdown
+// and the (current or most recent) shadow divergence report.
+type EndpointStats struct {
+	Name string
+	// Revisions lists every revision in rollout order with its own stats.
+	Revisions []RevisionStats
+	// Merged sums the counters and latency histograms of every revision;
+	// its quantiles are computed over the combined histogram and its
+	// throughput over the endpoint's uptime.
+	Merged Stats
+	// Shadow is the divergence report of the live shadow rollout, or the
+	// most recently finished one; nil if the endpoint never had one.
+	Shadow *DivergenceStats
+}
+
+// Endpoint is a stable named serving route over an ordered history of
+// revisions. All exported methods are safe for concurrent use; lifecycle
+// operations (Rollout/Promote/Rollback/Close) serialize on an internal
+// mutex while the classify path stays lock-free.
+type Endpoint struct {
+	name  string
+	opts  Options
+	start time.Time
+
+	table atomic.Pointer[revTable]
+	seq   atomic.Uint64
+
+	// mirrorSem bounds concurrent shadow mirrors; Close drains it by
+	// acquiring every slot.
+	mirrorSem chan struct{}
+
+	mu         sync.Mutex
+	revs       []*Revision
+	prevStable []*Revision // promote history, for rollback
+	lastShadow *divergence
+	closed     bool
+}
+
+// NewEndpoint starts an endpoint serving model as revision 1. opts are
+// the endpoint's default runtime bounds; each rollout may override them.
+func NewEndpoint(name string, model *ir.Model, opts Options) (*Endpoint, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: endpoint needs a name")
+	}
+	o := opts.withDefaults()
+	rt, err := New(model, o)
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		name:      name,
+		opts:      o,
+		start:     time.Now(),
+		mirrorSem: make(chan struct{}, mirrorDepth),
+	}
+	rev := &Revision{ID: 1, Created: time.Now(), rt: rt, state: RevStable}
+	e.revs = []*Revision{rev}
+	e.table.Store(&revTable{stable: rev})
+	return e, nil
+}
+
+// Name returns the endpoint's stable route name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Options returns the endpoint's default (defaulted) runtime bounds.
+func (e *Endpoint) Options() Options { return e.opts }
+
+// Model returns the current stable revision's model (nil after Close).
+func (e *Endpoint) Model() *ir.Model {
+	if t := e.table.Load(); t != nil {
+		return t.stable.rt.Model()
+	}
+	return nil
+}
+
+// RolloutConfig shapes how a new revision receives traffic.
+type RolloutConfig struct {
+	// CanaryPercent routes this deterministic share of requests (0-100)
+	// to the new revision. 0 deploys the revision warm but routes nothing
+	// to it until Promote.
+	CanaryPercent int
+	// Shadow mirrors every classified request to the new revision
+	// off the record instead of splitting traffic: the caller always
+	// receives the stable answer while the divergence counters compare.
+	// Mutually exclusive with CanaryPercent.
+	Shadow bool
+	// Opts overrides the new revision's runtime bounds; zero fields
+	// inherit the endpoint's defaults.
+	Opts Options
+}
+
+// Rollout starts serving model as a new revision behind the configured
+// canary split or shadow mirror. Only one rollout may be in progress.
+func (e *Endpoint) Rollout(model *ir.Model, cfg RolloutConfig) (*Revision, error) {
+	if cfg.CanaryPercent < 0 || cfg.CanaryPercent > 100 {
+		return nil, fmt.Errorf("serve: canary percent %d out of [0,100]", cfg.CanaryPercent)
+	}
+	if cfg.Shadow && cfg.CanaryPercent != 0 {
+		return nil, fmt.Errorf("serve: shadow and canary splits are mutually exclusive")
+	}
+	o := cfg.Opts
+	if o.Shards <= 0 {
+		o.Shards = e.opts.Shards
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = e.opts.BatchSize
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = e.opts.MaxDelay
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = e.opts.QueueDepth
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	cur := e.table.Load()
+	if cur.canary != nil || cur.shadow != nil {
+		return nil, ErrRolloutActive
+	}
+	// The new revision must accept the endpoint's live traffic: a
+	// feature-width mismatch would otherwise install fine and then fail
+	// on every canary-routed (or mirrored) request.
+	if model != nil && model.Inputs != cur.stable.rt.Model().Inputs {
+		return nil, fmt.Errorf("serve: rollout model wants %d features, endpoint %q serves %d — incompatible revision",
+			model.Inputs, e.name, cur.stable.rt.Model().Inputs)
+	}
+	// Start the runtime inside the lock: rollouts are rare and the
+	// model-validating constructor is the operation worth serializing.
+	rt, err := New(model, o)
+	if err != nil {
+		return nil, err
+	}
+	rev := &Revision{ID: len(e.revs) + 1, Created: time.Now(), rt: rt}
+	e.revs = append(e.revs, rev)
+	next := &revTable{stable: cur.stable}
+	if cfg.Shadow {
+		rev.state = RevShadow
+		next.shadow = rev
+		next.shadowCmp = newDivergence(rev.ID, cur.stable.rt.Model().Outputs, model.Outputs)
+		e.lastShadow = next.shadowCmp
+	} else {
+		rev.state = RevCanary
+		rev.canaryPercent = cfg.CanaryPercent
+		next.canary = rev
+		next.canaryPercent = uint64(cfg.CanaryPercent)
+	}
+	e.table.Store(next)
+	return rev, nil
+}
+
+// Promote makes the in-progress rollout (canary or shadow) the stable
+// revision: one atomic table swap, so every request admitted after
+// Promote returns is served by the promoted revision while requests
+// already in flight complete on the revision that admitted them. The
+// previous stable retires warm and is what Rollback returns to.
+func (e *Endpoint) Promote() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	cur := e.table.Load()
+	next := cur.canary
+	if next == nil {
+		next = cur.shadow
+	}
+	if next == nil {
+		return ErrNoRollout
+	}
+	cur.stable.state = RevRetired
+	e.prevStable = append(e.prevStable, cur.stable)
+	next.state = RevStable
+	next.canaryPercent = 0
+	e.table.Store(&revTable{stable: next})
+	return nil
+}
+
+// Rollback reverses the most recent lifecycle step: with a rollout in
+// progress it aborts it (the rolled-out revision retires, the stable
+// keeps all traffic); otherwise it returns all traffic to the previous
+// stable revision, which has stayed warm since its demotion.
+func (e *Endpoint) Rollback() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	cur := e.table.Load()
+	if rolled := cur.canary; rolled != nil {
+		rolled.state = RevRetired
+		rolled.canaryPercent = 0
+		e.table.Store(&revTable{stable: cur.stable})
+		return nil
+	}
+	if rolled := cur.shadow; rolled != nil {
+		rolled.state = RevRetired
+		e.table.Store(&revTable{stable: cur.stable})
+		return nil
+	}
+	if len(e.prevStable) == 0 {
+		return ErrNoRollback
+	}
+	prev := e.prevStable[len(e.prevStable)-1]
+	e.prevStable = e.prevStable[:len(e.prevStable)-1]
+	cur.stable.state = RevRetired
+	prev.state = RevStable
+	e.table.Store(&revTable{stable: prev})
+	return nil
+}
+
+// route picks the serving revision for one request. With a canary live,
+// the endpoint's request sequence number is hashed through splitmix64,
+// so the split is even, uncorrelated with request content, and exactly
+// reproducible across fixed-seed replays.
+func (t *revTable) route(e *Endpoint) *Runtime {
+	if t.canary != nil && splitmix64(e.seq.Add(1)-1)%100 < t.canaryPercent {
+		return t.canary.rt
+	}
+	return t.stable.rt
+}
+
+// Classify routes one feature vector through the endpoint's current
+// revision table and blocks until its class is computed. Sheds with
+// ErrOverloaded under backpressure and fails with ErrClosed after Close.
+func (e *Endpoint) Classify(x []float64) (int, error) {
+	t := e.table.Load()
+	if t == nil {
+		return 0, ErrClosed
+	}
+	class, err := t.route(e).Classify(x)
+	if t.shadow != nil && err == nil {
+		e.mirror(t, x, class)
+	}
+	return class, err
+}
+
+// ClassifyBatch routes every vector of xs (each request is split
+// independently, exactly as Classify would) and waits for all results;
+// classes[i] is -1 for shed or failed requests.
+func (e *Endpoint) ClassifyBatch(xs [][]float64) (classes []int, dropped int, err error) {
+	t := e.table.Load()
+	if t == nil {
+		classes = make([]int, len(xs))
+		for i := range classes {
+			classes[i] = -1
+		}
+		return classes, len(xs), ErrClosed
+	}
+	if t.canary == nil {
+		classes, dropped, err = t.stable.rt.ClassifyBatch(xs)
+	} else {
+		// Split the batch by per-request routing, classify the two
+		// sub-batches concurrently, then reassemble in input order.
+		toCanary := make([]bool, len(xs))
+		var stableXs, canaryXs [][]float64
+		for i, x := range xs {
+			if t.route(e) == t.canary.rt {
+				toCanary[i] = true
+				canaryXs = append(canaryXs, x)
+			} else {
+				stableXs = append(stableXs, x)
+			}
+		}
+		var (
+			wg            sync.WaitGroup
+			canaryRes     []int
+			canaryDropped int
+			canaryErr     error
+			stableRes     []int
+			stableDropped int
+			stableErr     error
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			canaryRes, canaryDropped, canaryErr = t.canary.rt.ClassifyBatch(canaryXs)
+		}()
+		stableRes, stableDropped, stableErr = t.stable.rt.ClassifyBatch(stableXs)
+		wg.Wait()
+		classes = make([]int, len(xs))
+		si, ci := 0, 0
+		for i := range xs {
+			if toCanary[i] {
+				classes[i] = canaryRes[ci]
+				ci++
+			} else {
+				classes[i] = stableRes[si]
+				si++
+			}
+		}
+		dropped = stableDropped + canaryDropped
+		err = stableErr
+		if err == nil {
+			err = canaryErr
+		}
+	}
+	if t.shadow != nil {
+		for i, c := range classes {
+			if c >= 0 {
+				e.mirror(t, xs[i], c)
+			}
+		}
+	}
+	return classes, dropped, err
+}
+
+// mirror re-scores one classified request on the shadow revision without
+// blocking the caller: the mirror runs on its own goroutine under a
+// bounded semaphore, and saturation sheds the mirror (counted) rather
+// than delaying the primary path.
+func (e *Endpoint) mirror(t *revTable, x []float64, primary int) {
+	select {
+	case e.mirrorSem <- struct{}{}:
+		xc := append(make([]float64, 0, len(x)), x...)
+		d, rt := t.shadowCmp, t.shadow.rt
+		go func() {
+			defer func() { <-e.mirrorSem }()
+			class, err := rt.Classify(xc)
+			d.record(primary, class, err)
+		}()
+	default:
+		t.shadowCmp.shed.Add(1)
+	}
+}
+
+// Revisions lists every revision in rollout order.
+func (e *Endpoint) Revisions() []*Revision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Revision(nil), e.revs...)
+}
+
+// RevisionInfos lists every revision's lifecycle metadata (ID, state,
+// traffic share) without snapshotting the runtimes — the cheap form for
+// listings that do not need counters (Stats is left zero).
+func (e *Endpoint) RevisionInfos() []RevisionStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RevisionStats, 0, len(e.revs))
+	for _, r := range e.revs {
+		out = append(out, RevisionStats{
+			ID: r.ID, State: r.state, Created: r.Created, CanaryPercent: r.canaryPercent,
+		})
+	}
+	return out
+}
+
+// View reports the endpoint's current routing: the stable revision ID,
+// the canary (0 if none) with its traffic share, and the shadow (0 if
+// none). All zeros after Close.
+func (e *Endpoint) View() (stable, canary, canaryPercent, shadow int) {
+	t := e.table.Load()
+	if t == nil {
+		return 0, 0, 0, 0
+	}
+	stable = t.stable.ID
+	if t.canary != nil {
+		canary, canaryPercent = t.canary.ID, int(t.canaryPercent)
+	}
+	if t.shadow != nil {
+		shadow = t.shadow.ID
+	}
+	return stable, canary, canaryPercent, shadow
+}
+
+// Stats snapshots the endpoint: per-revision metrics, the merged view
+// (summed counters and histograms, quantiles over the combined
+// histogram), and the shadow divergence report.
+func (e *Endpoint) Stats() EndpointStats {
+	e.mu.Lock()
+	revs := append([]*Revision(nil), e.revs...)
+	states := make([]RevisionState, len(revs))
+	pcts := make([]int, len(revs))
+	for i, r := range revs {
+		states[i], pcts[i] = r.state, r.canaryPercent
+	}
+	shadow := e.lastShadow
+	e.mu.Unlock()
+
+	out := EndpointStats{Name: e.name}
+	var acc statsAccum
+	for i, r := range revs {
+		st := r.rt.Stats()
+		out.Revisions = append(out.Revisions, RevisionStats{
+			ID: r.ID, State: states[i], Created: r.Created,
+			CanaryPercent: pcts[i], Stats: st,
+		})
+		r.rt.stats.accumulate(&acc)
+	}
+	out.Merged = acc.snapshot(time.Since(e.start))
+	if shadow != nil {
+		out.Shadow = shadow.snapshot()
+	}
+	return out
+}
+
+// Close stops intake across every revision and drains: accepted requests
+// are classified and delivered, in-flight shadow mirrors finish scoring,
+// then all revision runtimes exit. Idempotent.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.table.Store(nil)
+	// Revision states are left as the last live routing showed them, so
+	// the post-drain stats still tell which revision ended up stable.
+	revs := append([]*Revision(nil), e.revs...)
+	e.mu.Unlock()
+	for _, r := range revs {
+		_ = r.rt.Close()
+	}
+	// Wait out in-flight shadow mirrors by acquiring every semaphore
+	// slot; new mirrors cannot start (the table is gone).
+	for i := 0; i < cap(e.mirrorSem); i++ {
+		e.mirrorSem <- struct{}{}
+	}
+	return nil
+}

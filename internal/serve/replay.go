@@ -8,6 +8,7 @@ package serve
 // measures the deployment's real admission behaviour under offered load.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,10 +25,11 @@ type Classifier interface {
 
 // ReplayResult summarizes one replayed trace.
 type ReplayResult struct {
-	// Requests is the trace length; Delivered the classifications that
-	// came back; Dropped the requests shed by backpressure; Errors the
-	// inference failures.
-	Requests, Delivered, Dropped, Errors int
+	// Requests is the trace length; Issued the requests actually sent
+	// (== Requests unless the replay was interrupted); Delivered the
+	// classifications that came back; Dropped the requests shed by
+	// backpressure; Errors the inference failures.
+	Requests, Issued, Delivered, Dropped, Errors int
 	// Correct counts delivered classifications matching the trace label
 	// (0 when the trace carries no labels).
 	Correct int
@@ -45,11 +47,25 @@ type ReplayResult struct {
 // be parallel to xs. Requests shed with ErrOverloaded are counted and
 // skipped; any other classification error counts in Errors.
 func Replay(c Classifier, xs [][]float64, labels []int, clients int) (ReplayResult, error) {
+	return ReplayRun(context.Background(), c, xs, labels, clients, nil)
+}
+
+// ReplayRun is Replay with interruption and recording: when ctx is
+// cancelled the clients stop issuing new requests (requests already
+// issued still deliver — graceful drain, not abandonment), and when
+// record is non-nil (len(xs), pre-filled by the caller) the class of
+// sample i is stored at record[i] (-1 for shed or failed requests) so a
+// fixed-seed replay's output can be compared byte-for-byte across
+// serving paths.
+func ReplayRun(ctx context.Context, c Classifier, xs [][]float64, labels []int, clients int, record []int) (ReplayResult, error) {
 	if c == nil {
 		return ReplayResult{}, fmt.Errorf("serve: replay needs a classifier")
 	}
 	if labels != nil && len(labels) != len(xs) {
 		return ReplayResult{}, fmt.Errorf("serve: replay trace has %d samples but %d labels", len(xs), len(labels))
+	}
+	if record != nil && len(record) != len(xs) {
+		return ReplayResult{}, fmt.Errorf("serve: replay trace has %d samples but %d record slots", len(xs), len(record))
 	}
 	if clients < 1 {
 		clients = 1
@@ -58,7 +74,7 @@ func Replay(c Classifier, xs [][]float64, labels []int, clients int) (ReplayResu
 		clients = len(xs)
 	}
 	var cursor atomic.Int64
-	var delivered, dropped, errs, correct atomic.Int64
+	var issued, delivered, dropped, errs, correct atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(clients)
@@ -66,18 +82,31 @@ func Replay(c Classifier, xs [][]float64, labels []int, clients int) (ReplayResu
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1) - 1)
 				if i >= len(xs) {
 					return
 				}
+				issued.Add(1)
 				class, err := c.Classify(xs[i])
 				switch {
 				case errors.Is(err, ErrOverloaded):
 					dropped.Add(1)
+					if record != nil {
+						record[i] = -1
+					}
 				case err != nil:
 					errs.Add(1)
+					if record != nil {
+						record[i] = -1
+					}
 				default:
 					delivered.Add(1)
+					if record != nil {
+						record[i] = class
+					}
 					if labels != nil && class == labels[i] {
 						correct.Add(1)
 					}
@@ -88,6 +117,7 @@ func Replay(c Classifier, xs [][]float64, labels []int, clients int) (ReplayResu
 	wg.Wait()
 	res := ReplayResult{
 		Requests:  len(xs),
+		Issued:    int(issued.Load()),
 		Delivered: int(delivered.Load()),
 		Dropped:   int(dropped.Load()),
 		Errors:    int(errs.Load()),

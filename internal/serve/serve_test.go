@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -364,5 +366,77 @@ func TestReplay(t *testing.T) {
 	}
 	if _, err := Replay(rt, xs, labels[:3], 2); err == nil {
 		t.Fatal("mismatched labels must error")
+	}
+	if _, err := ReplayRun(context.Background(), rt, xs, labels, 2, make([]int, 3)); err == nil {
+		t.Fatal("mismatched record must error")
+	}
+}
+
+// TestReplayRunRecordsClasses: the record array carries the class of
+// every issued sample, indexed by trace position.
+func TestReplayRunRecordsClasses(t *testing.T) {
+	rt := mustRuntime(t, stepModel(), Options{BatchSize: 8, MaxDelay: -1})
+	xs := [][]float64{{1, 0}, {-1, 0}, {1, 0}, {-1, 0}}
+	record := []int{-2, -2, -2, -2}
+	res, err := ReplayRun(context.Background(), rt, xs, nil, 2, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 4 || res.Delivered != 4 {
+		t.Fatalf("replay result: %+v", res)
+	}
+	want := []int{1, 0, 1, 0}
+	for i, c := range record {
+		if c != want[i] {
+			t.Fatalf("record %v, want %v", record, want)
+		}
+	}
+}
+
+// TestReplayRunInterrupted covers graceful drain: cancelling the context
+// stops the clients from issuing, but every request already issued is
+// still delivered — the replayer never abandons accepted traffic.
+func TestReplayRunInterrupted(t *testing.T) {
+	release := make(chan struct{})
+	var gate sync.Once
+	var issued atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := mustRuntime(t, stepModel(), Options{
+		Shards: 1, BatchSize: 1, MaxDelay: -1, QueueDepth: 64,
+		testHook: func() {
+			// Interrupt the replay while requests are in flight, then
+			// let the shard keep serving.
+			if issued.Add(1) == 3 {
+				cancel()
+			}
+			gate.Do(func() { close(release) })
+			<-release
+		},
+	})
+	defer cancel()
+	const n = 10000
+	xs := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range xs {
+		xs[i] = []float64{1, 0}
+		labels[i] = 1
+	}
+	record := make([]int, n)
+	res, err := ReplayRun(ctx, rt, xs, labels, 4, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued >= n {
+		t.Fatalf("interrupt must stop issuance early: %+v", res)
+	}
+	if res.Delivered+res.Dropped+res.Errors != res.Issued {
+		t.Fatalf("issued requests must all be accounted: %+v", res)
+	}
+	st := rt.Stats()
+	if st.Accepted != st.Completed {
+		t.Fatalf("accepted requests must drain: %+v", st)
+	}
+	if uint64(res.Delivered) != st.Completed {
+		t.Fatalf("delivered %d vs completed %d", res.Delivered, st.Completed)
 	}
 }

@@ -99,34 +99,73 @@ type Stats struct {
 }
 
 func (s *stats) snapshot() Stats {
-	out := Stats{
-		Accepted:        s.accepted.Load(),
-		Completed:       s.completed.Load(),
-		Dropped:         s.dropped.Load(),
-		Errors:          s.errors.Load(),
-		Batches:         s.batches.Load(),
-		FullFlushes:     s.fullFlushes.Load(),
-		DeadlineFlushes: s.deadlineFlushes.Load(),
-		Uptime:          time.Since(s.start),
-		PerClass:        make([]uint64, len(s.perClass)),
+	var acc statsAccum
+	s.accumulate(&acc)
+	return acc.snapshot(time.Since(s.start))
+}
+
+// statsAccum sums raw counters and histograms across one or more stats
+// instances, so an endpoint's merged view computes its quantiles over
+// the combined latency histogram instead of averaging per-revision
+// quantiles (which would be meaningless).
+type statsAccum struct {
+	accepted, completed, dropped, errors           uint64
+	batches, batched, fullFlushes, deadlineFlushes uint64
+	perClass                                       []uint64
+	latency                                        [latBuckets]uint64
+}
+
+// accumulate folds this stats instance's live counters into acc.
+func (s *stats) accumulate(acc *statsAccum) {
+	acc.accepted += s.accepted.Load()
+	acc.completed += s.completed.Load()
+	acc.dropped += s.dropped.Load()
+	acc.errors += s.errors.Load()
+	acc.batches += s.batches.Load()
+	acc.batched += s.batched.Load()
+	acc.fullFlushes += s.fullFlushes.Load()
+	acc.deadlineFlushes += s.deadlineFlushes.Load()
+	if len(s.perClass) > len(acc.perClass) {
+		grown := make([]uint64, len(s.perClass))
+		copy(grown, acc.perClass)
+		acc.perClass = grown
 	}
 	for i := range s.perClass {
-		out.PerClass[i] = s.perClass[i].Load()
+		acc.perClass[i] += s.perClass[i].Load()
+	}
+	for i := range s.latency {
+		acc.latency[i] += s.latency[i].Load()
+	}
+}
+
+// snapshot renders the accumulated counters as a Stats over uptime.
+func (acc *statsAccum) snapshot(uptime time.Duration) Stats {
+	out := Stats{
+		Accepted:        acc.accepted,
+		Completed:       acc.completed,
+		Dropped:         acc.dropped,
+		Errors:          acc.errors,
+		Batches:         acc.batches,
+		FullFlushes:     acc.fullFlushes,
+		DeadlineFlushes: acc.deadlineFlushes,
+		Uptime:          uptime,
+		PerClass:        append([]uint64(nil), acc.perClass...),
+	}
+	if out.PerClass == nil {
+		out.PerClass = []uint64{}
 	}
 	if out.Batches > 0 {
-		out.MeanBatch = float64(s.batched.Load()) / float64(out.Batches)
+		out.MeanBatch = float64(acc.batched) / float64(out.Batches)
 	}
 	if out.Uptime > 0 {
 		out.Throughput = float64(out.Completed) / out.Uptime.Seconds()
 	}
-	var hist [latBuckets]uint64
 	var total uint64
-	for i := range s.latency {
-		hist[i] = s.latency[i].Load()
-		total += hist[i]
+	for _, c := range acc.latency {
+		total += c
 	}
-	out.P50 = quantile(hist[:], total, 0.50)
-	out.P99 = quantile(hist[:], total, 0.99)
+	out.P50 = quantile(acc.latency[:], total, 0.50)
+	out.P99 = quantile(acc.latency[:], total, 0.99)
 	return out
 }
 

@@ -91,6 +91,11 @@ type Service struct {
 	deployments map[string]*Deployment
 	depOrder    []string
 
+	// Endpoints: named serving routes with versioned revisions
+	// (endpoint.go). Registered in creation order, drained on Close.
+	endpoints map[string]*Endpoint
+	epOrder   []string
+
 	// fingerprints memoizes per-model dataset fingerprints so repeated
 	// submissions of the same *Model (sweeps, resubmitted specs) do not
 	// re-Load anonymous datasets just to hash them.
@@ -106,6 +111,7 @@ func New(opts ServiceOptions) *Service {
 		queue:        jobqueue.New(o.MaxInFlight, o.QueueDepth),
 		jobs:         map[string]*Job{},
 		deployments:  map[string]*Deployment{},
+		endpoints:    map[string]*Endpoint{},
 		fingerprints: map[*alchemy.Model]string{},
 	}
 	if o.CacheEntries > 0 {
@@ -180,6 +186,19 @@ func (s *Service) Submit(ctx context.Context, p *alchemy.Platform, opts ...Optio
 	return j, nil
 }
 
+// removeFromOrder compacts a registration-order slice in place, keeping
+// every entry except id — the shared removal step of the deployment and
+// endpoint registries. Caller holds s.mu.
+func removeFromOrder(order []string, id string) []string {
+	kept := order[:0]
+	for _, v := range order {
+		if v != id {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
 // pruneLocked forgets the oldest terminal jobs once the retention cap is
 // exceeded. Caller holds s.mu.
 func (s *Service) pruneLocked() {
@@ -232,8 +251,8 @@ func (s *Service) Stats() (queued, running int) {
 // Close stops admission, fails every still-queued job with an error
 // wrapping ErrServiceClosed, and drains: it blocks until running
 // compilations finish (they are not cancelled — cancel jobs explicitly
-// for a hard stop) and until every deployment delivers its accepted
-// requests. Idempotent.
+// for a hard stop) and until every deployment and endpoint delivers its
+// accepted requests. Idempotent.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -241,10 +260,17 @@ func (s *Service) Close() error {
 	for _, id := range s.depOrder {
 		deps = append(deps, s.deployments[id])
 	}
+	eps := make([]*Endpoint, 0, len(s.epOrder))
+	for _, name := range s.epOrder {
+		eps = append(eps, s.endpoints[name])
+	}
 	s.mu.Unlock()
 	s.queue.Close()
 	for _, d := range deps {
 		_ = d.Close()
+	}
+	for _, e := range eps {
+		_ = e.Close()
 	}
 	return nil
 }
