@@ -779,3 +779,56 @@ func BenchmarkServiceSubmit(b *testing.B) {
 	}
 	pin.Cancel()
 }
+
+// BenchmarkServiceSubmitDurable proves the journal does not break the
+// admission budget: with a StateDir set, Submit additionally writes one
+// unsynced journal record (the fsync is reserved for terminal
+// transitions), and its mean latency must stay under the same 1ms
+// budget as the in-memory path. Only the Submit calls are timed; the
+// per-iteration Cancel (which fsyncs the terminal record) runs off the
+// clock.
+func BenchmarkServiceSubmitDurable(b *testing.B) {
+	if !alchemy.LoaderRegistered("bench_durable_ds") {
+		alchemy.RegisterLoader("bench_durable_ds", sampleLoader(50))
+	}
+	svc, err := Open(ServiceOptions{MaxInFlight: 1, QueueDepth: -1, RetainJobs: 256, StateDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	release := make(chan struct{})
+	defer close(release)
+	blockLoader := alchemy.DataLoaderFunc(func() (*alchemy.Data, error) {
+		<-release
+		return nil, fmt.Errorf("bench blocker")
+	})
+	blocker := alchemy.Taurus()
+	blocker.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "pin", Algorithms: []string{"dtree"}, DataLoader: blockLoader}))
+	pin, err := svc.Submit(context.Background(), blocker, WithSearchConfig(fastConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	p := alchemy.Taurus()
+	p.Schedule(alchemy.NewModel(alchemy.ModelSpec{
+		Name: "bench", Algorithms: []string{"dtree"},
+		DataLoader: alchemy.NamedLoader("bench_durable_ds")}))
+	cfg := fastConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		b.StartTimer()
+		job, err := svc.Submit(context.Background(), p, WithSearchConfig(cfg))
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		job.Cancel()
+	}
+	if mean := b.Elapsed() / time.Duration(b.N); mean > time.Millisecond {
+		b.Fatalf("durable Submit mean latency %v exceeds the 1ms budget", mean)
+	}
+	pin.Cancel()
+}

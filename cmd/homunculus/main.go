@@ -11,6 +11,8 @@
 //	homunculus -spec pipeline.json -deploy         # serve + replay a trace
 //	homunculus -spec pipeline.json -replay 5000    # replay 5000 samples
 //	homunculus -serve :8077                        # run as a daemon
+//	homunculus -spec pipeline.json -remote http://127.0.0.1:8077
+//	                                               # compile on a daemon
 //
 //	# serve behind a named endpoint and drive a live canary rollout
 //	# (recompiled with seed+1) halfway through the replay, promoting at
@@ -24,7 +26,11 @@
 // on stderr, since per-target compilations interleave). -timeout cancels
 // compilation through the pipeline's context plumbing. -serve skips spec
 // compilation entirely and exposes the compilation service over HTTP —
-// the same daemon as cmd/homunculusd (see docs/api.md).
+// the same daemon as cmd/homunculusd (see docs/api.md). -remote is the
+// client side of that daemon: the spec is submitted over the retrying
+// HTTP client (backoff + jitter, Retry-After honored), polled to
+// completion, and the generated code lands in -out as usual; the
+// dataset must be a catalog name the daemon can resolve.
 //
 // -deploy promotes the freshly compiled pipeline into an in-process
 // deployment runtime (micro-batched, sharded quantized inference — see
@@ -202,6 +208,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print pipeline stage events to stderr")
 	serveAddr := flag.String("serve", "", "run as a compilation daemon on this address (e.g. :8077) instead of compiling a spec")
+	remote := flag.String("remote", "", "submit the spec to a running daemon at this base URL (e.g. http://127.0.0.1:8077) instead of compiling locally")
 	deploy := flag.Bool("deploy", false, "deploy the compiled pipeline in-process and replay a synthetic trace through it")
 	replay := flag.Int("replay", 0, "replay this many trace samples through the deployment (implies -deploy; 0 = one pass over the natural trace)")
 	clients := flag.Int("clients", 0, "concurrent replay clients (default GOMAXPROCS)")
@@ -248,6 +255,15 @@ func main() {
 	// of dying mid-batch; a compilation in progress aborts cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *remote != "" {
+		if replayCfg.deploy {
+			log.Fatalf("homunculus: -deploy/-replay/-endpoint serve in-process; they are not available with -remote")
+		}
+		if err := runRemote(ctx, *specPath, *outDir, *platform, *remote, *timeout); err != nil {
+			log.Fatalf("homunculus: %v", err)
+		}
+		return
+	}
 	if err := run(ctx, *specPath, *outDir, *platform, *timeout); err != nil {
 		log.Fatalf("homunculus: %v", err)
 	}
@@ -263,6 +279,114 @@ func runServe(addr string) error {
 	log.Printf("homunculus: serving on %s (max in-flight %d, queue depth %d, cache %d)",
 		addr, opts.MaxInFlight, opts.QueueDepth, opts.CacheEntries)
 	return httpapi.ListenAndServe(addr, svc)
+}
+
+// runRemote ships the spec to a running daemon over the retrying HTTP
+// client (capped backoff + jitter, Retry-After honored — the submission
+// rides through admission sheds and daemon restarts), polls the job to
+// a terminal state, and writes the generated code artifact locally.
+// Remote submission carries the spec's dataset as a catalog name the
+// daemon resolves ("nslkdd", "iottc", "botnet"); CSV files and per-spec
+// samples/seed overrides only exist on this machine and are rejected.
+func runRemote(ctx context.Context, specPath, outDir, platformOverride, baseURL string, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		return fmt.Errorf("read spec: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parse spec: %w", err)
+	}
+	if spec.Name == "" {
+		return fmt.Errorf("spec needs a name")
+	}
+	if platformOverride != "" {
+		spec.Platform.Kind = platformOverride
+	}
+	switch {
+	case spec.Platform.Kind == "all":
+		return fmt.Errorf("-remote submits a single-target compilation, not -platform all")
+	case spec.Data.TrainCSV != "" || spec.Data.TestCSV != "":
+		return fmt.Errorf("-remote cannot ship CSV files; use a catalog dataset (nslkdd, iottc, botnet)")
+	case spec.Data.Generator == "":
+		return fmt.Errorf("-remote needs data.generator (a dataset name the daemon resolves)")
+	case spec.Data.Samples != 0 || spec.Data.Seed != 0:
+		return fmt.Errorf("-remote submits dataset %q at the daemon's registered configuration; drop data.samples/data.seed", spec.Data.Generator)
+	}
+
+	// Build the same declaration a local run would, then ship its wire
+	// form — the daemon re-resolves the dataset name through its own
+	// catalog.
+	model := alchemy.NewModel(alchemy.ModelSpec{
+		Name:               spec.Name,
+		OptimizationMetric: orDefault(spec.Metric, "f1"),
+		Algorithms:         spec.Algorithms,
+		DataLoader:         alchemy.NamedLoader(spec.Data.Generator),
+	})
+	platform, err := buildPlatform(spec.Platform)
+	if err != nil {
+		return err
+	}
+	platform.Schedule(model)
+	doc, err := alchemy.MarshalPlatform(platform)
+	if err != nil {
+		return err
+	}
+	req := httpapi.SubmitRequest{Search: &httpapi.SearchJSON{
+		Init:       spec.Search.Init,
+		Iterations: spec.Search.Iterations,
+		Epochs:     spec.Search.Epochs,
+		MaxLayers:  spec.Search.MaxLayers,
+		MaxNeurons: spec.Search.MaxNeurons,
+		Seed:       spec.Search.Seed,
+	}}
+	if err := json.Unmarshal(doc, &req.Platform); err != nil {
+		return err
+	}
+
+	client := httpapi.NewClient(baseURL)
+	job, err := client.SubmitJob(ctx, req)
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", baseURL, err)
+	}
+	fmt.Printf("submitted %s to %s (state %s)\n", job.ID, baseURL, job.State)
+	final, err := client.WaitJob(ctx, job.ID, 500*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("wait for %s: %w", job.ID, err)
+	}
+	if final.State != homunculus.JobDone {
+		return fmt.Errorf("job %s ended %s: %s", job.ID, final.State, final.Error)
+	}
+	full, err := client.Job(ctx, job.ID, true)
+	if err != nil {
+		return err
+	}
+	if full.Result == nil || len(full.Result.Apps) == 0 {
+		return fmt.Errorf("job %s finished without a result", job.ID)
+	}
+	app := full.Result.Apps[0]
+	if app.Code == "" {
+		return fmt.Errorf("remote compilation produced no deployable pipeline (algorithm %q, feasible=%v)", app.Algorithm, app.Feasible)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	codePath := filepath.Join(outDir, spec.Name+backend.CodeExt(full.Result.Platform))
+	if err := os.WriteFile(codePath, []byte(app.Code), 0o644); err != nil {
+		return fmt.Errorf("write code: %w", err)
+	}
+	fmt.Printf("pipeline %q compiled remotely for %s\n", spec.Name, full.Result.Platform)
+	fmt.Printf("  algorithm:  %s\n", app.Algorithm)
+	fmt.Printf("  metric:     %.4f (%s, quantized)\n", app.Metric, orDefault(spec.Metric, "f1"))
+	fmt.Printf("  cache hit:  %v\n", full.CacheHit)
+	fmt.Printf("  feasible:   %v\n", app.Feasible)
+	fmt.Printf("  code:       %s\n", codePath)
+	return nil
 }
 
 // printEvent renders one platform-tagged progress line.
@@ -496,9 +620,13 @@ func runReplay(ctx context.Context, spec Spec, loader alchemy.DataLoader, pipe *
 	return runFlatReplay(ctx, svc, pipe, xs, labels, clients)
 }
 
-// runFlatReplay is the single-revision deployment path (PR4-compatible).
+// runFlatReplay is the single-revision path. It used to go through the
+// deprecated Service.Deploy; it now serves the same runtime behind an
+// anonymous single-revision endpoint (named after the replay itself),
+// keeping the flat report shape — lastReplayReport.endpoint stays nil —
+// so the byte-identity tests keep comparing the two serving paths.
 func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculus.Pipeline, xs [][]float64, labels []int, clients int) error {
-	dep, err := svc.DeployPipeline(pipe, homunculus.DeployOptions{
+	ep, err := svc.CreateEndpointPipeline("replay", pipe, homunculus.EndpointOptions{
 		Shards:    replayCfg.shards,
 		BatchSize: replayCfg.batch,
 		MaxDelay:  replayCfg.delay,
@@ -506,11 +634,11 @@ func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculu
 	if err != nil {
 		return err
 	}
-	cfg := dep.Config()
-	fmt.Printf("deployment %s: app=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
-		dep.ID(), dep.App(), dep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
+	cfg := ep.Config()
+	fmt.Printf("deployment %q: platform=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
+		ep.Name(), ep.Platform(), ep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
 	record := newRecord(len(xs))
-	res, err := serve.ReplayRun(ctx, dep, xs, labels, clients, record)
+	res, err := serve.ReplayRun(ctx, ep, xs, labels, clients, record)
 	if err != nil {
 		return err
 	}
@@ -518,18 +646,17 @@ func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculu
 	if interrupted {
 		fmt.Printf("interrupted after %d/%d samples; draining accepted requests\n", res.Issued, res.Requests)
 	}
-	st := dep.Stats()
-	printReplaySummary(res, st)
+	printReplaySummary(res, ep.Stats().Merged)
 	digest := classesDigest(record)
 	fmt.Printf("classes digest: sha256:%s\n", digest)
-	final, err := svc.Undeploy(dep.ID())
+	final, err := svc.DeleteEndpoint(ep.Name())
 	if err != nil {
 		return err
 	}
 	fmt.Printf("final: accepted=%d completed=%d dropped=%d errors=%d\n",
-		final.Accepted, final.Completed, final.Dropped, final.Errors)
+		final.Merged.Accepted, final.Merged.Completed, final.Merged.Dropped, final.Merged.Errors)
 	lastReplayReport = &replayReport{
-		digest: digest, result: res, final: final, interrupted: interrupted,
+		digest: digest, result: res, final: final.Merged, interrupted: interrupted,
 	}
 	return nil
 }

@@ -3,14 +3,18 @@ package main
 import (
 	"context"
 	"errors"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/ir"
 	"repro/internal/synth/nslkdd"
+
+	homunculus "repro"
 )
 
 func TestRunTaurusSpec(t *testing.T) {
@@ -347,6 +351,77 @@ func TestRunDeployRejectsSweep(t *testing.T) {
 	defer func() { replayCfg = replaySettings{} }()
 	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "all", 0); err == nil {
 		t.Fatal("-deploy with -platform all must fail")
+	}
+}
+
+// TestRunRemote drives the -remote client path against an in-process
+// daemon: submit over the retrying client, poll to done, write the code
+// artifact; an identical resubmission is a warm cache hit.
+func TestRunRemote(t *testing.T) {
+	httpapi.RegisterBuiltinLoaders()
+	svc := homunculus.New(homunculus.ServiceOptions{MaxInFlight: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(httpapi.NewServer(svc))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{
+	  "name": "remote_ad",
+	  "metric": "f1",
+	  "algorithms": ["dnn"],
+	  "data": {"generator": "nslkdd"},
+	  "platform": {"kind": "taurus", "throughput_gpkts": 1,
+	               "latency_ns": 500, "rows": 16, "cols": 16},
+	  "search": {"init": 3, "iterations": 3, "epochs": 5,
+	             "max_layers": 2, "max_neurons": 12, "seed": 1}
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	for pass := 1; pass <= 2; pass++ {
+		if err := runRemote(context.Background(), specPath, out, "", srv.URL, 0); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+	}
+	code, err := os.ReadFile(filepath.Join(out, "remote_ad.spatial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "@spatial") {
+		t.Fatal("remote artifact must be Spatial source")
+	}
+	// The second identical submission must have coalesced server-side.
+	jobs := svc.Jobs()
+	if len(jobs) != 2 || !jobs[1].Status().CacheHit {
+		t.Fatalf("second identical remote submission must be a cache hit (%d jobs)", len(jobs))
+	}
+}
+
+// TestRunRemoteRejectsLocalOnlySpecs pins the -remote restrictions: CSV
+// data, samples/seed overrides, sweeps, and dataset-less specs cannot be
+// shipped to a daemon.
+func TestRunRemoteRejectsLocalOnlySpecs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct{ name, body, override string }{
+		{"csv.json", `{"name":"x","data":{"train_csv":"a.csv","test_csv":"b.csv"},"platform":{"kind":"taurus"}}`, ""},
+		{"samples.json", `{"name":"x","data":{"generator":"nslkdd","samples":500},"platform":{"kind":"taurus"}}`, ""},
+		{"seed.json", `{"name":"x","data":{"generator":"nslkdd","seed":3},"platform":{"kind":"taurus"}}`, ""},
+		{"nogen.json", `{"name":"x","data":{},"platform":{"kind":"taurus"}}`, ""},
+		{"sweep.json", `{"name":"x","data":{"generator":"nslkdd"},"platform":{"kind":"taurus"}}`, "all"},
+	} {
+		p := write(tc.name, tc.body)
+		if err := runRemote(context.Background(), p, t.TempDir(), tc.override, "http://127.0.0.1:1", 0); err == nil {
+			t.Fatalf("%s must be rejected before any network traffic", tc.name)
+		}
 	}
 }
 

@@ -7,6 +7,16 @@
 //
 //	homunculusd -addr :8077
 //	homunculusd -addr :8077 -max-inflight 4 -queue-depth 128 -cache 256
+//	homunculusd -addr :8077 -state-dir /var/lib/homunculus
+//
+// -state-dir makes the daemon crash-safe (docs/operations.md): compiled
+// pipelines persist in a content-addressed artifact store, every job
+// transition is journaled write-ahead, and the endpoint table survives
+// in a manifest. Restarting on the same directory replays the journal —
+// finished work becomes warm cache hits, jobs that were queued or
+// running at crash time recompile under their original IDs, and named
+// endpoints resume serving their restored revisions. Without it the
+// daemon is in-memory only and a restart forfeits everything.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/events (SSE), DELETE /v1/jobs/{id},
@@ -44,14 +54,26 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent compilations (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "max queued submissions (0 = default 64, negative = unbounded)")
 	cacheEntries := flag.Int("cache", 0, "cached pipelines (0 = default 128, negative = disable caching)")
+	stateDir := flag.String("state-dir", "", "durable state directory (artifact store + job journal + endpoint manifest); empty = in-memory only")
 	flag.Parse()
 
 	httpapi.RegisterBuiltinLoaders()
-	svc := homunculus.New(homunculus.ServiceOptions{
+	svc, err := homunculus.Open(homunculus.ServiceOptions{
 		MaxInFlight:  *maxInFlight,
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
+		StateDir:     *stateDir,
 	})
+	if err != nil {
+		log.Fatalf("homunculusd: open state dir %s: %v", *stateDir, err)
+	}
+	if *stateDir != "" {
+		rep := svc.Recovery()
+		log.Printf("homunculusd: recovered %s: %d journal records (%d corrupt skipped), %d results warm, %d jobs requeued (%d unrecoverable), %d endpoints restored (%d skipped)",
+			*stateDir, rep.JournalRecords, rep.JournalSkipped,
+			len(rep.JobsRecovered), len(rep.JobsRequeued), len(rep.JobsSkipped),
+			len(rep.EndpointsRestored), len(rep.EndpointsSkipped))
+	}
 	opts := svc.Options()
 	log.Printf("homunculusd: listening on %s (max in-flight %d, queue depth %d, cache %d)",
 		*addr, opts.MaxInFlight, opts.QueueDepth, opts.CacheEntries)

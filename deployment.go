@@ -49,6 +49,10 @@ type DeployOptions struct {
 	// QueueDepth bounds the intake queue; requests beyond it shed with
 	// ErrOverloaded (default 1024).
 	QueueDepth int
+	// RetainRetired caps how many retired revisions an endpoint keeps
+	// warm for instant rollback (default 2; negative keeps all). Only
+	// meaningful for endpoints; flat deployments ignore it.
+	RetainRetired int
 }
 
 // DeploymentStats is a point-in-time snapshot of a deployment's serving
@@ -135,8 +139,12 @@ func (d *Deployment) Close() error {
 // deployment. The job must be done (ErrJobNotFinished otherwise) and its
 // pipeline must carry a deployable model for the selected app.
 //
-// Prefer CreateEndpoint: it serves the same runtime behind a stable
-// name with rollout/rollback support.
+// Deprecated: use CreateEndpoint. Endpoints serve the same runtime
+// behind a stable name and add versioned revisions, canary/shadow
+// rollouts, rollback, and manifest persistence across restarts; flat
+// deployments have none of those and are not restored by a durable
+// Open. Deploy remains only for the /v1/deployments wire surface
+// (docs/serving.md covers the deprecation plan).
 func (s *Service) Deploy(jobID string, opts DeployOptions) (*Deployment, error) {
 	j, ok := s.Job(jobID)
 	if !ok {
@@ -152,6 +160,9 @@ func (s *Service) Deploy(jobID string, opts DeployOptions) (*Deployment, error) 
 // DeployPipeline serves a pipeline compiled out of band (for example by
 // a direct Generate call), registering it with the service's deployment
 // table like any Deploy result.
+//
+// Deprecated: use CreateEndpointPipeline, which serves the same runtime
+// behind a named endpoint with revision history and durable restore.
 func (s *Service) DeployPipeline(pipe *Pipeline, opts DeployOptions) (*Deployment, error) {
 	return s.deploy(pipe, "", opts)
 }

@@ -1,0 +1,482 @@
+package homunculus
+
+// Durability: the wiring between the Service and internal/store. A
+// service opened with a StateDir journals every job transition
+// write-ahead, writes each compiled pipeline through to the on-disk
+// content-addressed artifact store, and persists the endpoint table; on
+// the next Open the three are replayed — interrupted jobs re-run under
+// their original IDs, completed results serve as warm cache hits with
+// zero search events, and named endpoints resume routing their restored
+// revision history.
+//
+// The durability layer is strictly best-effort around the compilation
+// path: a journal append or artifact write that fails (disk full, torn
+// rename) is logged and counted (StoreErrors) but never fails the job —
+// a degraded store costs recoverability, not availability. The inverse
+// holds on reads: an artifact that fails its digest check is quarantined
+// and recompiled, never served.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/alchemy"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// RecoveryReport describes what a durable Open found and restored.
+type RecoveryReport struct {
+	// JournalRecords and JournalSkipped count the replayed journal's
+	// parseable records and its tolerated corrupt lines (a torn final
+	// record is the expected debris of a crash mid-append).
+	JournalRecords int
+	JournalSkipped int
+	// JobsRecovered lists completed jobs whose results survive in the
+	// artifact store — identical resubmissions are warm cache hits.
+	JobsRecovered []string
+	// JobsRequeued lists jobs that were queued or running at crash time
+	// and were re-enqueued for compilation under their original IDs.
+	JobsRequeued []string
+	// JobsSkipped lists interrupted jobs that could not be re-enqueued:
+	// their spec had no wire form (anonymous data loaders), failed to
+	// parse, or the admission queue rejected them.
+	JobsSkipped []string
+	// EndpointsRestored and EndpointsSkipped partition the manifest's
+	// endpoints by whether their revision history could be rebuilt.
+	EndpointsRestored []string
+	EndpointsSkipped  []string
+}
+
+// Recovery returns the boot recovery report of a durable service (zero
+// on an in-memory service). The returned slices are read-only.
+func (s *Service) Recovery() RecoveryReport { return s.recovery }
+
+// StoreErrors counts durability-layer failures absorbed since Open —
+// journal appends, artifact writes, or manifest rewrites that failed
+// without failing the operation they shadowed. A growing count means
+// results are being served correctly but will not survive a restart.
+func (s *Service) StoreErrors() uint64 { return s.storeErrs.Load() }
+
+// storeErr records one absorbed durability failure.
+func (s *Service) storeErr(err error) {
+	s.storeErrs.Add(1)
+	log.Printf("homunculus: store: %v", err)
+}
+
+// journal appends one record to the write-ahead journal (no-op on an
+// in-memory service; failures are absorbed).
+func (s *Service) journal(rec store.Record, sync bool) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Journal.Append(rec, sync); err != nil {
+		s.storeErr(fmt.Errorf("journal %s %s: %w", rec.Op, rec.Job, err))
+	}
+}
+
+// journalSubmitted writes a job's admission record ahead of any work.
+// The record carries the full spec when it has a wire form (catalog data
+// loaders); submissions with anonymous loaders journal spec-less and are
+// reported, not recompiled, after a crash. Written without fsync: the OS
+// page cache survives process death (SIGKILL, panic), and syncing every
+// admission would put a disk flush on the sub-millisecond Submit path —
+// only an OS crash can lose the tail, and the journal's replay tolerates
+// exactly that debris.
+func (s *Service) journalSubmitted(j *Job, p *alchemy.Platform, o *options) {
+	if s.store == nil {
+		return
+	}
+	rec := store.Record{Op: store.OpSubmitted, Job: j.id, Platform: j.platform}
+	if spec, err := alchemy.MarshalPlatform(p); err == nil {
+		if search, serr := marshalSearchConfig(o.search); serr == nil {
+			rec.Spec, rec.Search = spec, search
+		} else {
+			s.storeErr(fmt.Errorf("journal job %s search config: %w", j.id, serr))
+		}
+	}
+	s.journal(rec, false)
+}
+
+// journalFinish is the Job.onFinish hook: it records the terminal
+// transition, fsynced — a job a client observed as done must still be
+// done after a crash.
+func (s *Service) journalFinish(j *Job) {
+	st := j.Status()
+	rec := store.Record{Job: st.ID, SpecHash: st.SpecHash}
+	switch st.State {
+	case JobDone:
+		rec.Op = store.OpDone
+	case JobCancelled:
+		rec.Op = store.OpCancelled
+	default:
+		rec.Op = store.OpFailed
+	}
+	if st.Err != nil {
+		rec.Error = st.Err.Error()
+	}
+	s.journal(rec, true)
+}
+
+// loadArtifact reads a compiled pipeline back from the artifact store.
+// Corrupt artifacts were already quarantined by the store layer; either
+// way a false return means "compile it again".
+func (s *Service) loadArtifact(key string) (*Pipeline, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	raw, err := s.store.Artifacts.Get(key)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			s.storeErr(fmt.Errorf("artifact %s: %w", key, err))
+		}
+		return nil, false
+	}
+	pipe, err := UnmarshalPipeline(raw)
+	if err != nil {
+		s.storeErr(fmt.Errorf("artifact %s: %w", key, err))
+		return nil, false
+	}
+	return pipe, true
+}
+
+// storeArtifact writes a compiled pipeline through to the artifact
+// store (best effort).
+func (s *Service) storeArtifact(key string, pipe *Pipeline) {
+	if s.store == nil {
+		return
+	}
+	raw, err := MarshalPipeline(pipe)
+	if err != nil {
+		s.storeErr(fmt.Errorf("serialize artifact %s: %w", key, err))
+		return
+	}
+	if err := s.store.Artifacts.Put(key, raw); err != nil {
+		s.storeErr(fmt.Errorf("artifact %s: %w", key, err))
+	}
+}
+
+// endpointArtifact ensures an endpoint revision's pipeline is in the
+// artifact store and returns its key: the compilation's content address
+// when the pipeline came from a job, otherwise the hash of the canonical
+// pipeline document (out-of-band pipelines have no spec to hash). An
+// empty return means the revision will not survive a restart.
+func (s *Service) endpointArtifact(pipe *Pipeline, jobID string) string {
+	if s.store == nil {
+		return ""
+	}
+	key := ""
+	if jobID != "" {
+		if j, ok := s.Job(jobID); ok {
+			key = j.Status().SpecHash
+		}
+	}
+	raw, err := MarshalPipeline(pipe)
+	if err != nil {
+		s.storeErr(fmt.Errorf("serialize endpoint pipeline: %w", err))
+		return ""
+	}
+	if key == "" {
+		sum := sha256.Sum256(raw)
+		key = hex.EncodeToString(sum[:])
+	}
+	if !s.store.Artifacts.Has(key) {
+		if err := s.store.Artifacts.Put(key, raw); err != nil {
+			s.storeErr(fmt.Errorf("endpoint artifact %s: %w", key, err))
+			return ""
+		}
+	}
+	return key
+}
+
+// serveOptions converts persisted runtime bounds back to serve.Options.
+func serveOptions(r store.OptionsRecord) serve.Options {
+	return serve.Options{
+		Shards:        r.Shards,
+		BatchSize:     r.BatchSize,
+		MaxDelay:      time.Duration(r.MaxDelayNS),
+		QueueDepth:    r.QueueDepth,
+		RetainRetired: r.RetainRetired,
+	}
+}
+
+// persistEndpoints rewrites the endpoint manifest from the live table.
+// Called after every endpoint lifecycle operation; skipped during Close
+// (draining is not deletion — the manifest is what the next Open
+// restores).
+func (s *Service) persistEndpoints() {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	eps := make([]*Endpoint, 0, len(s.epOrder))
+	for _, name := range s.epOrder {
+		eps = append(eps, s.endpoints[name])
+	}
+	s.mu.Unlock()
+	m := store.Manifest{Endpoints: make([]store.EndpointRecord, 0, len(eps))}
+	for _, e := range eps {
+		m.Endpoints = append(m.Endpoints, e.record())
+	}
+	if err := s.store.SaveManifest(m); err != nil {
+		s.storeErr(fmt.Errorf("endpoint manifest: %w", err))
+	}
+}
+
+// record renders the endpoint's persisted form.
+func (e *Endpoint) record() store.EndpointRecord {
+	rec := store.EndpointRecord{
+		Name:            e.name,
+		Platform:        e.platform,
+		CreatedUnixNano: e.created.UnixNano(),
+		Options:         e.reqOpts,
+	}
+	rec.Stable, rec.Canary, rec.CanaryPercent, rec.Shadow = e.ep.View()
+	rows := e.ep.RevisionInfos()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range rows {
+		m := e.meta[r.ID]
+		rec.Revisions = append(rec.Revisions, store.RevisionRecord{
+			ID: r.ID, JobID: m.jobID, App: m.app, SpecHash: m.specHash,
+			State: string(r.State), CanaryPercent: r.CanaryPercent,
+			CreatedUnixNano: r.Created.UnixNano(), Options: m.opts,
+		})
+	}
+	return rec
+}
+
+// recover opens the state directory and replays it into the freshly
+// constructed service: endpoints first (synchronous, read-only), then
+// the journal is compacted down to the still-live submissions, then
+// interrupted jobs re-enter the admission queue.
+func (s *Service) recover(dir string, fs store.FS) error {
+	st, records, skipped, err := store.Open(dir, fs)
+	if err != nil {
+		return err
+	}
+	s.store = st
+	s.recovery.JournalRecords = len(records)
+	s.recovery.JournalSkipped = skipped
+
+	// Reduce the journal to one trace per job: its admission record and
+	// its latest operation.
+	type jobTrace struct {
+		submitted *store.Record
+		lastOp    string
+		specHash  string
+	}
+	traces := map[string]*jobTrace{}
+	var order []string
+	maxID := 0
+	for i := range records {
+		r := &records[i]
+		t := traces[r.Job]
+		if t == nil {
+			t = &jobTrace{}
+			traces[r.Job] = t
+			order = append(order, r.Job)
+		}
+		if r.Op == store.OpSubmitted && t.submitted == nil {
+			t.submitted = r
+		}
+		t.lastOp = r.Op
+		if r.SpecHash != "" {
+			t.specHash = r.SpecHash
+		}
+		var n int
+		if _, err := fmt.Sscanf(r.Job, "job-%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	// New submissions number past every journaled job, so recovered and
+	// fresh IDs never collide.
+	s.nextID = maxID
+
+	type pendingJob struct {
+		id  string
+		p   *alchemy.Platform
+		cfg core.SearchConfig
+	}
+	var requeue []pendingJob
+	var keep []store.Record
+	for _, id := range order {
+		t := traces[id]
+		switch t.lastOp {
+		case store.OpDone:
+			if t.specHash != "" && st.Artifacts.Has(t.specHash) {
+				s.recovery.JobsRecovered = append(s.recovery.JobsRecovered, id)
+			}
+		case store.OpFailed, store.OpCancelled:
+			// Terminal without a result: nothing to recover, and the
+			// compaction below drops the trace.
+		default:
+			// Queued or running when the process died.
+			if t.submitted == nil || len(t.submitted.Spec) == 0 || len(t.submitted.Search) == 0 {
+				s.storeErr(fmt.Errorf("job %s was interrupted but has no recoverable spec (anonymous data loader?)", id))
+				s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, id)
+				continue
+			}
+			p, perr := alchemy.UnmarshalPlatform(t.submitted.Spec)
+			if perr != nil {
+				s.storeErr(fmt.Errorf("job %s spec: %w", id, perr))
+				s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, id)
+				continue
+			}
+			cfg, cerr := unmarshalSearchConfig(t.submitted.Search)
+			if cerr != nil {
+				s.storeErr(fmt.Errorf("job %s search config: %w", id, cerr))
+				s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, id)
+				continue
+			}
+			requeue = append(requeue, pendingJob{id: id, p: p, cfg: cfg})
+			keep = append(keep, *t.submitted)
+		}
+	}
+
+	if m, merr := st.LoadManifest(); merr != nil {
+		s.storeErr(fmt.Errorf("endpoint manifest: %w", merr))
+	} else {
+		for _, rec := range m.Endpoints {
+			if rerr := s.restoreEndpoint(rec); rerr != nil {
+				s.storeErr(fmt.Errorf("restore endpoint %q: %w", rec.Name, rerr))
+				s.recovery.EndpointsSkipped = append(s.recovery.EndpointsSkipped, rec.Name)
+				continue
+			}
+			s.recovery.EndpointsRestored = append(s.recovery.EndpointsRestored, rec.Name)
+		}
+	}
+
+	// Compact before the requeued jobs can append: the journal shrinks to
+	// the live admissions, and every terminal record that follows lands
+	// after the compacted base.
+	if cerr := st.Journal.Compact(keep); cerr != nil {
+		s.storeErr(fmt.Errorf("compact journal: %w", cerr))
+	}
+
+	for _, pj := range requeue {
+		if qerr := s.resubmitRecovered(pj.id, pj.p, pj.cfg); qerr != nil {
+			s.storeErr(fmt.Errorf("requeue job %s: %w", pj.id, qerr))
+			s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, pj.id)
+			continue
+		}
+		s.recovery.JobsRequeued = append(s.recovery.JobsRequeued, pj.id)
+	}
+	return nil
+}
+
+// resubmitRecovered re-enqueues one interrupted job under its original
+// ID — Submit's admission path minus ID assignment and re-journaling
+// (the compacted journal already carries the admission record).
+func (s *Service) resubmitRecovered(id string, p *alchemy.Platform, cfg core.SearchConfig) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	o := options{search: cfg}
+	jctx, cancel := context.WithCancel(context.Background())
+	j := newJob(id, p.Kind.String(), cancel)
+	j.onFinish = s.journalFinish
+	ticket, err := s.queue.Submit(
+		func() { s.run(jctx, j, p, &o) },
+		func(error) {
+			j.finish(nil, fmt.Errorf("homunculus: job %s dropped before dispatch: %w", id, ErrServiceClosed))
+		},
+	)
+	if err != nil {
+		cancel()
+		return err
+	}
+	j.mu.Lock()
+	j.ticket = ticket
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// restoreEndpoint rebuilds one named endpoint from its manifest record,
+// loading each revision's model out of the artifact store.
+func (s *Service) restoreEndpoint(rec store.EndpointRecord) error {
+	revs := make([]serve.RestoreRevision, 0, len(rec.Revisions))
+	meta := make(map[int]revisionMeta, len(rec.Revisions))
+	for _, rr := range rec.Revisions {
+		state := serve.RevisionState(rr.State)
+		model := s.revisionModel(rr)
+		if model == nil && (state == serve.RevCanary || state == serve.RevShadow) {
+			// A live rollout whose artifact did not survive restores as a
+			// retired, cold revision — the endpoint keeps serving its
+			// stable traffic rather than disappearing.
+			s.storeErr(fmt.Errorf("endpoint %q revision %d: rollout artifact %q unavailable, restoring it retired", rec.Name, rr.ID, rr.SpecHash))
+			state = serve.RevRetired
+		}
+		revs = append(revs, serve.RestoreRevision{
+			ID: rr.ID, Model: model, Opts: serveOptions(rr.Options),
+			State: state, CanaryPercent: rr.CanaryPercent,
+			Created: time.Unix(0, rr.CreatedUnixNano),
+		})
+		meta[rr.ID] = revisionMeta{jobID: rr.JobID, app: rr.App, specHash: rr.SpecHash, opts: rr.Options}
+	}
+	sep, err := serve.RestoreEndpoint(rec.Name, serveOptions(rec.Options), revs)
+	if err != nil {
+		return err
+	}
+	e := &Endpoint{
+		name:     rec.Name,
+		platform: rec.Platform,
+		created:  time.Unix(0, rec.CreatedUnixNano),
+		svc:      s,
+		ep:       sep,
+		reqOpts:  rec.Options,
+		meta:     meta,
+	}
+	s.mu.Lock()
+	if _, dup := s.endpoints[rec.Name]; dup {
+		s.mu.Unlock()
+		_ = sep.Close()
+		return fmt.Errorf("duplicate endpoint name in manifest")
+	}
+	s.endpoints[rec.Name] = e
+	s.epOrder = append(s.epOrder, rec.Name)
+	s.mu.Unlock()
+	return nil
+}
+
+// revisionModel loads one restored revision's model from the artifact
+// store; nil (cold revision) when the artifact is gone, corrupt, or no
+// longer carries the app.
+func (s *Service) revisionModel(rr store.RevisionRecord) *ir.Model {
+	if rr.SpecHash == "" {
+		return nil
+	}
+	raw, err := s.store.Artifacts.Get(rr.SpecHash)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			s.storeErr(fmt.Errorf("revision artifact %s: %w", rr.SpecHash, err))
+		}
+		return nil
+	}
+	pipe, err := UnmarshalPipeline(raw)
+	if err != nil {
+		s.storeErr(fmt.Errorf("revision artifact %s: %w", rr.SpecHash, err))
+		return nil
+	}
+	app, err := selectApp(pipe, rr.App)
+	if err != nil {
+		s.storeErr(fmt.Errorf("revision artifact %s app %q: %w", rr.SpecHash, rr.App, err))
+		return nil
+	}
+	return app.Model
+}

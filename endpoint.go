@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 var (
@@ -89,6 +90,11 @@ type RevisionInfo struct {
 	CanaryPercent int
 	// Created is when the revision was rolled out.
 	Created time.Time
+	// Warm reports whether the revision holds a live runtime. Retired
+	// revisions beyond the endpoint's RetainRetired cap run cold: listed,
+	// rollback-able (their runtime is re-created on demand), but not
+	// consuming serving resources.
+	Warm bool
 	// Stats snapshots the revision's own serving metrics.
 	Stats DeploymentStats
 }
@@ -113,6 +119,11 @@ type Endpoint struct {
 	svc      *Service
 	ep       *serve.Endpoint
 
+	// reqOpts are the creation-time options as requested (zero fields =
+	// inherit defaults) — what the manifest persists, so a restored
+	// endpoint re-derives machine defaults instead of pinning them.
+	reqOpts store.OptionsRecord
+
 	mu   sync.Mutex
 	meta map[int]revisionMeta // revision ID -> origin
 
@@ -122,6 +133,25 @@ type Endpoint struct {
 type revisionMeta struct {
 	jobID string
 	app   string
+	// specHash keys the artifact store entry holding the revision's
+	// pipeline ("" on an in-memory service, or when persisting failed —
+	// the revision then does not survive a restart).
+	specHash string
+	// opts are the revision's requested runtime overrides, persisted for
+	// restore.
+	opts store.OptionsRecord
+}
+
+// optionsRecord renders requested deploy options in their persisted
+// form (zero fields stay zero — defaults are re-derived on restore).
+func optionsRecord(o DeployOptions) store.OptionsRecord {
+	return store.OptionsRecord{
+		Shards:        o.Shards,
+		BatchSize:     o.BatchSize,
+		MaxDelayNS:    int64(o.MaxDelay),
+		QueueDepth:    o.QueueDepth,
+		RetainRetired: o.RetainRetired,
+	}
 }
 
 // endpointNameRE bounds endpoint names to URL-path-safe route segments.
@@ -154,10 +184,11 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 		return nil, err
 	}
 	sep, err := serve.NewEndpoint(name, app.Model, serve.Options{
-		Shards:     opts.Shards,
-		BatchSize:  opts.BatchSize,
-		MaxDelay:   opts.MaxDelay,
-		QueueDepth: opts.QueueDepth,
+		Shards:        opts.Shards,
+		BatchSize:     opts.BatchSize,
+		MaxDelay:      opts.MaxDelay,
+		QueueDepth:    opts.QueueDepth,
+		RetainRetired: opts.RetainRetired,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("homunculus: endpoint %s: %w", name, err)
@@ -168,7 +199,12 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 		created:  time.Now(),
 		svc:      s,
 		ep:       sep,
-		meta:     map[int]revisionMeta{1: {jobID: jobID, app: app.Name}},
+		reqOpts:  optionsRecord(opts),
+		meta: map[int]revisionMeta{1: {
+			jobID:    jobID,
+			app:      app.Name,
+			specHash: s.endpointArtifact(pipe, jobID),
+		}},
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -184,6 +220,7 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 	s.endpoints[name] = e
 	s.epOrder = append(s.epOrder, name)
 	s.mu.Unlock()
+	s.persistEndpoints()
 	return e, nil
 }
 
@@ -223,15 +260,19 @@ func (s *Service) DeleteEndpoint(name string) (EndpointStats, error) {
 	return e.Stats(), nil
 }
 
-// forgetEndpoint removes a closed endpoint from the service table.
+// forgetEndpoint removes a closed endpoint from the service table and
+// the persisted manifest. During service Close the manifest is left
+// untouched: a draining daemon's endpoints must come back on restart.
 func (s *Service) forgetEndpoint(name string, e *Endpoint) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.endpoints[name] != e {
+		s.mu.Unlock()
 		return
 	}
 	delete(s.endpoints, name)
 	s.epOrder = removeFromOrder(s.epOrder, name)
+	s.mu.Unlock()
+	s.persistEndpoints()
 }
 
 // jobPipeline resolves a finished job's compiled pipeline.
@@ -295,10 +336,11 @@ func (e *Endpoint) Model() *ir.Model { return e.ep.Model() }
 func (e *Endpoint) Config() EndpointOptions {
 	o := e.ep.Options()
 	return EndpointOptions{
-		Shards:     o.Shards,
-		BatchSize:  o.BatchSize,
-		MaxDelay:   o.MaxDelay,
-		QueueDepth: o.QueueDepth,
+		Shards:        o.Shards,
+		BatchSize:     o.BatchSize,
+		MaxDelay:      o.MaxDelay,
+		QueueDepth:    o.QueueDepth,
+		RetainRetired: o.RetainRetired,
 	}
 }
 
@@ -362,8 +404,17 @@ func (e *Endpoint) rollout(pipe *Pipeline, jobID string, opts RolloutOptions) (R
 		return RevisionInfo{}, fmt.Errorf("homunculus: rollout on %s: %w", e.name, err)
 	}
 	e.mu.Lock()
-	e.meta[rev.ID] = revisionMeta{jobID: jobID, app: app.Name}
+	e.meta[rev.ID] = revisionMeta{
+		jobID:    jobID,
+		app:      app.Name,
+		specHash: e.svc.endpointArtifact(pipe, jobID),
+		opts: optionsRecord(DeployOptions{
+			Shards: opts.Shards, BatchSize: opts.BatchSize,
+			MaxDelay: opts.MaxDelay, QueueDepth: opts.QueueDepth,
+		}),
+	}
 	e.mu.Unlock()
+	e.svc.persistEndpoints()
 	state := RevisionState(serve.RevCanary)
 	if opts.Shadow {
 		state = serve.RevShadow
@@ -377,12 +428,26 @@ func (e *Endpoint) rollout(pipe *Pipeline, jobID string, opts RolloutOptions) (R
 // Promote makes the in-progress rollout the stable revision: requests
 // admitted after Promote returns are served by the promoted revision,
 // requests in flight complete where they were admitted, and nothing is
-// dropped. The demoted revision stays warm for Rollback.
-func (e *Endpoint) Promote() error { return e.ep.Promote() }
+// dropped. The demoted revision stays warm for Rollback (up to the
+// endpoint's RetainRetired cap).
+func (e *Endpoint) Promote() error {
+	if err := e.ep.Promote(); err != nil {
+		return err
+	}
+	e.svc.persistEndpoints()
+	return nil
+}
 
 // Rollback aborts an in-progress rollout, or — when none is active —
-// returns all traffic to the previous stable revision.
-func (e *Endpoint) Rollback() error { return e.ep.Rollback() }
+// returns all traffic to the previous stable revision (re-creating its
+// runtime if the retention cap had evicted it).
+func (e *Endpoint) Rollback() error {
+	if err := e.ep.Rollback(); err != nil {
+		return err
+	}
+	e.svc.persistEndpoints()
+	return nil
+}
 
 // Classify routes one feature vector through the endpoint's current
 // revision table and blocks until its class is computed. Sheds with
@@ -413,7 +478,8 @@ func (e *Endpoint) Revisions() []RevisionInfo {
 		m := e.meta[r.ID]
 		out = append(out, RevisionInfo{
 			ID: r.ID, JobID: m.jobID, App: m.app,
-			State: r.State, CanaryPercent: r.CanaryPercent, Created: r.Created,
+			State: r.State, CanaryPercent: r.CanaryPercent,
+			Created: r.Created, Warm: r.Warm,
 		})
 	}
 	return out
@@ -437,7 +503,7 @@ func (e *Endpoint) Stats() EndpointStats {
 		out.Revisions = append(out.Revisions, RevisionInfo{
 			ID: r.ID, JobID: m.jobID, App: m.app,
 			State: r.State, CanaryPercent: r.CanaryPercent,
-			Created: r.Created, Stats: r.Stats,
+			Created: r.Created, Warm: r.Warm, Stats: r.Stats,
 		})
 	}
 	return out

@@ -4,6 +4,8 @@
 // identical jobs are submitted concurrently here — single-flight
 // coalescing runs ONE search and both handles resolve to the same
 // pipeline; a third submission with a different seed misses the cache.
+// The winning pipeline then serves live traffic behind a named endpoint
+// (the versioned serving surface — Service.Deploy is deprecated).
 //
 //	go run ./examples/service
 package main
@@ -93,4 +95,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("job C (seed 8): cache hit: %v\n", jobC.Status().CacheHit)
+
+	// Serve job A behind a named endpoint — the serving surface (the
+	// flat Deploy API is deprecated): a stable route with versioned
+	// revisions, canary/shadow rollouts, and rollback (docs/serving.md).
+	ep, err := svc.CreateEndpoint("ad", jobA.ID(), homunculus.EndpointOptions{BatchSize: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	class, err := ep.Classify([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("endpoint %q (stable rev 1) classified a live flow as class %d\n", ep.Name(), class)
+	if _, err := svc.DeleteEndpoint(ep.Name()); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -134,6 +134,7 @@ func (h *handler) deploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("request needs a job_id"))
 		return
 	}
+	//lint:ignore SA1019 the /v1/deployments wire surface deliberately keeps serving the deprecated flat Deploy for compatibility
 	dep, err := h.svc.Deploy(req.JobID, homunculus.DeployOptions{
 		App:        req.App,
 		Shards:     req.Shards,

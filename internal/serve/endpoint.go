@@ -9,8 +9,10 @@ package serve
 // an atomic.Pointer, so a rollout, promote, or rollback is one pointer
 // store — requests already routed finish on the revision that admitted
 // them, requests admitted afterwards see the new table, and nothing is
-// ever torn down while it still holds traffic (retired revisions stay
-// warm for instant rollback until the endpoint closes).
+// ever torn down while it still holds traffic. Retired revisions stay
+// warm for instant rollback up to Options.RetainRetired; beyond the cap
+// their runtimes close and a rollback that reaches one re-creates the
+// runtime from the revision's model on the spot.
 //
 // Traffic splitting is deterministic: request N of the endpoint goes to
 // the canary iff splitmix64(N) mod 100 < CanaryPercent, so a fixed-seed
@@ -21,11 +23,19 @@ package serve
 // matrix, while the caller only ever sees the primary answer. The
 // steady-state classify path without a shadow stays allocation-free —
 // routing adds one atomic pointer load (plus one counter increment and a
-// hash while a canary is live) to the Runtime's pooled path.
+// hash while a canary is live) to the Runtime's pooled path; the routing
+// table caches each live revision's runtime pointer so the hot path
+// never touches revision state.
+//
+// RestoreEndpoint rebuilds an endpoint — revision history, routing,
+// canary/shadow config — from persisted state (the daemon's endpoint
+// manifest, internal/store), which is how named endpoints survive a
+// crash or restart.
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,15 +70,26 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Revision is one deployed model generation of an endpoint. Its Runtime
-// keeps serving (or stays warm, if retired) until the endpoint closes.
+// Revision is one deployed model generation of an endpoint. Its runtime
+// serves while the revision routes traffic and stays warm after
+// retirement until the retention cap pushes it out; the model is kept
+// either way so a cold revision can be revived.
 type Revision struct {
 	// ID is the endpoint-local revision number, starting at 1.
 	ID int
 	// Created is when the revision was rolled out.
 	Created time.Time
 
-	rt *Runtime
+	// model is the revision's compiled model; immutable after creation.
+	model *ir.Model
+	// opts are the revision's resolved runtime bounds, kept for lazy
+	// re-creation after the retention cap closed the runtime.
+	opts Options
+
+	// rt is the live runtime, nil while the revision is cold. Lifecycle
+	// transitions serialize on the endpoint's mu; the atomic makes
+	// Stats/Warm reads safe without it.
+	rt atomic.Pointer[Runtime]
 
 	// state and canaryPercent are display metadata guarded by the
 	// endpoint's mu; the hot path never reads them.
@@ -76,11 +97,20 @@ type Revision struct {
 	canaryPercent int
 }
 
-// Model returns the revision's compiled model.
-func (r *Revision) Model() *ir.Model { return r.rt.Model() }
+// Model returns the revision's compiled model (set even when cold).
+func (r *Revision) Model() *ir.Model { return r.model }
 
-// Stats snapshots the revision's own serving metrics.
-func (r *Revision) Stats() Stats { return r.rt.Stats() }
+// Warm reports whether the revision currently holds a live runtime.
+func (r *Revision) Warm() bool { return r.rt.Load() != nil }
+
+// Stats snapshots the revision's own serving metrics (zero when cold —
+// a closed runtime's counters are gone).
+func (r *Revision) Stats() Stats {
+	if rt := r.rt.Load(); rt != nil {
+		return rt.Stats()
+	}
+	return Stats{}
+}
 
 // RevisionState is a revision's place in the endpoint lifecycle.
 type RevisionState string
@@ -93,18 +123,23 @@ const (
 	// RevShadow is a rollout scoring mirrored traffic off the record.
 	RevShadow RevisionState = "shadow"
 	// RevRetired no longer receives traffic; it stays warm for rollback
-	// until the endpoint closes.
+	// until the retention cap (Options.RetainRetired) evicts its runtime.
 	RevRetired RevisionState = "retired"
 )
 
 // revTable is the endpoint's immutable routing state. Every lifecycle
 // operation builds a new table and publishes it with one atomic store;
-// the classify path loads it once per request and never blocks.
+// the classify path loads it once per request and never blocks. Runtime
+// pointers are cached in the table so the hot path stays free of the
+// revision's own (mutable, retention-capped) runtime slot.
 type revTable struct {
 	stable        *Revision
+	stableRT      *Runtime
 	canary        *Revision // non-nil during a canary rollout
+	canaryRT      *Runtime
 	canaryPercent uint64
-	shadow        *Revision   // non-nil during a shadow rollout
+	shadow        *Revision // non-nil during a shadow rollout
+	shadowRT      *Runtime
 	shadowCmp     *divergence // counters for the live shadow
 }
 
@@ -192,7 +227,10 @@ type RevisionStats struct {
 	Created time.Time
 	// CanaryPercent is the traffic slice of a RevCanary revision.
 	CanaryPercent int
-	Stats         Stats
+	// Warm reports whether the revision holds a live runtime (retired
+	// revisions beyond the retention cap run cold).
+	Warm  bool
+	Stats Stats
 }
 
 // EndpointStats is a point-in-time snapshot of an endpoint: the merged
@@ -202,9 +240,10 @@ type EndpointStats struct {
 	Name string
 	// Revisions lists every revision in rollout order with its own stats.
 	Revisions []RevisionStats
-	// Merged sums the counters and latency histograms of every revision;
-	// its quantiles are computed over the combined histogram and its
-	// throughput over the endpoint's uptime.
+	// Merged sums the counters and latency histograms of every warm
+	// revision; its quantiles are computed over the combined histogram
+	// and its throughput over the endpoint's uptime. Counters of
+	// retention-evicted runtimes are not included.
 	Merged Stats
 	// Shadow is the divergence report of the live shadow rollout, or the
 	// most recently finished one; nil if the endpoint never had one.
@@ -229,6 +268,7 @@ type Endpoint struct {
 
 	mu         sync.Mutex
 	revs       []*Revision
+	nextID     int
 	prevStable []*Revision // promote history, for rollback
 	lastShadow *divergence
 	closed     bool
@@ -251,9 +291,11 @@ func NewEndpoint(name string, model *ir.Model, opts Options) (*Endpoint, error) 
 		start:     time.Now(),
 		mirrorSem: make(chan struct{}, mirrorDepth),
 	}
-	rev := &Revision{ID: 1, Created: time.Now(), rt: rt, state: RevStable}
+	rev := &Revision{ID: 1, Created: time.Now(), model: model, opts: o, state: RevStable}
+	rev.rt.Store(rt)
 	e.revs = []*Revision{rev}
-	e.table.Store(&revTable{stable: rev})
+	e.nextID = 1
+	e.table.Store(&revTable{stable: rev, stableRT: rt})
 	return e, nil
 }
 
@@ -266,9 +308,30 @@ func (e *Endpoint) Options() Options { return e.opts }
 // Model returns the current stable revision's model (nil after Close).
 func (e *Endpoint) Model() *ir.Model {
 	if t := e.table.Load(); t != nil {
-		return t.stable.rt.Model()
+		return t.stable.model
 	}
 	return nil
+}
+
+// resolveOpts fills a rollout's zero option fields from the endpoint's
+// defaults.
+func (e *Endpoint) resolveOpts(o Options) Options {
+	if o.Shards <= 0 {
+		o.Shards = e.opts.Shards
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = e.opts.BatchSize
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = e.opts.MaxDelay
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = e.opts.QueueDepth
+	}
+	if o.RetainRetired == 0 {
+		o.RetainRetired = e.opts.RetainRetired
+	}
+	return o
 }
 
 // RolloutConfig shapes how a new revision receives traffic.
@@ -296,25 +359,13 @@ func (e *Endpoint) Rollout(model *ir.Model, cfg RolloutConfig) (*Revision, error
 	if cfg.Shadow && cfg.CanaryPercent != 0 {
 		return nil, fmt.Errorf("serve: shadow and canary splits are mutually exclusive")
 	}
-	o := cfg.Opts
-	if o.Shards <= 0 {
-		o.Shards = e.opts.Shards
-	}
-	if o.BatchSize <= 0 {
-		o.BatchSize = e.opts.BatchSize
-	}
-	if o.MaxDelay == 0 {
-		o.MaxDelay = e.opts.MaxDelay
-	}
-	if o.QueueDepth <= 0 {
-		o.QueueDepth = e.opts.QueueDepth
-	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
+	o := e.resolveOpts(cfg.Opts)
 	cur := e.table.Load()
 	if cur.canary != nil || cur.shadow != nil {
 		return nil, ErrRolloutActive
@@ -322,9 +373,9 @@ func (e *Endpoint) Rollout(model *ir.Model, cfg RolloutConfig) (*Revision, error
 	// The new revision must accept the endpoint's live traffic: a
 	// feature-width mismatch would otherwise install fine and then fail
 	// on every canary-routed (or mirrored) request.
-	if model != nil && model.Inputs != cur.stable.rt.Model().Inputs {
+	if model != nil && model.Inputs != cur.stable.model.Inputs {
 		return nil, fmt.Errorf("serve: rollout model wants %d features, endpoint %q serves %d — incompatible revision",
-			model.Inputs, e.name, cur.stable.rt.Model().Inputs)
+			model.Inputs, e.name, cur.stable.model.Inputs)
 	}
 	// Start the runtime inside the lock: rollouts are rare and the
 	// model-validating constructor is the operation worth serializing.
@@ -332,18 +383,22 @@ func (e *Endpoint) Rollout(model *ir.Model, cfg RolloutConfig) (*Revision, error
 	if err != nil {
 		return nil, err
 	}
-	rev := &Revision{ID: len(e.revs) + 1, Created: time.Now(), rt: rt}
+	e.nextID++
+	rev := &Revision{ID: e.nextID, Created: time.Now(), model: model, opts: o}
+	rev.rt.Store(rt)
 	e.revs = append(e.revs, rev)
-	next := &revTable{stable: cur.stable}
+	next := &revTable{stable: cur.stable, stableRT: cur.stableRT}
 	if cfg.Shadow {
 		rev.state = RevShadow
 		next.shadow = rev
-		next.shadowCmp = newDivergence(rev.ID, cur.stable.rt.Model().Outputs, model.Outputs)
+		next.shadowRT = rt
+		next.shadowCmp = newDivergence(rev.ID, cur.stable.model.Outputs, model.Outputs)
 		e.lastShadow = next.shadowCmp
 	} else {
 		rev.state = RevCanary
 		rev.canaryPercent = cfg.CanaryPercent
 		next.canary = rev
+		next.canaryRT = rt
 		next.canaryPercent = uint64(cfg.CanaryPercent)
 	}
 	e.table.Store(next)
@@ -354,92 +409,203 @@ func (e *Endpoint) Rollout(model *ir.Model, cfg RolloutConfig) (*Revision, error
 // revision: one atomic table swap, so every request admitted after
 // Promote returns is served by the promoted revision while requests
 // already in flight complete on the revision that admitted them. The
-// previous stable retires warm and is what Rollback returns to.
+// previous stable retires warm and is what Rollback returns to (the
+// retention cap may later evict its runtime; rollback then re-creates
+// it from the model).
 func (e *Endpoint) Promote() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
 	cur := e.table.Load()
-	next := cur.canary
+	next, nextRT := cur.canary, cur.canaryRT
 	if next == nil {
-		next = cur.shadow
+		next, nextRT = cur.shadow, cur.shadowRT
 	}
 	if next == nil {
+		e.mu.Unlock()
 		return ErrNoRollout
 	}
 	cur.stable.state = RevRetired
 	e.prevStable = append(e.prevStable, cur.stable)
 	next.state = RevStable
 	next.canaryPercent = 0
-	e.table.Store(&revTable{stable: next})
+	e.table.Store(&revTable{stable: next, stableRT: nextRT})
+	evicted := e.enforceRetentionLocked()
+	e.mu.Unlock()
+	closeRuntimes(evicted)
 	return nil
 }
 
 // Rollback reverses the most recent lifecycle step: with a rollout in
 // progress it aborts it (the rolled-out revision retires, the stable
 // keeps all traffic); otherwise it returns all traffic to the previous
-// stable revision, which has stayed warm since its demotion.
+// stable revision — still warm within the retention cap, revived from
+// its model past it.
 func (e *Endpoint) Rollback() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
 	cur := e.table.Load()
 	if rolled := cur.canary; rolled != nil {
 		rolled.state = RevRetired
 		rolled.canaryPercent = 0
-		e.table.Store(&revTable{stable: cur.stable})
+		e.table.Store(&revTable{stable: cur.stable, stableRT: cur.stableRT})
+		evicted := e.enforceRetentionLocked()
+		e.mu.Unlock()
+		closeRuntimes(evicted)
 		return nil
 	}
 	if rolled := cur.shadow; rolled != nil {
 		rolled.state = RevRetired
-		e.table.Store(&revTable{stable: cur.stable})
+		e.table.Store(&revTable{stable: cur.stable, stableRT: cur.stableRT})
+		evicted := e.enforceRetentionLocked()
+		e.mu.Unlock()
+		closeRuntimes(evicted)
 		return nil
 	}
 	if len(e.prevStable) == 0 {
+		e.mu.Unlock()
 		return ErrNoRollback
 	}
 	prev := e.prevStable[len(e.prevStable)-1]
+	rt := prev.rt.Load()
+	if rt == nil {
+		// The retention cap evicted this runtime; revive it from the
+		// revision's model before moving traffic.
+		if prev.model == nil {
+			e.mu.Unlock()
+			return fmt.Errorf("serve: revision %d of %q has no model to revive", prev.ID, e.name)
+		}
+		var err error
+		rt, err = New(prev.model, prev.opts)
+		if err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("serve: revive revision %d of %q: %w", prev.ID, e.name, err)
+		}
+		prev.rt.Store(rt)
+	}
 	e.prevStable = e.prevStable[:len(e.prevStable)-1]
 	cur.stable.state = RevRetired
 	prev.state = RevStable
-	e.table.Store(&revTable{stable: prev})
+	e.table.Store(&revTable{stable: prev, stableRT: rt})
+	evicted := e.enforceRetentionLocked()
+	e.mu.Unlock()
+	closeRuntimes(evicted)
 	return nil
 }
 
-// route picks the serving revision for one request. With a canary live,
+// enforceRetentionLocked applies Options.RetainRetired: every retired
+// revision beyond the K most recent loses its runtime. The caller holds
+// e.mu and must close the returned runtimes after unlocking (Close
+// drains, and a drain must not stall lifecycle operations).
+func (e *Endpoint) enforceRetentionLocked() []*Runtime {
+	k := e.opts.RetainRetired
+	if k < 0 {
+		return nil
+	}
+	var retired []*Revision
+	for _, r := range e.revs {
+		if r.state == RevRetired {
+			retired = append(retired, r)
+		}
+	}
+	if len(retired) <= k {
+		return nil
+	}
+	var evicted []*Runtime
+	for _, r := range retired[:len(retired)-k] {
+		if rt := r.rt.Load(); rt != nil {
+			r.rt.Store(nil)
+			evicted = append(evicted, rt)
+		}
+	}
+	return evicted
+}
+
+// closeRuntimes drains retention-evicted runtimes. Any request still in
+// flight on an evicted revision was admitted before it retired; Close
+// delivers it before the workers exit.
+func closeRuntimes(rts []*Runtime) {
+	for _, rt := range rts {
+		_ = rt.Close()
+	}
+}
+
+// route picks the serving runtime for one request. With a canary live,
 // the endpoint's request sequence number is hashed through splitmix64,
 // so the split is even, uncorrelated with request content, and exactly
 // reproducible across fixed-seed replays.
 func (t *revTable) route(e *Endpoint) *Runtime {
 	if t.canary != nil && splitmix64(e.seq.Add(1)-1)%100 < t.canaryPercent {
-		return t.canary.rt
+		return t.canaryRT
 	}
-	return t.stable.rt
+	return t.stableRT
 }
 
 // Classify routes one feature vector through the endpoint's current
 // revision table and blocks until its class is computed. Sheds with
 // ErrOverloaded under backpressure and fails with ErrClosed after Close.
 func (e *Endpoint) Classify(x []float64) (int, error) {
-	t := e.table.Load()
-	if t == nil {
-		return 0, ErrClosed
+	for {
+		t := e.table.Load()
+		if t == nil {
+			return 0, ErrClosed
+		}
+		class, err := t.route(e).Classify(x)
+		if err != nil && errors.Is(err, ErrClosed) {
+			// The routed runtime closed between our table load and the
+			// enqueue — a retention eviction (or Close) retired it. The
+			// table this request routed through is necessarily stale (an
+			// evicted revision is never referenced by the current table),
+			// so reloading makes progress; a genuinely closed endpoint
+			// surfaces as a nil table on the next spin.
+			continue
+		}
+		if t.shadow != nil && err == nil {
+			e.mirror(t, x, class)
+		}
+		return class, err
 	}
-	class, err := t.route(e).Classify(x)
-	if t.shadow != nil && err == nil {
-		e.mirror(t, x, class)
-	}
-	return class, err
 }
 
 // ClassifyBatch routes every vector of xs (each request is split
 // independently, exactly as Classify would) and waits for all results;
 // classes[i] is -1 for shed or failed requests.
 func (e *Endpoint) ClassifyBatch(xs [][]float64) (classes []int, dropped int, err error) {
+	classes, dropped, err = e.classifyBatchOnce(xs)
+	if err != nil && errors.Is(err, ErrClosed) && e.table.Load() != nil {
+		// Part of the batch raced a retention eviction (its routed
+		// runtime closed after the table load). The endpoint is still
+		// open, so re-drive the unclassified requests through Classify,
+		// which retries on fresh tables.
+		err = nil
+		dropped = 0
+		for i, c := range classes {
+			if c >= 0 {
+				continue
+			}
+			cl, cerr := e.Classify(xs[i])
+			if cerr == nil {
+				classes[i] = cl
+				continue
+			}
+			classes[i] = -1
+			if errors.Is(cerr, ErrOverloaded) {
+				dropped++
+			}
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
+	return classes, dropped, err
+}
+
+func (e *Endpoint) classifyBatchOnce(xs [][]float64) (classes []int, dropped int, err error) {
 	t := e.table.Load()
 	if t == nil {
 		classes = make([]int, len(xs))
@@ -449,14 +615,14 @@ func (e *Endpoint) ClassifyBatch(xs [][]float64) (classes []int, dropped int, er
 		return classes, len(xs), ErrClosed
 	}
 	if t.canary == nil {
-		classes, dropped, err = t.stable.rt.ClassifyBatch(xs)
+		classes, dropped, err = t.stableRT.ClassifyBatch(xs)
 	} else {
 		// Split the batch by per-request routing, classify the two
 		// sub-batches concurrently, then reassemble in input order.
 		toCanary := make([]bool, len(xs))
 		var stableXs, canaryXs [][]float64
 		for i, x := range xs {
-			if t.route(e) == t.canary.rt {
+			if t.route(e) == t.canaryRT {
 				toCanary[i] = true
 				canaryXs = append(canaryXs, x)
 			} else {
@@ -475,9 +641,9 @@ func (e *Endpoint) ClassifyBatch(xs [][]float64) (classes []int, dropped int, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			canaryRes, canaryDropped, canaryErr = t.canary.rt.ClassifyBatch(canaryXs)
+			canaryRes, canaryDropped, canaryErr = t.canaryRT.ClassifyBatch(canaryXs)
 		}()
-		stableRes, stableDropped, stableErr = t.stable.rt.ClassifyBatch(stableXs)
+		stableRes, stableDropped, stableErr = t.stableRT.ClassifyBatch(stableXs)
 		wg.Wait()
 		classes = make([]int, len(xs))
 		si, ci := 0, 0
@@ -514,7 +680,7 @@ func (e *Endpoint) mirror(t *revTable, x []float64, primary int) {
 	select {
 	case e.mirrorSem <- struct{}{}:
 		xc := append(make([]float64, 0, len(x)), x...)
-		d, rt := t.shadowCmp, t.shadow.rt
+		d, rt := t.shadowCmp, t.shadowRT
 		go func() {
 			defer func() { <-e.mirrorSem }()
 			class, err := rt.Classify(xc)
@@ -533,15 +699,16 @@ func (e *Endpoint) Revisions() []*Revision {
 }
 
 // RevisionInfos lists every revision's lifecycle metadata (ID, state,
-// traffic share) without snapshotting the runtimes — the cheap form for
-// listings that do not need counters (Stats is left zero).
+// traffic share, warmth) without snapshotting the runtimes — the cheap
+// form for listings that do not need counters (Stats is left zero).
 func (e *Endpoint) RevisionInfos() []RevisionStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]RevisionStats, 0, len(e.revs))
 	for _, r := range e.revs {
 		out = append(out, RevisionStats{
-			ID: r.ID, State: r.state, Created: r.Created, CanaryPercent: r.canaryPercent,
+			ID: r.ID, State: r.state, Created: r.Created,
+			CanaryPercent: r.canaryPercent, Warm: r.rt.Load() != nil,
 		})
 	}
 	return out
@@ -567,14 +734,16 @@ func (e *Endpoint) View() (stable, canary, canaryPercent, shadow int) {
 
 // Stats snapshots the endpoint: per-revision metrics, the merged view
 // (summed counters and histograms, quantiles over the combined
-// histogram), and the shadow divergence report.
+// histogram), and the shadow divergence report. Cold revisions appear
+// with zero stats — their counters left with their runtimes.
 func (e *Endpoint) Stats() EndpointStats {
 	e.mu.Lock()
 	revs := append([]*Revision(nil), e.revs...)
 	states := make([]RevisionState, len(revs))
 	pcts := make([]int, len(revs))
+	rts := make([]*Runtime, len(revs))
 	for i, r := range revs {
-		states[i], pcts[i] = r.state, r.canaryPercent
+		states[i], pcts[i], rts[i] = r.state, r.canaryPercent, r.rt.Load()
 	}
 	shadow := e.lastShadow
 	e.mu.Unlock()
@@ -582,12 +751,15 @@ func (e *Endpoint) Stats() EndpointStats {
 	out := EndpointStats{Name: e.name}
 	var acc statsAccum
 	for i, r := range revs {
-		st := r.rt.Stats()
+		var st Stats
+		if rts[i] != nil {
+			st = rts[i].Stats()
+			rts[i].stats.accumulate(&acc)
+		}
 		out.Revisions = append(out.Revisions, RevisionStats{
 			ID: r.ID, State: states[i], Created: r.Created,
-			CanaryPercent: pcts[i], Stats: st,
+			CanaryPercent: pcts[i], Warm: rts[i] != nil, Stats: st,
 		})
-		r.rt.stats.accumulate(&acc)
 	}
 	out.Merged = acc.snapshot(time.Since(e.start))
 	if shadow != nil {
@@ -609,10 +781,15 @@ func (e *Endpoint) Close() error {
 	e.table.Store(nil)
 	// Revision states are left as the last live routing showed them, so
 	// the post-drain stats still tell which revision ended up stable.
-	revs := append([]*Revision(nil), e.revs...)
+	var rts []*Runtime
+	for _, r := range e.revs {
+		if rt := r.rt.Load(); rt != nil {
+			rts = append(rts, rt)
+		}
+	}
 	e.mu.Unlock()
-	for _, r := range revs {
-		_ = r.rt.Close()
+	for _, rt := range rts {
+		_ = rt.Close()
 	}
 	// Wait out in-flight shadow mirrors by acquiring every semaphore
 	// slot; new mirrors cannot start (the table is gone).
@@ -620,4 +797,166 @@ func (e *Endpoint) Close() error {
 		e.mirrorSem <- struct{}{}
 	}
 	return nil
+}
+
+// RestoreRevision is one revision of a persisted endpoint being rebuilt.
+type RestoreRevision struct {
+	// ID is the revision's original endpoint-local number.
+	ID int
+	// Model is the revision's compiled model. It may be nil only for a
+	// retired revision whose artifact did not survive — the revision is
+	// then listed but can never serve again.
+	Model *ir.Model
+	// Opts are the revision's runtime bounds; zero fields inherit the
+	// endpoint defaults.
+	Opts Options
+	// State is the revision's lifecycle place; exactly one restored
+	// revision must be RevStable, and at most one RevCanary or RevShadow.
+	State RevisionState
+	// CanaryPercent is the live traffic share of a RevCanary revision.
+	CanaryPercent int
+	// Created is the revision's original rollout time (now if zero).
+	Created time.Time
+}
+
+// RestoreEndpoint rebuilds an endpoint from persisted state: the same
+// revision history, routing table, and canary/shadow configuration it
+// had when the manifest was written. Runtimes are created for the
+// routing revisions and for retired revisions within the retention cap;
+// older retired revisions come back cold. Serving counters and shadow
+// divergence tallies restart from zero — stats are not durable.
+func RestoreEndpoint(name string, opts Options, revs []RestoreRevision) (*Endpoint, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: endpoint needs a name")
+	}
+	if len(revs) == 0 {
+		return nil, fmt.Errorf("serve: restore %q: no revisions", name)
+	}
+	o := opts.withDefaults()
+	e := &Endpoint{
+		name:      name,
+		opts:      o,
+		start:     time.Now(),
+		mirrorSem: make(chan struct{}, mirrorDepth),
+	}
+	sorted := append([]RestoreRevision(nil), revs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	var stable, canary, shadow *Revision
+	var canaryPct int
+	for _, rr := range sorted {
+		if rr.ID <= e.nextID {
+			return nil, fmt.Errorf("serve: restore %q: duplicate or non-positive revision ID %d", name, rr.ID)
+		}
+		rev := &Revision{
+			ID: rr.ID, Created: rr.Created, model: rr.Model,
+			opts: e.resolveOpts(rr.Opts), state: rr.State, canaryPercent: rr.CanaryPercent,
+		}
+		if rev.Created.IsZero() {
+			rev.Created = time.Now()
+		}
+		switch rr.State {
+		case RevStable:
+			if stable != nil {
+				return nil, fmt.Errorf("serve: restore %q: two stable revisions (%d, %d)", name, stable.ID, rr.ID)
+			}
+			stable = rev
+		case RevCanary:
+			if canary != nil || shadow != nil {
+				return nil, fmt.Errorf("serve: restore %q: more than one live rollout", name)
+			}
+			if rr.CanaryPercent < 0 || rr.CanaryPercent > 100 {
+				return nil, fmt.Errorf("serve: restore %q: canary percent %d out of [0,100]", name, rr.CanaryPercent)
+			}
+			canary, canaryPct = rev, rr.CanaryPercent
+		case RevShadow:
+			if canary != nil || shadow != nil {
+				return nil, fmt.Errorf("serve: restore %q: more than one live rollout", name)
+			}
+			shadow = rev
+		case RevRetired:
+		default:
+			return nil, fmt.Errorf("serve: restore %q: revision %d has unknown state %q", name, rr.ID, rr.State)
+		}
+		e.revs = append(e.revs, rev)
+		e.nextID = rr.ID
+	}
+	if stable == nil {
+		return nil, fmt.Errorf("serve: restore %q: no stable revision", name)
+	}
+
+	// Create runtimes for the routing revisions; unwind on failure so a
+	// rejected restore leaks nothing.
+	var created []*Runtime
+	warm := func(rev *Revision) (*Runtime, error) {
+		if rev.model == nil {
+			return nil, fmt.Errorf("serve: restore %q: revision %d has no model", name, rev.ID)
+		}
+		rt, err := New(rev.model, rev.opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore %q revision %d: %w", name, rev.ID, err)
+		}
+		rev.rt.Store(rt)
+		created = append(created, rt)
+		return rt, nil
+	}
+	fail := func(err error) (*Endpoint, error) {
+		closeRuntimes(created)
+		return nil, err
+	}
+	table := &revTable{}
+	rt, err := warm(stable)
+	if err != nil {
+		return fail(err)
+	}
+	table.stable, table.stableRT = stable, rt
+	if canary != nil {
+		if canary.model != nil && canary.model.Inputs != stable.model.Inputs {
+			return fail(fmt.Errorf("serve: restore %q: canary revision %d wants %d features, stable serves %d",
+				name, canary.ID, canary.model.Inputs, stable.model.Inputs))
+		}
+		rt, err := warm(canary)
+		if err != nil {
+			return fail(err)
+		}
+		table.canary, table.canaryRT, table.canaryPercent = canary, rt, uint64(canaryPct)
+	}
+	if shadow != nil {
+		rt, err := warm(shadow)
+		if err != nil {
+			return fail(err)
+		}
+		table.shadow, table.shadowRT = shadow, rt
+		table.shadowCmp = newDivergence(shadow.ID, stable.model.Outputs, shadow.model.Outputs)
+		e.lastShadow = table.shadowCmp
+	}
+
+	// Retired revisions within the retention cap come back warm (instant
+	// rollback, matching steady-state behavior); older ones stay cold. A
+	// model-less or invalid retired revision simply stays cold — boot
+	// must not fail over a revision nothing routes to.
+	var retired []*Revision
+	for _, r := range e.revs {
+		if r.state == RevRetired {
+			retired = append(retired, r)
+		}
+	}
+	warmFrom := 0
+	if o.RetainRetired >= 0 && len(retired) > o.RetainRetired {
+		warmFrom = len(retired) - o.RetainRetired
+	}
+	for _, r := range retired[warmFrom:] {
+		if r.model == nil {
+			continue
+		}
+		if rt, err := New(r.model, r.opts); err == nil {
+			r.rt.Store(rt)
+		}
+	}
+	// The promote-history stack is rebuilt in revision order: rolling
+	// back walks retired revisions newest first.
+	e.prevStable = append(e.prevStable, retired...)
+
+	e.table.Store(table)
+	return e, nil
 }

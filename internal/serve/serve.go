@@ -60,6 +60,15 @@ type Options struct {
 	// shard. Classify sheds with ErrOverloaded beyond it. Default 1024.
 	QueueDepth int
 
+	// RetainRetired caps how many retired revisions an Endpoint keeps
+	// warm (live runtime, instant rollback). Older retired revisions
+	// have their runtimes closed — their serving counters leave the
+	// endpoint's merged stats — and are lazily re-created from the
+	// revision's model if a rollback walks back that far. Default 2;
+	// negative keeps every retired revision warm (the pre-cap behavior).
+	// Meaningful only for endpoints; single-revision runtimes ignore it.
+	RetainRetired int
+
 	// testHook, when set by white-box tests, runs before each request is
 	// classified — it lets tests hold shards busy deterministically.
 	testHook func()
@@ -77,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 1024
+	}
+	if o.RetainRetired == 0 {
+		o.RetainRetired = 2
 	}
 	return o
 }

@@ -1,0 +1,199 @@
+package store
+
+// Artifacts is the content-addressed half of the state directory: one
+// file per compiled pipeline, named by the submission's SpecHash. Writes
+// are crash-atomic (tmp file + fsync + rename + directory fsync), and
+// reads verify the envelope — key, embedded hash, payload digest — so a
+// corrupt or truncated artifact is quarantined and reported, never
+// served and never fatal.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+var (
+	// ErrNotFound reports a key with no stored artifact.
+	ErrNotFound = errors.New("store: artifact not found")
+	// ErrCorrupt reports an artifact that failed verification; the file
+	// has been moved to quarantine/.
+	ErrCorrupt = errors.New("store: artifact corrupt (quarantined)")
+)
+
+// keyRE bounds artifact keys to hex digests: the key is also the file
+// name, so nothing path-like may pass.
+var keyRE = regexp.MustCompile(`^[0-9a-f]{16,128}$`)
+
+// envelope is the on-disk artifact frame. Payload carries the pipeline
+// document verbatim; PayloadSHA256 is the digest Get re-checks.
+type envelope struct {
+	Version       int             `json:"version"`
+	SpecHash      string          `json:"spec_hash"`
+	PayloadSHA256 string          `json:"payload_sha256"`
+	Payload       json.RawMessage `json:"payload"`
+}
+
+const envelopeVersion = 1
+
+// Artifacts is a content-addressed blob store under dir. Safe for
+// concurrent use; writes serialize on an internal mutex (artifact writes
+// are rare next to reads).
+type Artifacts struct {
+	fs         FS
+	dir        string
+	quarantine string
+
+	mu sync.Mutex
+}
+
+func newArtifacts(fs FS, dir, quarantine string) *Artifacts {
+	return &Artifacts{fs: fs, dir: dir, quarantine: quarantine}
+}
+
+func (a *Artifacts) path(key string) string { return filepath.Join(a.dir, key+".json") }
+
+// Put stores payload under key crash-atomically: the envelope is written
+// to a tmp file, fsynced, renamed into place, and the directory synced.
+// An existing artifact for key is replaced (content-addressed: the bytes
+// are equivalent by construction).
+func (a *Artifacts) Put(key string, payload []byte) error {
+	if !keyRE.MatchString(key) {
+		return fmt.Errorf("store: invalid artifact key %q", key)
+	}
+	// Compact the payload so the digest covers exactly the bytes the
+	// envelope's encoder will emit (json.Marshal compacts RawMessage).
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return fmt.Errorf("store: artifact payload is not JSON: %w", err)
+	}
+	compact := buf.Bytes()
+	sum := sha256.Sum256(compact)
+	raw, err := json.Marshal(envelope{
+		Version:       envelopeVersion,
+		SpecHash:      key,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		Payload:       compact,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode artifact %s: %w", key, err)
+	}
+	raw = append(raw, '\n')
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tmp := a.path(key) + ".tmp"
+	if err := writeFileAtomic(a.fs, tmp, a.path(key), a.dir, raw); err != nil {
+		return fmt.Errorf("store: write artifact %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get returns the payload stored under key, re-verifying the envelope.
+// A missing artifact is ErrNotFound; one that fails verification is
+// moved to quarantine/ and reported as ErrCorrupt — callers treat both
+// as a cache miss, never as fatal.
+func (a *Artifacts) Get(key string) ([]byte, error) {
+	if !keyRE.MatchString(key) {
+		return nil, fmt.Errorf("store: invalid artifact key %q", key)
+	}
+	raw, err := a.fs.ReadFile(a.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: read artifact %s: %w", key, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, a.quarantineKey(key, fmt.Sprintf("parse: %v", err))
+	}
+	if env.Version != envelopeVersion {
+		return nil, a.quarantineKey(key, fmt.Sprintf("unsupported version %d", env.Version))
+	}
+	if env.SpecHash != key {
+		return nil, a.quarantineKey(key, fmt.Sprintf("embedded key %s does not match", env.SpecHash))
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.PayloadSHA256 {
+		return nil, a.quarantineKey(key, "payload digest mismatch")
+	}
+	return env.Payload, nil
+}
+
+// Has reports whether an artifact exists for key without verifying it.
+func (a *Artifacts) Has(key string) bool {
+	if !keyRE.MatchString(key) {
+		return false
+	}
+	_, err := a.fs.ReadFile(a.path(key))
+	return err == nil
+}
+
+// Keys lists every stored artifact key (unverified), sorted by name.
+func (a *Artifacts) Keys() ([]string, error) {
+	entries, err := a.fs.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list artifacts: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || !keyRE.MatchString(key) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}
+
+// quarantineKey moves a bad artifact out of the serving path and returns
+// the ErrCorrupt the caller surfaces. A failed move falls back to
+// removal: a corrupt artifact must never be read again as valid.
+func (a *Artifacts) quarantineKey(key, reason string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.fs.Rename(a.path(key), filepath.Join(a.quarantine, key+".json")); err != nil {
+		_ = a.fs.Remove(a.path(key))
+	}
+	return fmt.Errorf("%w: %s: %s", ErrCorrupt, key, reason)
+}
+
+// writeFileAtomic is the store's one durable write primitive: data lands
+// in tmp, is fsynced, renamed over dst, and the directory is synced so
+// the rename itself survives power loss. The tmp file is removed on any
+// failure.
+func writeFileAtomic(fs FS, tmp, dst, dir string, data []byte) error {
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, dst); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(dir)
+}

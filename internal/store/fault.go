@@ -1,0 +1,207 @@
+package store
+
+// FaultFS wraps an FS and injects failures at precise points: the Nth
+// write can error or tear (short write), syncs and renames can fail, and
+// the injected error is configurable (ENOSPC by default). It exists so
+// the durability layer's recovery claims are tested against the failures
+// they defend against instead of assumed.
+
+import (
+	"os"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the default fault error: a full disk.
+var ErrInjected = error(syscall.ENOSPC)
+
+// FaultFS is an FS with programmable failure points. The zero budget
+// (-1) on each knob means "never fail"; Set* methods arm them. Safe for
+// concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// writesLeft counts Write calls until injection; -1 disarmed.
+	writesLeft int
+	// short tears the failing write (half the buffer lands) instead of
+	// rejecting it outright.
+	short bool
+	// syncsLeft / renamesLeft count Sync and Rename calls until
+	// injection; -1 disarmed.
+	syncsLeft   int
+	renamesLeft int
+	err         error
+
+	writes  int
+	syncs   int
+	renames int
+}
+
+// NewFaultFS wraps inner (OSFS when nil) with all faults disarmed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner, writesLeft: -1, syncsLeft: -1, renamesLeft: -1, err: ErrInjected}
+}
+
+// SetError replaces the injected error (ErrInjected when err is nil).
+func (f *FaultFS) SetError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.err = err
+}
+
+// FailWrites makes the (n+1)th Write call from now fail (n=0 fails the
+// next write). Subsequent writes fail too until Disarm.
+func (f *FaultFS) FailWrites(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesLeft, f.short = n, false
+}
+
+// TearWrites makes the (n+1)th Write call from now a short write: half
+// the buffer reaches the file, then the injected error returns.
+func (f *FaultFS) TearWrites(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesLeft, f.short = n, true
+}
+
+// FailSyncs makes the (n+1)th Sync call from now fail.
+func (f *FaultFS) FailSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsLeft = n
+}
+
+// FailRenames makes the (n+1)th Rename call from now fail.
+func (f *FaultFS) FailRenames(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renamesLeft = n
+}
+
+// Disarm clears every pending fault.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesLeft, f.syncsLeft, f.renamesLeft = -1, -1, -1
+}
+
+// Counts reports how many writes, syncs, and renames went through the
+// wrapper (including failed ones).
+func (f *FaultFS) Counts() (writes, syncs, renames int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs, f.renames
+}
+
+// writeFault charges one write; it returns the short-write flag and the
+// error to inject (nil when disarmed or not yet due).
+func (f *FaultFS) writeFault() (short bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.writesLeft < 0 {
+		return false, nil
+	}
+	if f.writesLeft > 0 {
+		f.writesLeft--
+		return false, nil
+	}
+	return f.short, f.err
+}
+
+func (f *FaultFS) syncFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.syncsLeft < 0 {
+		return nil
+	}
+	if f.syncsLeft > 0 {
+		f.syncsLeft--
+		return nil
+	}
+	return f.err
+}
+
+func (f *FaultFS) renameFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renames++
+	if f.renamesLeft < 0 {
+		return nil
+	}
+	if f.renamesLeft > 0 {
+		f.renamesLeft--
+		return nil
+	}
+	return f.err
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.renameFault(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *FaultFS) SyncDir(path string) error {
+	if err := f.syncFault(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+type faultFile struct {
+	f  File
+	fs *FaultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	short, err := w.fs.writeFault()
+	if err == nil {
+		return w.f.Write(p)
+	}
+	if short && len(p) > 1 {
+		// A torn write: part of the buffer reaches the disk before the
+		// failure surfaces — exactly what a crash mid-write leaves behind.
+		n, werr := w.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.syncFault(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

@@ -1,0 +1,77 @@
+// Package store is the daemon's durability layer: a content-addressed
+// artifact store (SpecHash → canonical pipeline JSON), an append-only
+// write-ahead job journal, and a persisted endpoint manifest, all under
+// one state directory. The package trusts nothing it reads back —
+// artifacts are re-hashed on read and quarantined when corrupt, a torn
+// journal tail is skipped rather than fatal — and every write path goes
+// through the FS seam so tests can inject torn writes, ENOSPC, and
+// failed syncs (fault.go).
+//
+// Layout of a state directory (docs/operations.md):
+//
+//	state/
+//	  artifacts/<spec-hash>.json   one compiled pipeline per content hash
+//	  quarantine/                  artifacts that failed verification
+//	  journal.jsonl                job write-ahead log (JSONL)
+//	  endpoints.json               endpoint manifest (atomic snapshot)
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable handle the store needs: sequential writes, an
+// explicit durability barrier, and close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam every store write and read goes through.
+// The production implementation is OSFS; tests wrap it in a FaultFS to
+// inject torn writes and full disks.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile mirrors os.OpenFile for the store's flag combinations
+	// (create+truncate for tmp files, create+append for the journal).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a just-renamed entry survives power
+	// loss. Filesystems that cannot sync directories may no-op.
+	SyncDir(path string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	// Directory fsync is best-effort across filesystems; the close error
+	// matters less than the sync outcome.
+	err = d.Sync()
+	_ = d.Close()
+	return err
+}

@@ -1,0 +1,105 @@
+package store
+
+// The endpoint manifest is a whole-state snapshot (not a log): every
+// lifecycle operation rewrites endpoints.json atomically, and boot
+// recovery re-creates each named endpoint — revision history, routing,
+// canary/shadow config — from it, loading the revision models out of the
+// artifact store by spec hash.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const manifestVersion = 1
+
+// Manifest is the persisted endpoint table.
+type Manifest struct {
+	Version   int              `json:"version"`
+	Endpoints []EndpointRecord `json:"endpoints"`
+}
+
+// EndpointRecord persists one named endpoint.
+type EndpointRecord struct {
+	Name     string `json:"name"`
+	Platform string `json:"platform"`
+	// CreatedUnixNano is when the endpoint was first created.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+	// Options are the endpoint's default runtime bounds.
+	Options OptionsRecord `json:"options"`
+	// Stable/Canary/Shadow are the routing table's revision IDs (0 =
+	// none); CanaryPercent is the live canary's traffic share.
+	Stable        int `json:"stable"`
+	Canary        int `json:"canary,omitempty"`
+	CanaryPercent int `json:"canary_percent,omitempty"`
+	Shadow        int `json:"shadow,omitempty"`
+	// Revisions lists every revision in rollout order.
+	Revisions []RevisionRecord `json:"revisions"`
+}
+
+// OptionsRecord persists serving runtime bounds.
+type OptionsRecord struct {
+	Shards     int   `json:"shards,omitempty"`
+	BatchSize  int   `json:"batch_size,omitempty"`
+	MaxDelayNS int64 `json:"max_delay_ns,omitempty"`
+	QueueDepth int   `json:"queue_depth,omitempty"`
+	// RetainRetired caps warm retired revisions (0 = default).
+	RetainRetired int `json:"retain_retired,omitempty"`
+}
+
+// RevisionRecord persists one revision's identity and lifecycle place.
+type RevisionRecord struct {
+	ID int `json:"id"`
+	// JobID is the compilation job the revision came from ("" when its
+	// pipeline was supplied out of band).
+	JobID string `json:"job_id,omitempty"`
+	// App is the served application name inside the pipeline.
+	App string `json:"app"`
+	// SpecHash keys the artifact holding the revision's pipeline.
+	SpecHash string `json:"spec_hash"`
+	// State is "stable", "canary", "shadow", or "retired".
+	State           string `json:"state"`
+	CanaryPercent   int    `json:"canary_percent,omitempty"`
+	CreatedUnixNano int64  `json:"created_unix_nano"`
+	// Options are the revision's runtime bounds when they override the
+	// endpoint defaults.
+	Options OptionsRecord `json:"options,omitempty"`
+}
+
+// SaveManifest atomically replaces the endpoint manifest.
+func (s *Store) SaveManifest(m Manifest) error {
+	m.Version = manifestVersion
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	raw = append(raw, '\n')
+	path := filepath.Join(s.dir, manifestFile)
+	if err := writeFileAtomic(s.fs, path+".tmp", path, s.dir, raw); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads the endpoint manifest; a missing file is an empty
+// manifest, and a corrupt one is surfaced as an error for the caller to
+// log and skip (endpoints are then not restored — jobs still are).
+func (s *Store) LoadManifest() (Manifest, error) {
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, manifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{Version: manifestVersion}, nil
+		}
+		return Manifest{}, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("store: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return Manifest{}, fmt.Errorf("store: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	return m, nil
+}

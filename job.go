@@ -72,6 +72,11 @@ type Job struct {
 	platform  string
 	cancelCtx context.CancelFunc
 
+	// onFinish, when set by a durable service before the job can reach a
+	// terminal state, runs exactly once after the terminal transition
+	// (outside the job's mutex) — it is the write-ahead journal's hook.
+	onFinish func(*Job)
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	state     JobState
@@ -269,4 +274,7 @@ func (j *Job) finish(pipe *Pipeline, err error) {
 	// without this, every completed job of a long-lived cancellable
 	// parent context would stay reachable until the parent dies.
 	j.cancelCtx()
+	if j.onFinish != nil {
+		j.onFinish(j)
+	}
 }

@@ -1,0 +1,174 @@
+package homunculus
+
+// Pipeline serialization: the canonical JSON document the durable
+// artifact store keeps per SpecHash (internal/store, docs/operations.md).
+// The document is deterministic — fixed field order, compacted model
+// JSON, map keys sorted by the encoder — so equal pipelines produce
+// equal bytes and a recovered cache entry re-serializes bit-identically.
+//
+// Candidate telemetry (AppResult.Candidates: per-family BO histories) is
+// deliberately NOT persisted: it is observability, not a compilation
+// result, and it dominates the pipeline's size. A pipeline read back
+// from the store has Candidates == nil; everything a deployment or
+// endpoint needs — models, verdicts, generated code — survives.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+// pipelineFormatVersion is bumped on incompatible artifact changes.
+const pipelineFormatVersion = 1
+
+type pipelineDoc struct {
+	Version     int         `json:"version"`
+	Platform    string      `json:"platform"`
+	Apps        []appDoc    `json:"apps"`
+	Composition *verdictDoc `json:"composition,omitempty"`
+}
+
+type appDoc struct {
+	Name      string          `json:"name"`
+	Algorithm string          `json:"algorithm,omitempty"`
+	Metric    float64         `json:"metric"`
+	Model     json.RawMessage `json:"model,omitempty"`
+	Verdict   verdictDoc      `json:"verdict"`
+	Code      string          `json:"code,omitempty"`
+}
+
+type verdictDoc struct {
+	Feasible bool               `json:"feasible"`
+	Reason   string             `json:"reason,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func toVerdictDoc(v core.Verdict) verdictDoc {
+	return verdictDoc{Feasible: v.Feasible, Reason: v.Reason, Metrics: v.Metrics}
+}
+
+func (d verdictDoc) verdict() core.Verdict {
+	return core.Verdict{Feasible: d.Feasible, Reason: d.Reason, Metrics: d.Metrics}
+}
+
+// MarshalPipeline renders a compiled pipeline as the canonical artifact
+// document. Candidate telemetry is dropped (see the package comment
+// above); everything else round-trips through UnmarshalPipeline.
+func MarshalPipeline(pipe *Pipeline) ([]byte, error) {
+	if pipe == nil {
+		return nil, fmt.Errorf("homunculus: nil pipeline")
+	}
+	doc := pipelineDoc{Version: pipelineFormatVersion, Platform: pipe.Platform}
+	for i := range pipe.Apps {
+		app := &pipe.Apps[i]
+		ad := appDoc{
+			Name:      app.Name,
+			Algorithm: app.Algorithm,
+			Metric:    app.Metric,
+			Verdict:   toVerdictDoc(app.Verdict),
+			Code:      app.Code,
+		}
+		if app.Model != nil {
+			var buf bytes.Buffer
+			if err := app.Model.WriteJSON(&buf); err != nil {
+				return nil, fmt.Errorf("homunculus: serialize pipeline app %q: %w", app.Name, err)
+			}
+			ad.Model = buf.Bytes()
+		}
+		doc.Apps = append(doc.Apps, ad)
+	}
+	if pipe.Composition != nil {
+		vd := toVerdictDoc(*pipe.Composition)
+		doc.Composition = &vd
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalPipeline rebuilds a pipeline from its artifact document,
+// validating every embedded model. Candidates are nil by design.
+func UnmarshalPipeline(raw []byte) (*Pipeline, error) {
+	var doc pipelineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("homunculus: parse pipeline: %w", err)
+	}
+	if doc.Version != pipelineFormatVersion {
+		return nil, fmt.Errorf("homunculus: unsupported pipeline format version %d (want %d)", doc.Version, pipelineFormatVersion)
+	}
+	pipe := &Pipeline{Platform: doc.Platform}
+	for _, ad := range doc.Apps {
+		app := AppResult{
+			Name:      ad.Name,
+			Algorithm: ad.Algorithm,
+			Metric:    ad.Metric,
+			Verdict:   ad.Verdict.verdict(),
+			Code:      ad.Code,
+		}
+		if len(ad.Model) > 0 {
+			m, err := ir.ReadJSON(bytes.NewReader(ad.Model))
+			if err != nil {
+				return nil, fmt.Errorf("homunculus: pipeline app %q: %w", ad.Name, err)
+			}
+			app.Model = m
+		}
+		pipe.Apps = append(pipe.Apps, app)
+	}
+	if doc.Composition != nil {
+		v := doc.Composition.verdict()
+		pipe.Composition = &v
+	}
+	return pipe, nil
+}
+
+// marshalSearchConfig renders the effective search configuration for a
+// journal record. It reuses the cache key's canonical document
+// (searchKeyDoc), so a recovered job hashes to the same SpecHash as the
+// original submission.
+func marshalSearchConfig(cfg core.SearchConfig) ([]byte, error) {
+	algos := make([]string, 0, len(cfg.Algorithms))
+	for _, k := range cfg.Algorithms {
+		algos = append(algos, k.String())
+	}
+	return json.Marshal(searchKeyDoc{
+		Algorithms:      algos,
+		Metric:          string(cfg.Metric),
+		BO:              cfg.BO,
+		MaxHiddenLayers: cfg.MaxHiddenLayers,
+		MaxNeurons:      cfg.MaxNeurons,
+		MaxClusters:     cfg.MaxClusters,
+		TrainEpochs:     cfg.TrainEpochs,
+		FormatIntBits:   cfg.Format.IntBits,
+		FormatFracBits:  cfg.Format.FracBits,
+		Seed:            cfg.Seed,
+	})
+}
+
+// unmarshalSearchConfig is the journal-replay inverse. OnCandidate is
+// observability-only and does not round-trip.
+func unmarshalSearchConfig(raw []byte) (core.SearchConfig, error) {
+	var doc searchKeyDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return core.SearchConfig{}, fmt.Errorf("homunculus: parse search config: %w", err)
+	}
+	cfg := core.SearchConfig{
+		Metric:          core.Metric(doc.Metric),
+		BO:              doc.BO,
+		MaxHiddenLayers: doc.MaxHiddenLayers,
+		MaxNeurons:      doc.MaxNeurons,
+		MaxClusters:     doc.MaxClusters,
+		TrainEpochs:     doc.TrainEpochs,
+		Format:          fixed.Format{IntBits: doc.FormatIntBits, FracBits: doc.FormatFracBits},
+		Seed:            doc.Seed,
+	}
+	for _, a := range doc.Algorithms {
+		kind, err := ir.ParseKind(a)
+		if err != nil {
+			return core.SearchConfig{}, fmt.Errorf("homunculus: search config: %w", err)
+		}
+		cfg.Algorithms = append(cfg.Algorithms, kind)
+	}
+	return cfg, nil
+}

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/alchemy"
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/jobqueue"
+	"repro/internal/store"
 )
 
 var (
@@ -50,6 +52,17 @@ type ServiceOptions struct {
 	// keep working). This bounds a long-lived daemon's memory. Default
 	// 4096; negative = retain forever.
 	RetainJobs int
+
+	// StateDir makes the service durable: compiled pipelines land in an
+	// on-disk content-addressed artifact store, every job transition is
+	// journaled write-ahead, and the endpoint table is persisted — Open
+	// on the same directory recovers all three (interrupted jobs re-run,
+	// completed results serve warm, endpoints resume routing). Empty
+	// keeps the service fully in-memory. See docs/operations.md.
+	StateDir string
+	// StateFS overrides the state directory's filesystem — the fault
+	// injection seam (store.FaultFS). Nil uses the OS filesystem.
+	StateFS store.FS
 }
 
 func (o ServiceOptions) withDefaults() ServiceOptions {
@@ -101,10 +114,34 @@ type Service struct {
 	// re-Load anonymous datasets just to hash them.
 	fpMu         sync.Mutex
 	fingerprints map[*alchemy.Model]string
+
+	// Durability (nil/zero on an in-memory service): the opened state
+	// directory, the count of store-layer failures absorbed so far
+	// (degraded durability never fails a compilation), and the boot
+	// recovery report.
+	store     *store.Store
+	storeErrs atomic.Uint64
+	recovery  RecoveryReport
 }
 
-// New constructs a service with the given bounds.
+// New constructs a service with the given bounds. It panics when a
+// StateDir cannot be opened — durable services should prefer Open, which
+// returns the error (and the boot recovery report) instead.
 func New(opts ServiceOptions) *Service {
+	s, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("homunculus: New with StateDir %q: %v (use Open to handle this error)", opts.StateDir, err))
+	}
+	return s
+}
+
+// Open constructs a service and, when opts.StateDir is set, opens the
+// state directory and recovers: jobs interrupted by the previous
+// process's death are re-enqueued under their original IDs, completed
+// results become warm cache hits straight from the artifact store, and
+// named endpoints resume serving their persisted revision history. The
+// recovery outcome is reported by Recovery.
+func Open(opts ServiceOptions) (*Service, error) {
 	o := opts.withDefaults()
 	s := &Service{
 		opts:         o,
@@ -117,7 +154,13 @@ func New(opts ServiceOptions) *Service {
 	if o.CacheEntries > 0 {
 		s.cache = newFlightCache(o.CacheEntries)
 	}
-	return s
+	if o.StateDir == "" {
+		return s, nil
+	}
+	if err := s.recover(o.StateDir, o.StateFS); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Options returns the effective (defaulted) service bounds.
@@ -158,6 +201,11 @@ func (s *Service) Submit(ctx context.Context, p *alchemy.Platform, opts ...Optio
 
 	jctx, cancel := context.WithCancel(ctx)
 	j := newJob(id, clone.Kind.String(), cancel)
+	if s.store != nil {
+		// The hook is installed before the job can reach any terminal
+		// transition, including the queue's drop callback below.
+		j.onFinish = s.journalFinish
+	}
 	ticket, err := s.queue.Submit(
 		func() { s.run(jctx, j, &clone, &o) },
 		func(error) {
@@ -183,6 +231,7 @@ func (s *Service) Submit(ctx context.Context, p *alchemy.Platform, opts ...Optio
 	s.order = append(s.order, id)
 	s.pruneLocked()
 	s.mu.Unlock()
+	s.journalSubmitted(j, &clone, &o)
 	return j, nil
 }
 
@@ -272,6 +321,14 @@ func (s *Service) Close() error {
 	for _, e := range eps {
 		_ = e.Close()
 	}
+	// The endpoint manifest is NOT rewritten on shutdown — draining is
+	// not deletion, and the persisted table is what the next Open
+	// restores. Only the journal's append handle needs closing.
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.storeErr(fmt.Errorf("close state dir: %w", err))
+		}
+	}
 	return nil
 }
 
@@ -282,7 +339,8 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 		return
 	}
 	j.setRunning()
-	if s.cache == nil {
+	s.journal(store.Record{Op: store.OpRunning, Job: j.id}, false)
+	if s.cache == nil && s.store == nil {
 		pipe, err := s.compileJob(ctx, j, p, o)
 		j.finish(pipe, err)
 		return
@@ -298,12 +356,31 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 		return
 	}
 	j.setSpecHash(key)
+	if s.cache == nil {
+		// Durable but memory-cache-disabled: the artifact store still
+		// deduplicates identical specs across restarts.
+		if pipe, ok := s.loadArtifact(key); ok {
+			j.markCacheHit()
+			j.finish(pipe, nil)
+			return
+		}
+		pipe, err := s.compileLeader(ctx, j, p, o, preload, key)
+		j.finish(pipe, err)
+		return
+	}
 	for {
 		f, leader := s.cache.acquire(key)
 		if leader {
-			lo := *o
-			lo.preloaded = preload
-			pipe, err := s.compileJob(ctx, j, p, &lo)
+			// Read through to the artifact store first: a result compiled
+			// before the last restart (or by another process on the same
+			// state dir) is a warm hit with zero search events.
+			if pipe, ok := s.loadArtifact(key); ok {
+				s.cache.complete(key, f, pipe, nil)
+				j.markCacheHit()
+				j.finish(pipe, nil)
+				return
+			}
+			pipe, err := s.compileLeader(ctx, j, p, o, preload, key)
 			s.cache.complete(key, f, pipe, err)
 			j.finish(pipe, err)
 			return
@@ -325,6 +402,19 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 		// The leader failed; failures are not cached, so re-acquire —
 		// this submission may become the new leader and retry.
 	}
+}
+
+// compileLeader compiles a cache-missing spec and writes the result
+// through to the artifact store (best effort — a store failure degrades
+// durability, never the compilation).
+func (s *Service) compileLeader(ctx context.Context, j *Job, p *alchemy.Platform, o *options, preload map[*alchemy.Model]*alchemy.Data, key string) (*Pipeline, error) {
+	lo := *o
+	lo.preloaded = preload
+	pipe, err := s.compileJob(ctx, j, p, &lo)
+	if err == nil {
+		s.storeArtifact(key, pipe)
+	}
+	return pipe, err
 }
 
 // fingerprint memoizes per-model dataset fingerprints. Anonymous
