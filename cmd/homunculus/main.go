@@ -42,8 +42,18 @@
 // partial-flowmarker stream (internal/stream.Trace); for the other
 // generators and CSV data it is the test split. -replay N sets the
 // replayed sample count (cycling the trace as needed) and implies
-// -deploy; -clients, -batch, -batch-delay, and -shards tune the replay
-// concurrency and the runtime's batching knobs.
+// -deploy; -clients, -batch, -batch-delay, -shards, and -queue tune the
+// replay concurrency and the runtime's batching and ring-depth knobs.
+//
+// -burst replaces the closed-loop replayer (issue as fast as the runtime
+// admits) with an open-loop pacer: offered load arrives at a mean rate
+// calibrated from a sequential warmup (half the measured service rate)
+// with periodic spikes at 100× that mean, so the run exercises and
+// reports the ring scheduler's shed-at-the-door backpressure. Sheds
+// appear when clients run in true parallel (multi-core) against a small
+// -queue — on one core the caller-harvesting fast path drains each
+// spike inline before producers pile up. Burst digests are
+// timing-dependent and not byte-comparable.
 //
 // -endpoint NAME serves the pipeline behind a named endpoint instead of
 // a flat deployment and unlocks the lifecycle flags: -rollout recompiles
@@ -163,6 +173,13 @@ type replaySettings struct {
 	batch   int
 	delay   time.Duration
 	shards  int
+	queue   int
+
+	// burst switches the replayer from the closed loop (issue as fast as
+	// the deployment admits) to the open-loop burst pacer: offered load
+	// arrives at a calibrated mean rate with periodic 100× spikes, so the
+	// run reports how the ring scheduler sheds under volumetric bursts.
+	burst bool
 
 	// Endpoint lifecycle: serve behind a named endpoint; optionally roll
 	// out a recompiled revision mid-replay as a canary or shadow, then
@@ -215,6 +232,8 @@ func main() {
 	batch := flag.Int("batch", 0, "deployment micro-batch flush threshold (default 64)")
 	batchDelay := flag.Duration("batch-delay", 0, "deployment micro-batch flush deadline (default 500µs; negative = greedy)")
 	shards := flag.Int("shards", 0, "deployment inference shards (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "deployment ring depth; requests beyond it shed (default 1024)")
+	burst := flag.Bool("burst", false, "pace the replay as open-loop offered load with 100× mean-rate spikes (implies -deploy; digests are not reproducible)")
 	endpoint := flag.String("endpoint", "", "serve the compiled pipeline behind a named endpoint (implies -deploy)")
 	rollout := flag.Bool("rollout", false, "mid-replay, recompile the spec (seed+1) and roll it out as a new revision (requires -endpoint)")
 	canary := flag.Int("canary", 0, "canary traffic percent for the -rollout revision (0 = deploy warm, no traffic)")
@@ -224,12 +243,14 @@ func main() {
 	flag.Parse()
 	showProgress = *progress
 	replayCfg = replaySettings{
-		deploy:   *deploy || *replay > 0 || *endpoint != "",
+		deploy:   *deploy || *replay > 0 || *endpoint != "" || *burst,
 		samples:  *replay,
 		clients:  *clients,
 		batch:    *batch,
 		delay:    *batchDelay,
 		shards:   *shards,
+		queue:    *queue,
+		burst:    *burst,
 		endpoint: *endpoint,
 		rollout:  *rollout,
 		canary:   *canary,
@@ -600,10 +621,59 @@ func addResult(agg *serve.ReplayResult, res serve.ReplayResult) {
 	}
 }
 
+// burstRate caches the calibrated mean offered rate for the current
+// -burst run (req/s), so a multi-segment endpoint replay paces every
+// segment identically. Reset by runReplay.
+var burstRate float64
+
+// replaySegment issues one replay leg: the closed-loop ReplayRun by
+// default, or — under -burst — the open-loop ReplayBurst, paced at a mean
+// rate calibrated once per run.
+func replaySegment(ctx context.Context, c serve.Classifier, xs [][]float64, labels []int, clients int, record []int) (serve.ReplayResult, error) {
+	if !replayCfg.burst {
+		return serve.ReplayRun(ctx, c, xs, labels, clients, record)
+	}
+	if burstRate == 0 {
+		burstRate = calibrateBurstRate(c, xs)
+		fmt.Printf("burst: calibrated mean offered load %.0f req/s (spikes at 100×)\n", burstRate)
+	}
+	return serve.ReplayBurst(ctx, c, xs, labels, clients, record, serve.BurstOptions{MeanRate: burstRate})
+}
+
+// calibrateBurstRate measures sequential service throughput over a short
+// warmup prefix and targets half of it as the mean offered rate: the
+// quiet phase then stays comfortably under capacity, so any sheds in the
+// report are driven by the 100× burst windows alone. The warmup requests
+// do count in the deployment's lifetime stats (burst mode measures load
+// behaviour, not byte-identity).
+func calibrateBurstRate(c serve.Classifier, xs [][]float64) float64 {
+	warm := len(xs)
+	if warm > 256 {
+		warm = 256
+	}
+	start := time.Now()
+	served := 0
+	for i := 0; i < warm; i++ {
+		if _, err := c.Classify(xs[i]); err == nil {
+			served++
+		}
+	}
+	elapsed := time.Since(start)
+	if served == 0 || elapsed <= 0 {
+		return 1000 // inert fallback; the deployment is erroring anyway
+	}
+	rate := float64(served) / elapsed.Seconds() / 2
+	if rate < 1 {
+		rate = 1
+	}
+	return rate
+}
+
 // runReplay serves the compiled pipeline in-process — behind a named
 // endpoint when -endpoint is set, a flat deployment otherwise — and
 // drives it with the replayed trace (docs/serving.md).
 func runReplay(ctx context.Context, spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline, search core.SearchConfig) error {
+	burstRate = 0
 	xs, labels, err := buildTrace(spec, loader, replayCfg.samples)
 	if err != nil {
 		return err
@@ -627,9 +697,10 @@ func runReplay(ctx context.Context, spec Spec, loader alchemy.DataLoader, pipe *
 // so the byte-identity tests keep comparing the two serving paths.
 func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculus.Pipeline, xs [][]float64, labels []int, clients int) error {
 	ep, err := svc.CreateEndpointPipeline("replay", pipe, homunculus.EndpointOptions{
-		Shards:    replayCfg.shards,
-		BatchSize: replayCfg.batch,
-		MaxDelay:  replayCfg.delay,
+		Shards:     replayCfg.shards,
+		BatchSize:  replayCfg.batch,
+		MaxDelay:   replayCfg.delay,
+		QueueDepth: replayCfg.queue,
 	})
 	if err != nil {
 		return err
@@ -638,7 +709,7 @@ func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculu
 	fmt.Printf("deployment %q: platform=%s algorithm=%s shards=%d batch=%d delay=%v queue=%d clients=%d\n",
 		ep.Name(), ep.Platform(), ep.Model().Kind, cfg.Shards, cfg.BatchSize, cfg.MaxDelay, cfg.QueueDepth, clients)
 	record := newRecord(len(xs))
-	res, err := serve.ReplayRun(ctx, ep, xs, labels, clients, record)
+	res, err := replaySegment(ctx, ep, xs, labels, clients, record)
 	if err != nil {
 		return err
 	}
@@ -668,9 +739,10 @@ func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculu
 // three-quarter mark, and the final quarter runs the settled route.
 func runEndpointReplay(ctx context.Context, svc *homunculus.Service, spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline, search core.SearchConfig, xs [][]float64, labels []int, clients int) error {
 	ep, err := svc.CreateEndpointPipeline(replayCfg.endpoint, pipe, homunculus.EndpointOptions{
-		Shards:    replayCfg.shards,
-		BatchSize: replayCfg.batch,
-		MaxDelay:  replayCfg.delay,
+		Shards:     replayCfg.shards,
+		BatchSize:  replayCfg.batch,
+		MaxDelay:   replayCfg.delay,
+		QueueDepth: replayCfg.queue,
 	})
 	if err != nil {
 		return err
@@ -685,7 +757,7 @@ func runEndpointReplay(ctx context.Context, svc *homunculus.Service, spec Spec, 
 		if lo >= hi || ctx.Err() != nil {
 			return nil
 		}
-		res, err := serve.ReplayRun(ctx, ep, xs[lo:hi], labels[lo:hi], clients, record[lo:hi])
+		res, err := replaySegment(ctx, ep, xs[lo:hi], labels[lo:hi], clients, record[lo:hi])
 		if err != nil {
 			return err
 		}
@@ -800,6 +872,13 @@ func printReplaySummary(res serve.ReplayResult, st homunculus.DeploymentStats) {
 	fmt.Printf("replayed %d samples in %v: %.0f req/s, accuracy %.4f (delivered %d, dropped %d, errors %d)\n",
 		res.Requests, res.Elapsed.Round(time.Microsecond), res.Rate, res.Accuracy,
 		res.Delivered, res.Dropped, res.Errors)
+	if res.OfferedRate > 0 {
+		shed := 0.0
+		if res.Issued > 0 {
+			shed = 100 * float64(res.Dropped) / float64(res.Issued)
+		}
+		fmt.Printf("burst: offered %.0f req/s, shed %.1f%% of offered load\n", res.OfferedRate, shed)
+	}
 	fmt.Printf("latency: p50=%v p99=%v; batches=%d (mean %.1f, %d full, %d deadline)\n",
 		st.P50, st.P99, st.Batches, st.MeanBatch, st.FullFlushes, st.DeadlineFlushes)
 	fmt.Printf("per-class:")

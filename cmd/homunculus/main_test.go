@@ -209,6 +209,35 @@ func TestRunDeployReplay(t *testing.T) {
 	}
 }
 
+// TestRunDeployBurstReplay drives the -burst open-loop leg: the pacer
+// calibrates a mean rate, offers the trace with 100× spikes against a
+// deliberately tiny ring, and the report accounts for every offered
+// request (delivered + shed + errors) with the offered rate populated.
+func TestRunDeployBurstReplay(t *testing.T) {
+	replayCfg = replaySettings{
+		deploy: true, samples: 500, clients: 8, batch: 16,
+		delay: time.Millisecond, queue: 2, burst: true,
+	}
+	defer func() { replayCfg = replaySettings{}; lastReplayReport = nil }()
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := lastReplayReport
+	if rep == nil {
+		t.Fatal("burst replay left no report")
+	}
+	res := rep.result
+	if res.Issued != 500 || res.Delivered+res.Dropped+res.Errors != res.Issued {
+		t.Fatalf("burst accounting: %+v", res)
+	}
+	if res.OfferedRate <= 0 {
+		t.Fatalf("burst replay must report the offered rate: %+v", res)
+	}
+	if rep.final.Accepted != rep.final.Completed {
+		t.Fatalf("accepted traffic must drain: %+v", rep.final)
+	}
+}
+
 // TestRunEndpointCanaryZeroByteIdentical is the acceptance criterion: a
 // fixed-seed replay served through a named endpoint — even with a live
 // 0%-canary rollout sitting in the table — must produce byte-identical

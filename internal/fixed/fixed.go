@@ -100,12 +100,24 @@ func (f Format) saturate(v int64) int32 {
 // DotQ computes the fixed-point dot product of two raw vectors using a
 // wide 64-bit accumulator (matching the Taurus reduce tree, which keeps
 // full precision until the final writeback) and saturates the result.
+// The lanes are 4-way unrolled; two's-complement int64 addition is
+// associative mod 2^64, so the reassociated sum is bit-identical to the
+// sequential one.
 func (f Format) DotQ(a, b []int32) int32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("fixed: DotQ length mismatch %d vs %d", len(a), len(b)))
 	}
-	var acc int64
-	for i := range a {
+	b = b[:len(a)]
+	var acc0, acc1, acc2, acc3 int64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		acc0 += int64(a[i]) * int64(b[i])
+		acc1 += int64(a[i+1]) * int64(b[i+1])
+		acc2 += int64(a[i+2]) * int64(b[i+2])
+		acc3 += int64(a[i+3]) * int64(b[i+3])
+	}
+	acc := acc0 + acc1 + acc2 + acc3
+	for ; i < len(a); i++ {
 		acc += int64(a[i]) * int64(b[i])
 	}
 	return f.saturate(acc >> uint(f.FracBits))

@@ -8,6 +8,14 @@ package ir
 // Predictor per inference shard and streams live feature vectors through
 // it at line rate.
 //
+// Construction flattens every model family into the hardware idiom:
+// DNN weights become one row-major []int32 per layer with the activation
+// resolved to an enum (no per-neuron string switch), SVM hyperplanes and
+// KMeans centroids become strided flat arrays, and trees become
+// index-linked arrays with thresholds quantized once — the traversal step
+// is pure arithmetic (a sign-bit select), with leaves self-looping so the
+// walk runs a fixed number of iterations with no data-dependent branch.
+//
 // Classify is bit-identical to Model.InferQ for every algorithm family:
 // the per-element operation order (quantize, wide-accumulator dot,
 // saturating add, PWL activations) is exactly the generated hardware's,
@@ -19,49 +27,102 @@ package ir
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/fixed"
 )
 
+// actKind is a DNN activation resolved at construction time so the inner
+// loop never compares strings. Unknown strings (including "softmax",
+// which arg-max skips) map to actNone, matching InferQ's default case.
+type actKind uint8
+
+const (
+	actNone actKind = iota
+	actReLU
+	actSigmoid
+	actTanh
+)
+
+func resolveAct(s string) actKind {
+	switch s {
+	case "relu":
+		return actReLU
+	case "sigmoid":
+		return actSigmoid
+	case "tanh":
+		return actTanh
+	}
+	return actNone
+}
+
+// flatLayer is one DNN layer with weights quantized into a single
+// row-major array: neuron o's weights are w[o*in : (o+1)*in].
+type flatLayer struct {
+	in, out int
+	w       []int32
+	b       []int32
+	act     actKind
+}
+
 // Predictor holds quantized parameters and reusable inference buffers.
 type Predictor struct {
-	m   *Model
-	f   fixed.Format
-	one int32
+	m       *Model
+	f       fixed.Format
+	one     int32
+	hasNorm bool
 
-	xbuf       []float64 // normalized-input staging
-	vbuf, nbuf []int32   // ping-pong activation buffers
+	vbuf, nbuf []int32 // ping-pong activation buffers
 
-	wq [][][]int32 // DNN: quantized weights [layer][out][in]
-	bq [][]int32   // DNN: quantized biases [layer][out]
+	layers []flatLayer // DNN
 
-	svmW   [][]int32 // SVM: quantized hyperplanes [class][feature]
+	svmW   []int32 // SVM: row-major [class*feature]
 	svmB   []int32
 	scores []int32
 
-	cq [][]int32 // KMeans: quantized centroids
+	cq []int32 // KMeans: row-major [cluster*feature]
+
+	// DTree as index-linked flat arrays. Node i tests feature treeFeat[i]
+	// against the pre-quantized treeThr[i] and steps to
+	// treeKids[i][sign(thr-x)]. Leaves store feat=0, thr=MaxInt32 and
+	// self-loop through both kid slots, so the walk can run exactly
+	// treeDepth iterations with no leaf test; the class answer is
+	// treeCls[idx] wherever the walk lands.
+	treeFeat  []int32
+	treeThr   []int32
+	treeKids  [][2]int32
+	treeCls   []int32
+	treeDepth int
 }
 
-// NewPredictor validates m and prepares its quantized parameters.
+// NewPredictor validates m and prepares its quantized flat parameters.
 func NewPredictor(m *Model) (*Predictor, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	f := m.Format
-	p := &Predictor{m: m, f: f, one: f.Quantize(1), xbuf: make([]float64, m.Inputs)}
+	p := &Predictor{m: m, f: f, one: f.Quantize(1), hasNorm: len(m.Mean) == m.Inputs}
 	maxW := m.Inputs
 	switch m.Kind {
 	case DNN:
-		p.wq = make([][][]int32, len(m.Layers))
-		p.bq = make([][]int32, len(m.Layers))
+		p.layers = make([]flatLayer, len(m.Layers))
 		for li, l := range m.Layers {
-			p.wq[li] = make([][]int32, l.Out)
-			p.bq[li] = make([]int32, l.Out)
-			for o := 0; o < l.Out; o++ {
-				p.wq[li][o] = f.QuantizeVec(l.W[o])
-				p.bq[li][o] = f.Quantize(l.B[o])
+			fl := flatLayer{
+				in:  l.In,
+				out: l.Out,
+				w:   make([]int32, l.Out*l.In),
+				b:   make([]int32, l.Out),
+				act: resolveAct(l.Activation),
 			}
+			for o := 0; o < l.Out; o++ {
+				row := fl.w[o*l.In : (o+1)*l.In]
+				for i, wv := range l.W[o] {
+					row[i] = f.Quantize(wv)
+				}
+				fl.b[o] = f.Quantize(l.B[o])
+			}
+			p.layers[li] = fl
 			if l.Out > maxW {
 				maxW = l.Out
 			}
@@ -70,22 +131,66 @@ func NewPredictor(m *Model) (*Predictor, error) {
 		if len(m.SVM.B) != m.Outputs {
 			return nil, fmt.Errorf("ir: SVM %q has %d biases, want %d", m.Name, len(m.SVM.B), m.Outputs)
 		}
-		p.svmW = make([][]int32, m.Outputs)
+		p.svmW = make([]int32, m.Outputs*m.Inputs)
 		p.svmB = make([]int32, m.Outputs)
 		for k := 0; k < m.Outputs; k++ {
-			p.svmW[k] = f.QuantizeVec(m.SVM.W[k])
+			row := p.svmW[k*m.Inputs : (k+1)*m.Inputs]
+			for i, wv := range m.SVM.W[k] {
+				row[i] = f.Quantize(wv)
+			}
 			p.svmB[k] = f.Quantize(m.SVM.B[k])
 		}
 		p.scores = make([]int32, m.Outputs)
 	case KMeans:
-		p.cq = make([][]int32, len(m.Centroids))
+		p.cq = make([]int32, len(m.Centroids)*m.Inputs)
 		for k, c := range m.Centroids {
-			p.cq[k] = f.QuantizeVec(c)
+			row := p.cq[k*m.Inputs : (k+1)*m.Inputs]
+			for i, cv := range c {
+				row[i] = f.Quantize(cv)
+			}
 		}
+	case DTree:
+		p.flattenTree(m.Tree)
 	}
 	p.vbuf = make([]int32, maxW)
 	p.nbuf = make([]int32, maxW)
 	return p, nil
+}
+
+// flattenTree lowers the pointer-linked CART into the index-linked flat
+// arrays, quantizing every threshold exactly once. A leaf's threshold is
+// MaxInt32 so the sign-bit step always selects kid 0, which points back
+// at the leaf itself — the walk parks there for the remaining iterations.
+func (p *Predictor) flattenTree(root *TreeNode) {
+	n := countNodes(root)
+	p.treeFeat = make([]int32, 0, n)
+	p.treeThr = make([]int32, 0, n)
+	p.treeKids = make([][2]int32, 0, n)
+	p.treeCls = make([]int32, 0, n)
+	var walk func(node *TreeNode, d int) int32
+	walk = func(node *TreeNode, d int) int32 {
+		i := int32(len(p.treeFeat))
+		p.treeFeat = append(p.treeFeat, 0)
+		p.treeThr = append(p.treeThr, 0)
+		p.treeKids = append(p.treeKids, [2]int32{})
+		p.treeCls = append(p.treeCls, 0)
+		if d > p.treeDepth {
+			p.treeDepth = d
+		}
+		if node.Feature < 0 {
+			p.treeThr[i] = math.MaxInt32
+			p.treeKids[i] = [2]int32{i, i}
+			p.treeCls[i] = int32(node.Class)
+			return i
+		}
+		p.treeFeat[i] = int32(node.Feature)
+		p.treeThr[i] = p.f.Quantize(node.Threshold)
+		l := walk(node.Left, d+1)
+		r := walk(node.Right, d+1)
+		p.treeKids[i] = [2]int32{l, r}
+		return i
+	}
+	walk(root, 0)
 }
 
 // Model returns the model this predictor was prepared from.
@@ -100,55 +205,74 @@ func (p *Predictor) Classify(x []float64) (int, error) {
 		return 0, fmt.Errorf("ir: input has %d features, model %q wants %d", len(x), m.Name, m.Inputs)
 	}
 	f := p.f
-	in := x
-	if len(m.Mean) == m.Inputs {
-		for i := range p.xbuf {
-			p.xbuf[i] = (x[i] - m.Mean[i]) / m.Std[i]
-		}
-		in = p.xbuf
-	}
 	cur := p.vbuf[:m.Inputs]
-	for i := range cur {
-		cur[i] = f.Quantize(in[i])
+	// Fused normalize+quantize: one sweep over the features. The divide
+	// must stay a divide — a reciprocal multiply would round differently
+	// and break bit-identity with InferQ's normalize-then-quantize.
+	if p.hasNorm {
+		mean, std := m.Mean, m.Std
+		for i := range cur {
+			cur[i] = f.Quantize((x[i] - mean[i]) / std[i])
+		}
+	} else {
+		for i := range cur {
+			cur[i] = f.Quantize(x[i])
+		}
 	}
 	switch m.Kind {
 	case DNN:
 		nxt := p.nbuf
-		for li, l := range m.Layers {
-			nv := nxt[:l.Out]
-			for o := 0; o < l.Out; o++ {
-				acc := f.DotQ(p.wq[li][o], cur)
-				acc = f.Add(acc, p.bq[li][o])
-				switch l.Activation {
-				case "relu":
-					acc = fixed.ReLUQ(acc)
-				case "sigmoid":
-					acc = f.SigmoidQ(acc)
-				case "tanh":
-					if acc > p.one {
-						acc = p.one
-					}
-					if acc < -p.one {
-						acc = -p.one
-					}
+		for li := range p.layers {
+			l := &p.layers[li]
+			nv := nxt[:l.out]
+			w, b, in := l.w, l.b, l.in
+			// Activation hoisted out of the neuron loop: the per-neuron
+			// op order (dot, saturating bias add, activation) is
+			// unchanged, so each lane computes exactly InferQ's value.
+			switch l.act {
+			case actReLU:
+				for o := range nv {
+					nv[o] = fixed.ReLUQ(f.Add(f.DotQ(w[o*in:(o+1)*in], cur), b[o]))
 				}
-				nv[o] = acc
+			case actSigmoid:
+				for o := range nv {
+					nv[o] = f.SigmoidQ(f.Add(f.DotQ(w[o*in:(o+1)*in], cur), b[o]))
+				}
+			case actTanh:
+				one := p.one
+				for o := range nv {
+					acc := f.Add(f.DotQ(w[o*in:(o+1)*in], cur), b[o])
+					if acc > one {
+						acc = one
+					}
+					if acc < -one {
+						acc = -one
+					}
+					nv[o] = acc
+				}
+			default:
+				for o := range nv {
+					nv[o] = f.Add(f.DotQ(w[o*in:(o+1)*in], cur), b[o])
+				}
 			}
 			nxt = cur[:cap(cur)]
 			cur = nv
 		}
 		return argMaxQ(cur), nil
 	case SVM:
+		in := m.Inputs
 		for k := range p.scores {
-			p.scores[k] = f.Add(f.DotQ(p.svmW[k], cur), p.svmB[k])
+			p.scores[k] = f.Add(f.DotQ(p.svmW[k*in:(k+1)*in], cur), p.svmB[k])
 		}
 		return argMaxQ(p.scores), nil
 	case KMeans:
+		in := m.Inputs
 		bestK, bestD := 0, int64(-1)
-		for k, cq := range p.cq {
+		for k := 0; k*in < len(p.cq); k++ {
+			row := p.cq[k*in : (k+1)*in]
 			var d int64
-			for i := range cq {
-				diff := int64(cur[i]) - int64(cq[i])
+			for i, cv := range row {
+				diff := int64(cur[i]) - int64(cv)
 				d += diff * diff
 			}
 			if bestD < 0 || d < bestD {
@@ -157,15 +281,17 @@ func (p *Predictor) Classify(x []float64) (int, error) {
 		}
 		return bestK, nil
 	case DTree:
-		n := m.Tree
-		for n.Feature >= 0 {
-			if cur[n.Feature] <= f.Quantize(n.Threshold) {
-				n = n.Left
-			} else {
-				n = n.Right
-			}
+		feat, thr, kids := p.treeFeat, p.treeThr, p.treeKids
+		idx := int32(0)
+		for d := 0; d < p.treeDepth; d++ {
+			// b is the sign bit of thr-x: 0 when x <= thr (go left),
+			// 1 when x > thr (go right) — the exact InferQ comparison
+			// with no branch.
+			xv := int64(cur[feat[idx]])
+			b := uint64(int64(thr[idx])-xv) >> 63
+			idx = kids[idx][b&1]
 		}
-		return n.Class, nil
+		return int(p.treeCls[idx]), nil
 	default:
 		return 0, fmt.Errorf("ir: cannot infer kind %d", int(m.Kind))
 	}

@@ -1,0 +1,314 @@
+package ir
+
+// Property test for the flat branchless predictors: fuzzed models of
+// every algorithm family, driven with fuzzed (and adversarial) inputs,
+// must classify bit-identically to the Model.InferQ reference. This is
+// the serving-path half of the PR1 invariant — the flat layouts
+// (row-major weights, enum activations, index-linked trees with
+// pre-quantized thresholds, the fused normalize+quantize sweep) are pure
+// layout changes, and this test is what pins that claim down.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+var propFormats = []fixed.Format{fixed.Q8_8, fixed.Q4_12, fixed.Q16_16}
+
+var propActivations = []string{"relu", "sigmoid", "tanh", "softmax", ""}
+
+// fuzzInput mixes typical values with adversarial ones: saturating
+// magnitudes, exact zeros, NaN (quantizes to 0), and infinities
+// (saturate at the format bounds).
+func fuzzInput(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		switch rng.Intn(10) {
+		case 0:
+			x[i] = 0
+		case 1:
+			x[i] = float64(rng.Intn(2000)-1000) * 10 // saturation territory
+		case 2:
+			x[i] = math.NaN()
+		case 3:
+			x[i] = math.Inf(1 - 2*rng.Intn(2))
+		default:
+			x[i] = rng.NormFloat64() * 3
+		}
+	}
+	return x
+}
+
+func fuzzNormalizer(rng *rand.Rand, m *Model) {
+	if rng.Intn(2) == 0 {
+		return
+	}
+	m.Mean = make([]float64, m.Inputs)
+	m.Std = make([]float64, m.Inputs)
+	for i := range m.Mean {
+		m.Mean[i] = rng.NormFloat64()
+		m.Std[i] = 0.25 + rng.Float64()*4 // strictly positive
+	}
+}
+
+func fuzzDNN(rng *rand.Rand) *Model {
+	inputs := 1 + rng.Intn(12)
+	outputs := 2 + rng.Intn(5)
+	layers := 1 + rng.Intn(3)
+	m := &Model{
+		Kind: DNN, Name: "fuzz-dnn", Inputs: inputs, Outputs: outputs,
+		Format: propFormats[rng.Intn(len(propFormats))],
+	}
+	prev := inputs
+	for li := 0; li < layers; li++ {
+		out := 1 + rng.Intn(14)
+		if li == layers-1 {
+			out = outputs
+		}
+		l := Layer{
+			In: prev, Out: out,
+			W:          make([][]float64, out),
+			B:          make([]float64, out),
+			Activation: propActivations[rng.Intn(len(propActivations))],
+		}
+		for o := range l.W {
+			l.W[o] = make([]float64, prev)
+			for i := range l.W[o] {
+				l.W[o][i] = rng.NormFloat64()
+			}
+			l.B[o] = rng.NormFloat64()
+		}
+		m.Layers = append(m.Layers, l)
+		prev = out
+	}
+	fuzzNormalizer(rng, m)
+	return m
+}
+
+func fuzzSVM(rng *rand.Rand) *Model {
+	inputs := 1 + rng.Intn(12)
+	outputs := 2 + rng.Intn(6)
+	m := &Model{
+		Kind: SVM, Name: "fuzz-svm", Inputs: inputs, Outputs: outputs,
+		Format: propFormats[rng.Intn(len(propFormats))],
+		SVM:    &SVMParams{W: make([][]float64, outputs), B: make([]float64, outputs)},
+	}
+	for k := range m.SVM.W {
+		m.SVM.W[k] = make([]float64, inputs)
+		for i := range m.SVM.W[k] {
+			m.SVM.W[k][i] = rng.NormFloat64()
+		}
+		m.SVM.B[k] = rng.NormFloat64()
+	}
+	fuzzNormalizer(rng, m)
+	return m
+}
+
+func fuzzKMeans(rng *rand.Rand) *Model {
+	inputs := 1 + rng.Intn(12)
+	outputs := 2 + rng.Intn(7)
+	m := &Model{
+		Kind: KMeans, Name: "fuzz-kmeans", Inputs: inputs, Outputs: outputs,
+		Format:    propFormats[rng.Intn(len(propFormats))],
+		Centroids: make([][]float64, outputs),
+	}
+	for k := range m.Centroids {
+		m.Centroids[k] = make([]float64, inputs)
+		for i := range m.Centroids[k] {
+			m.Centroids[k][i] = rng.NormFloat64() * 2
+		}
+	}
+	fuzzNormalizer(rng, m)
+	return m
+}
+
+func fuzzTree(rng *rand.Rand, inputs, classes, depth int) *TreeNode {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return &TreeNode{Feature: -1, Class: rng.Intn(classes)}
+	}
+	return &TreeNode{
+		Feature:   rng.Intn(inputs),
+		Threshold: rng.NormFloat64() * 2,
+		Left:      fuzzTree(rng, inputs, classes, depth-1),
+		Right:     fuzzTree(rng, inputs, classes, depth-1),
+	}
+}
+
+func fuzzDTree(rng *rand.Rand) *Model {
+	inputs := 1 + rng.Intn(12)
+	outputs := 2 + rng.Intn(5)
+	m := &Model{
+		Kind: DTree, Name: "fuzz-dtree", Inputs: inputs, Outputs: outputs,
+		Format: propFormats[rng.Intn(len(propFormats))],
+		Tree:   fuzzTree(rng, inputs, outputs, 1+rng.Intn(8)),
+	}
+	fuzzNormalizer(rng, m)
+	return m
+}
+
+// TestPredictorMatchesInferQFuzzed is the bit-identity property test:
+// for every fuzzed model and input, the flat predictor and the reference
+// interpreter must agree exactly — same class, same error disposition.
+func TestPredictorMatchesInferQFuzzed(t *testing.T) {
+	gens := map[string]func(*rand.Rand) *Model{
+		"dnn":    fuzzDNN,
+		"svm":    fuzzSVM,
+		"kmeans": fuzzKMeans,
+		"dtree":  fuzzDTree,
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 60; trial++ {
+				m := gen(rng)
+				if err := m.Validate(); err != nil {
+					t.Fatalf("trial %d: generator produced invalid model: %v", trial, err)
+				}
+				p, err := NewPredictor(m)
+				if err != nil {
+					t.Fatalf("trial %d: NewPredictor: %v", trial, err)
+				}
+				for q := 0; q < 40; q++ {
+					x := fuzzInput(rng, m.Inputs)
+					want, werr := m.InferQ(x)
+					got, gerr := p.Classify(x)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("trial %d/%d: error mismatch: InferQ=%v Predictor=%v", trial, q, werr, gerr)
+					}
+					if werr == nil && got != want {
+						t.Fatalf("trial %d/%d: Predictor=%d InferQ=%d (format %v, x=%v)",
+							trial, q, got, want, m.Format, x)
+					}
+				}
+				// Wrong-length inputs must error on both paths.
+				bad := make([]float64, m.Inputs+1)
+				if _, err := p.Classify(bad); err == nil {
+					t.Fatalf("trial %d: wrong-length input must error", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictorTreeDegenerate pins the flat-tree edge cases the fuzzer
+// is unlikely to isolate: a bare leaf root (the walk runs zero steps), a
+// maximally unbalanced chain (the walk parks on the leaf's self-loop for
+// the remaining iterations), and thresholds at the saturation bound.
+func TestPredictorTreeDegenerate(t *testing.T) {
+	leaf := func(c int) *TreeNode { return &TreeNode{Feature: -1, Class: c} }
+	cases := []struct {
+		name string
+		tree *TreeNode
+	}{
+		{"leaf-root", leaf(3)},
+		{"left-chain", &TreeNode{Feature: 0, Threshold: 0,
+			Left: &TreeNode{Feature: 1, Threshold: -1,
+				Left:  &TreeNode{Feature: 0, Threshold: -2, Left: leaf(1), Right: leaf(2)},
+				Right: leaf(3)},
+			Right: leaf(0)}},
+		{"saturated-threshold", &TreeNode{Feature: 0, Threshold: 1e9,
+			Left: leaf(1), Right: leaf(2)}},
+		{"negative-saturated", &TreeNode{Feature: 0, Threshold: -1e9,
+			Left: leaf(1), Right: leaf(2)}},
+	}
+	xs := [][]float64{{0, 0}, {5, -5}, {-5, 5}, {1e9, -1e9}, {math.NaN(), 0}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Model{Kind: DTree, Name: "deg", Inputs: 2, Outputs: 4,
+				Format: fixed.Q8_8, Tree: tc.tree}
+			p, err := NewPredictor(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range xs {
+				want, _ := m.InferQ(x)
+				got, err := p.Classify(x)
+				if err != nil || got != want {
+					t.Fatalf("x=%v: Predictor=%d,%v InferQ=%d", x, got, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictorReuseIsStateless: back-to-back Classify calls through the
+// shared scratch buffers must not leak state between requests — the same
+// input always produces the same class, interleaved with other inputs.
+func TestPredictorReuseIsStateless(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := fuzzDNN(rng)
+	p, err := NewPredictor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 16)
+	want := make([]int, len(xs))
+	for i := range xs {
+		xs[i] = fuzzInput(rng, m.Inputs)
+		if want[i], err = p.Classify(xs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 50; round++ {
+		i := rng.Intn(len(xs))
+		got, err := p.Classify(xs[i])
+		if err != nil || got != want[i] {
+			t.Fatalf("round %d input %d: got %d,%v want %d", round, i, got, err, want[i])
+		}
+	}
+}
+
+func BenchmarkPredictorClassifyDNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := &Model{Kind: DNN, Name: "bench", Inputs: 7, Outputs: 2, Format: fixed.Q8_8}
+	prev := 7
+	for _, out := range []int{12, 6, 2} {
+		l := Layer{In: prev, Out: out, W: make([][]float64, out), B: make([]float64, out), Activation: "relu"}
+		for o := range l.W {
+			l.W[o] = make([]float64, prev)
+			for i := range l.W[o] {
+				l.W[o][i] = rng.NormFloat64()
+			}
+		}
+		m.Layers = append(m.Layers, l)
+		prev = out
+	}
+	p, err := NewPredictor(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Classify(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictorClassifyDTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := &Model{Kind: DTree, Name: "bench", Inputs: 8, Outputs: 4,
+		Format: fixed.Q8_8, Tree: fuzzTree(rng, 8, 4, 10)}
+	p, err := NewPredictor(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := fuzzInput(rng, 8)
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			x[i] = 0.5
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Classify(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -40,6 +40,9 @@ type ReplayResult struct {
 	// Accuracy is Correct/Delivered (0 when nothing was delivered or the
 	// trace carries no labels).
 	Accuracy float64
+	// OfferedRate is issued requests per second — set only by
+	// ReplayBurst, where issuance is paced rather than service-bound.
+	OfferedRate float64
 }
 
 // Replay streams xs through c from `clients` concurrent goroutines.
@@ -126,6 +129,171 @@ func ReplayRun(ctx context.Context, c Classifier, xs [][]float64, labels []int, 
 	}
 	if res.Elapsed > 0 {
 		res.Rate = float64(res.Delivered) / res.Elapsed.Seconds()
+	}
+	if res.Delivered > 0 && labels != nil {
+		res.Accuracy = float64(res.Correct) / float64(res.Delivered)
+	}
+	return res, nil
+}
+
+// BurstOptions shapes ReplayBurst's offered load: a baseline arrival
+// rate with periodic spikes at Factor× the mean, the volumetric-burst
+// workload that exercises the ring scheduler's shed-at-the-door
+// backpressure.
+type BurstOptions struct {
+	// MeanRate is the target mean offered load in requests/second,
+	// averaged over quiet and burst phases. Required (> 0); the CLI
+	// auto-calibrates it from a sequential warmup.
+	MeanRate float64
+	// Factor is the burst-phase rate multiplier. Default 100.
+	Factor float64
+	// Burst is the length of each burst window. Default 2ms.
+	Burst time.Duration
+	// Period is the distance between burst starts. Default 50ms.
+	Period time.Duration
+}
+
+func (o BurstOptions) withDefaults() BurstOptions {
+	if o.Factor <= 1 {
+		o.Factor = 100
+	}
+	if o.Burst <= 0 {
+		o.Burst = 2 * time.Millisecond
+	}
+	if o.Period <= o.Burst {
+		o.Period = 50 * time.Millisecond
+	}
+	return o
+}
+
+// baseRate returns the quiet-phase rate b such that the duty-cycle mean
+// b·(1 + duty·(Factor-1)) equals MeanRate.
+func (o BurstOptions) baseRate() float64 {
+	duty := float64(o.Burst) / float64(o.Period)
+	return o.MeanRate / (1 + duty*(o.Factor-1))
+}
+
+// ReplayBurst replays xs like ReplayRun but paces issuance with a token
+// bucket whose fill rate alternates between the quiet baseline and
+// Factor× bursts: offered-load spikes arrive regardless of whether the
+// deployment keeps up, so sheds measure real backpressure rather than a
+// closed-loop client backing off. The pacer refills on a coarse tick —
+// a whole burst window's tokens land in a couple of clumps, which is
+// exactly the concurrent-arrival pattern that overflows a slot ring.
+// Sheds are counted, not retried. Delivered results still verify
+// against labels/record the same way ReplayRun's do.
+func ReplayBurst(ctx context.Context, c Classifier, xs [][]float64, labels []int, clients int, record []int, opts BurstOptions) (ReplayResult, error) {
+	if c == nil {
+		return ReplayResult{}, fmt.Errorf("serve: replay needs a classifier")
+	}
+	if opts.MeanRate <= 0 {
+		return ReplayResult{}, fmt.Errorf("serve: burst replay needs a positive mean rate")
+	}
+	if labels != nil && len(labels) != len(xs) {
+		return ReplayResult{}, fmt.Errorf("serve: replay trace has %d samples but %d labels", len(xs), len(labels))
+	}
+	if record != nil && len(record) != len(xs) {
+		return ReplayResult{}, fmt.Errorf("serve: replay trace has %d samples but %d record slots", len(xs), len(record))
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > len(xs) {
+		clients = len(xs)
+	}
+	o := opts.withDefaults()
+	base := o.baseRate()
+
+	// The pacer releases sample indices into a buffered arrival queue on
+	// the offered-load schedule; clients drain it. The queue is sized for
+	// the whole trace so the pacer never blocks — arrivals are
+	// independent of service.
+	arrivals := make(chan int, len(xs))
+	go func() {
+		defer close(arrivals)
+		const tick = 500 * time.Microsecond
+		start := time.Now()
+		released := 0
+		var due float64
+		prev := time.Duration(0)
+		for released < len(xs) {
+			if ctx.Err() != nil {
+				return
+			}
+			time.Sleep(tick)
+			now := time.Since(start)
+			// Integrate the offered rate over [prev, now), stepping
+			// through quiet/burst phase boundaries of each period.
+			for prev < now {
+				phase := prev % o.Period
+				rate := base
+				segEnd := prev + (o.Period - phase)
+				if phase < o.Burst {
+					rate = base * o.Factor
+					segEnd = prev + (o.Burst - phase)
+				}
+				if segEnd > now {
+					segEnd = now
+				}
+				due += rate * (segEnd - prev).Seconds()
+				prev = segEnd
+			}
+			for released < len(xs) && float64(released) < due {
+				arrivals <- released
+				released++
+			}
+		}
+	}()
+
+	var issued, delivered, dropped, errs, correct atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for w := 0; w < clients; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range arrivals {
+				if ctx.Err() != nil {
+					return
+				}
+				issued.Add(1)
+				class, err := c.Classify(xs[i])
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					dropped.Add(1)
+					if record != nil {
+						record[i] = -1
+					}
+				case err != nil:
+					errs.Add(1)
+					if record != nil {
+						record[i] = -1
+					}
+				default:
+					delivered.Add(1)
+					if record != nil {
+						record[i] = class
+					}
+					if labels != nil && class == labels[i] {
+						correct.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := ReplayResult{
+		Requests:  len(xs),
+		Issued:    int(issued.Load()),
+		Delivered: int(delivered.Load()),
+		Dropped:   int(dropped.Load()),
+		Errors:    int(errs.Load()),
+		Correct:   int(correct.Load()),
+		Elapsed:   time.Since(start),
+	}
+	if res.Elapsed > 0 {
+		res.Rate = float64(res.Delivered) / res.Elapsed.Seconds()
+		res.OfferedRate = float64(res.Issued) / res.Elapsed.Seconds()
 	}
 	if res.Delivered > 0 && labels != nil {
 		res.Accuracy = float64(res.Correct) / float64(res.Delivered)

@@ -1,0 +1,278 @@
+package serve
+
+// The ring scheduler: the serving hot loop rebuilt in the hardware idiom.
+//
+// Each shard owns a fixed-size ring of preallocated request slots plus an
+// atomic ready-bitmap scoreboard. The old intake/dispatch/done channel
+// hops are gone:
+//
+//   - producers claim a slot with an atomic fetch-add ticket (a per-slot
+//     sequence number gates reuse, Vyukov-style), write the request
+//     pointer, and publish by setting the slot's bit in the bitmap;
+//   - a harvester drains the bitmap with an atomic Swap(0) per word and a
+//     bits.TrailingZeros64 sweep — one sweep is one micro-batch;
+//   - admission is a per-shard credit counter: when the ring's credits
+//     are exhausted the producer sheds with ErrOverloaded at the door,
+//     before touching a ticket.
+//
+// The busy path never touches a channel or a mutex. Parking is
+// futex-style and only for the idle path: a shard's worker goroutine
+// publishes a parked flag and blocks on a 1-slot wake channel; the first
+// producer to observe the flag claims it with a Swap and posts exactly
+// one token. A waiting producer uses the same protocol per-request (a
+// waiter flag + 1-slot channel on the pooled request).
+//
+// The fast path is caller-harvesting: a producer that finds the shard
+// idle acquires the harvest lock itself and classifies its own request
+// (and any neighbors that were published meanwhile) inline on its own
+// goroutine — zero scheduler handoffs, which is what buys the single-
+// digit-µs p99. Under concurrency the same sweep naturally forms
+// micro-batches. The worker goroutine is the fallback harvester: it
+// covers pipelined ClassifyBatch enqueues and producers that gave up
+// spinning and parked.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// latSampleEvery samples the latency timestamp pair on every Nth ticket
+// per shard (must be a power of two). Ticket 0 is always sampled, so the
+// first request of a deployment lands in the histogram and quantiles are
+// nonzero as soon as traffic flows. Counters (accepted/completed/
+// per-class) still see every request — only the two time.Now() calls and
+// the histogram update are sampled.
+const latSampleEvery = 8
+
+// awaitSpinRounds bounds how long a producer re-tries the harvest lock
+// (yielding between attempts) before it arms its waiter flag and parks.
+const awaitSpinRounds = 128
+
+// slot is one ring entry. seq is the Vyukov sequence gate: a producer
+// holding ticket t may write the slot when seq==t; the harvester frees it
+// for ticket t+capacity by storing t+capacity after detaching the
+// request. Padded so neighboring slots don't share a cache line.
+type slot struct {
+	seq atomic.Uint64
+	req *request
+	_   [48]byte
+}
+
+// shard is one inference lane: a slot ring, its ready-bitmap, the
+// admission credits, a prepared predictor, and the park/wake plumbing for
+// its fallback worker. The predictor is guarded by the busy flag — only
+// the harvester that owns busy may touch it.
+type shard struct {
+	tickets atomic.Uint64 // fetch-add slot claim
+	credits atomic.Int64  // in-flight admission bound (≤ cap)
+	busy    atomic.Uint32 // harvest lock: 1 while a harvester owns pred
+	parked  atomic.Uint32 // worker is parked; Swap(1→0) claims the wake
+	wake    chan struct{} // 1-slot worker unpark token
+
+	cap   uint64
+	mask  uint64
+	ready []atomic.Uint64 // the bitmap scoreboard, 64 slots per word
+	slots []slot
+
+	pred *ir.Predictor
+}
+
+func newShard(model *ir.Model, capacity uint64) (*shard, error) {
+	pred, err := ir.NewPredictor(model)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		cap:   capacity,
+		mask:  capacity - 1,
+		ready: make([]atomic.Uint64, (capacity+63)/64),
+		slots: make([]slot, capacity),
+		wake:  make(chan struct{}, 1),
+		pred:  pred,
+	}
+	for i := range sh.slots {
+		sh.slots[i].seq.Store(uint64(i))
+	}
+	return sh, nil
+}
+
+// hasReady reports whether any slot bit is published.
+func (sh *shard) hasReady() bool {
+	for i := range sh.ready {
+		if sh.ready[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue admits r into sh's ring: credit, ticket, slot write, bitmap
+// publish. It does not block on a full ring — it sheds (the caller
+// decides whether to count the drop or retry). The rare seq spin waits
+// for a harvester to detach the slot's previous occupant (possible only
+// when the ring is nearly full).
+func (rt *Runtime) enqueue(sh *shard, r *request) error {
+	if sh.credits.Add(1) > int64(sh.cap) {
+		sh.credits.Add(-1)
+		return ErrOverloaded
+	}
+	// Closed is checked after the credit so Close's drain poll cannot
+	// miss an in-flight producer: if this load sees the flag unset, the
+	// credit above is already visible to the poll.
+	if rt.closed.Load() {
+		sh.credits.Add(-1)
+		return ErrClosed
+	}
+	t := sh.tickets.Add(1) - 1
+	i := t & sh.mask
+	s := &sh.slots[i]
+	for s.seq.Load() != t {
+		runtime.Gosched()
+	}
+	r.done.Store(0)
+	if r.sampled = t&(latSampleEvery-1) == 0; r.sampled {
+		r.start = time.Now()
+	}
+	s.req = r
+	rt.stats.accepted.Add(1)
+	sh.ready[i>>6].Or(1 << (i & 63))
+	return nil
+}
+
+// sweep is one micro-batch: the harvester (which must own sh.busy) swaps
+// each bitmap word to zero and classifies every published slot in
+// trailing-zeros order. Slots are freed the moment the request pointer is
+// detached — before the classify — so the ring never stays clogged behind
+// a slow inference. Returns the number of requests harvested.
+func (rt *Runtime) sweep(sh *shard) int {
+	n := 0
+	for w := range sh.ready {
+		// A plain load filters empty words so the scan costs a cache hit
+		// per word, not an atomic RMW — with the default ring size most
+		// words are empty on any given sweep.
+		if sh.ready[w].Load() == 0 {
+			continue
+		}
+		word := sh.ready[w].Swap(0)
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			s := &sh.slots[i]
+			r := s.req
+			s.req = nil
+			s.seq.Store(s.seq.Load() + sh.cap) // free the slot for ticket t+cap
+			sh.credits.Add(-1)
+			if rt.opts.testHook != nil {
+				rt.opts.testHook()
+			}
+			r.class, r.err = sh.pred.Classify(r.x)
+			if r.sampled {
+				rt.stats.observe(r.class, r.err, time.Since(r.start))
+			} else {
+				rt.stats.observeFast(r.class, r.err)
+			}
+			r.done.Store(1)
+			if r.waiter.Swap(0) == 1 {
+				r.wake <- struct{}{}
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		rt.stats.flush(n, false, n >= rt.opts.BatchSize)
+	}
+	return n
+}
+
+// harvest acquires the harvest lock if free and sweeps until the bitmap
+// stays empty. Returns false if another harvester owns the shard.
+func (rt *Runtime) harvest(sh *shard) bool {
+	if !sh.busy.CompareAndSwap(0, 1) {
+		return false
+	}
+	for rt.sweep(sh) > 0 {
+	}
+	sh.busy.Store(0)
+	return true
+}
+
+// await blocks until r's result is delivered. Fast path: become the
+// shard's harvester and classify the request inline. If another
+// harvester owns the shard, spin briefly (it is probably classifying our
+// request right now), then arm the waiter flag, make sure the fallback
+// worker is awake (our bit may still be unclaimed in the bitmap), and
+// park on the request's 1-slot channel.
+func (rt *Runtime) await(sh *shard, r *request) {
+	for round := 0; ; round++ {
+		if r.done.Load() == 1 {
+			return
+		}
+		if rt.harvest(sh) && r.done.Load() == 1 {
+			return
+		}
+		if round < awaitSpinRounds {
+			runtime.Gosched()
+			continue
+		}
+		r.waiter.Store(1)
+		if r.done.Load() == 1 {
+			if r.waiter.Swap(0) == 0 {
+				// The harvester claimed the flag and is posting the
+				// token; drain it so the pooled channel stays empty.
+				<-r.wake
+			}
+			return
+		}
+		rt.unpark(sh)
+		<-r.wake
+		return
+	}
+}
+
+// unpark wakes sh's worker if it is parked. The Swap makes the claim
+// exclusive, so exactly one token is ever in flight.
+func (rt *Runtime) unpark(sh *shard) {
+	if sh.parked.Swap(0) == 1 {
+		sh.wake <- struct{}{}
+	}
+}
+
+// worker is a shard's fallback harvester: it harvests whatever the
+// producers' inline path didn't, and parks futex-style while the bitmap
+// stays empty. rt.stop closes only after Close's drain completed, so
+// exit never abandons published work.
+func (rt *Runtime) worker(sh *shard) {
+	defer rt.workers.Done()
+	for {
+		rt.harvest(sh)
+		if sh.hasReady() {
+			// Bits are published but another harvester owns the shard;
+			// stay runnable until the ring is visibly drained.
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case <-rt.stop:
+			return
+		default:
+		}
+		sh.parked.Store(1)
+		if sh.hasReady() {
+			// Lost the race with a publisher: reclaim the flag, or drain
+			// the token the publisher is posting.
+			if sh.parked.Swap(0) == 0 {
+				<-sh.wake
+			}
+			continue
+		}
+		select {
+		case <-sh.wake:
+		case <-rt.stop:
+			return
+		}
+	}
+}

@@ -5,29 +5,39 @@
 // whose correctness is a throughput/latency contract rather than a result
 // value.
 //
-// The runtime micro-batches incoming feature vectors under a configurable
-// latency bound (a batch flushes when it reaches BatchSize OR when the
-// oldest request has waited MaxDelay), shards inference across worker
-// goroutines sized to the internal/parallel pool — each shard owns a
-// prepared ir.Predictor, so the steady-state classify path performs zero
-// heap allocations — and applies backpressure with a bounded intake
-// queue: when the queue is full, Classify sheds immediately with
-// ErrOverloaded instead of queueing unboundedly (the same
-// shed-at-the-door discipline as the compilation service's admission
-// queue). Per-deployment metrics (throughput, a log-scale latency
+// The hot loop is built in the hardware idiom (see ring.go): each shard
+// owns a fixed-size ring of preallocated request slots with an atomic
+// ready-bitmap scoreboard. Producers claim a slot with an atomic
+// fetch-add and publish with a bit set; a harvester — the producer
+// itself when the shard is idle, else the shard's fallback worker —
+// drains the bitmap with a bits.TrailingZeros64 sweep. One sweep is one
+// micro-batch, so batches form naturally under concurrent load and a
+// lone request is classified inline with zero scheduler handoffs. The
+// busy path touches no channel and no mutex; parking is futex-style and
+// only on the idle path.
+//
+// Backpressure is a per-shard credit counter: when a ring is full,
+// Classify sheds immediately with ErrOverloaded instead of queueing
+// unboundedly (the same shed-at-the-door discipline as the compilation
+// service's admission queue). Each shard owns a prepared ir.Predictor,
+// so the steady-state classify path performs zero heap allocations.
+// Per-deployment metrics (throughput, a sampled log-scale latency
 // histogram for p50/p99, per-class counts, drops) are recorded inline
 // from day one — observability is part of the serving contract, not a
 // bolt-on.
 //
 // Close drains: intake stops (ErrClosed), every request already accepted
-// is still classified and delivered, then the shards exit. See
-// docs/serving.md for the knobs and wire API.
+// is still classified and delivered, then the workers exit. See
+// docs/serving.md for the knobs and wire API, and docs/performance.md
+// for the ring scheduler's slot lifecycle and park/unpark semantics.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ir"
@@ -35,7 +45,7 @@ import (
 )
 
 var (
-	// ErrOverloaded sheds a request because the bounded intake queue is
+	// ErrOverloaded sheds a request because the bounded slot ring is
 	// full. Callers should back off (HTTP maps this to 429).
 	ErrOverloaded = errors.New("serve: deployment overloaded, request shed")
 	// ErrClosed rejects requests after Close began draining.
@@ -44,20 +54,24 @@ var (
 
 // Options bounds a deployment runtime. Zero values select defaults.
 type Options struct {
-	// Shards is the number of inference workers, each owning a prepared
-	// quantized predictor. Default: the shared parallel pool's worker
-	// count (GOMAXPROCS).
+	// Shards is the number of inference lanes, each owning a slot ring
+	// and a prepared quantized predictor. Default: the shared parallel
+	// pool's worker count (GOMAXPROCS).
 	Shards int
-	// BatchSize is the flush threshold of the micro-batcher. Default 64.
+	// BatchSize is the micro-batch target: a harvest sweep that collects
+	// at least this many requests counts as a full flush in Stats.
+	// Default 64. (The ring harvests continuously, so this is a stats
+	// threshold, not a dispatch trigger.)
 	BatchSize int
-	// MaxDelay bounds how long an accepted request may wait for its
-	// batch to fill before a partial flush. Default 500µs. Negative
-	// selects greedy batching: a batch flushes as soon as the intake is
-	// momentarily empty (minimum latency, batches form only under
-	// concurrent load).
+	// MaxDelay is retained for configuration compatibility. The ring
+	// scheduler harvests as soon as a slot is published, so no request
+	// ever waits on a batching deadline — the bound is trivially met.
+	// Default 500µs; negative (the old greedy mode) is equivalent.
 	MaxDelay time.Duration
-	// QueueDepth caps requests accepted but not yet dispatched to a
+	// QueueDepth caps requests accepted but not yet harvested by a
 	// shard. Classify sheds with ErrOverloaded beyond it. Default 1024.
+	// The per-shard ring size is QueueDepth/Shards rounded up to a
+	// power of two.
 	QueueDepth int
 
 	// RetainRetired caps how many retired revisions an Endpoint keeps
@@ -94,15 +108,21 @@ func (o Options) withDefaults() Options {
 }
 
 // request is one in-flight classification. Requests are pooled: the
-// feature buffer, the 1-slot done channel, and the struct itself are all
+// feature buffer, the 1-slot wake channel, and the struct itself are all
 // reused, which is what keeps the steady-state classify path at zero
-// allocations.
+// allocations. Delivery is a done flag (spin/park, see ring.go), not a
+// channel send, so the busy path stays channel-free.
 type request struct {
 	x     []float64
 	class int
 	err   error
-	done  chan struct{}
-	start time.Time
+
+	done   atomic.Uint32 // result published
+	waiter atomic.Uint32 // producer parked; Swap(1→0) claims the wake
+	wake   chan struct{} // 1-slot producer unpark token
+
+	sampled bool      // latency timestamps recorded for this request
+	start   time.Time // set only when sampled
 }
 
 // Runtime is a live deployment serving one compiled model. All exported
@@ -111,55 +131,62 @@ type Runtime struct {
 	opts  Options
 	model *ir.Model
 
-	intake  chan *request
-	batches chan *[]*request
+	rings []*shard
+	rr    atomic.Uint64 // round-robin shard cursor
 
-	reqPool   sync.Pool
-	batchPool sync.Pool
+	reqPool sync.Pool
 
 	stats stats
 
-	// closeMu serializes intake sends against the close of the intake
-	// channel (a send on a closed channel panics; the RLock'd fast path
-	// costs no allocations).
-	closeMu sync.RWMutex
-	closed  bool
-
+	closed    atomic.Bool
 	closeOnce sync.Once
-	shards    sync.WaitGroup
+	stop      chan struct{} // closed after drain; workers exit
+	workers   sync.WaitGroup
 }
 
-// New validates the model and starts the runtime's batcher and shards.
+// New validates the model and starts the runtime's shard rings and
+// fallback workers.
 func New(model *ir.Model, opts Options) (*Runtime, error) {
 	if model == nil {
 		return nil, fmt.Errorf("serve: nil model")
 	}
-	// Validate up front so a broken model fails at Deploy time, not on
-	// the first live request.
-	if _, err := ir.NewPredictor(model); err != nil {
-		return nil, err
-	}
 	o := opts.withDefaults()
+	capacity := ringCapacity(o.QueueDepth, o.Shards)
 	rt := &Runtime{
-		opts:    o,
-		model:   model,
-		intake:  make(chan *request, o.QueueDepth),
-		batches: make(chan *[]*request, o.Shards),
+		opts:  o,
+		model: model,
+		rings: make([]*shard, o.Shards),
+		stop:  make(chan struct{}),
+	}
+	for i := range rt.rings {
+		// newShard validates the model via ir.NewPredictor, so a broken
+		// model fails at Deploy time, not on the first live request.
+		sh, err := newShard(model, capacity)
+		if err != nil {
+			return nil, err
+		}
+		rt.rings[i] = sh
 	}
 	rt.reqPool.New = func() any {
-		return &request{done: make(chan struct{}, 1), x: make([]float64, 0, model.Inputs)}
-	}
-	rt.batchPool.New = func() any {
-		s := make([]*request, 0, o.BatchSize)
-		return &s
+		return &request{wake: make(chan struct{}, 1), x: make([]float64, 0, model.Inputs)}
 	}
 	rt.stats.init(model.Outputs)
-	rt.shards.Add(o.Shards)
-	for i := 0; i < o.Shards; i++ {
-		go rt.shard()
+	rt.workers.Add(o.Shards)
+	for _, sh := range rt.rings {
+		go rt.worker(sh)
 	}
-	go rt.batcher()
 	return rt, nil
+}
+
+// ringCapacity splits QueueDepth across shards, rounding each ring up to
+// a power of two so slot indexing is a mask.
+func ringCapacity(depth, shards int) uint64 {
+	per := (depth + shards - 1) / shards
+	c := uint64(1)
+	for c < uint64(per) {
+		c <<= 1
+	}
+	return c
 }
 
 // Options returns the effective (defaulted) runtime bounds.
@@ -168,21 +195,32 @@ func (rt *Runtime) Options() Options { return rt.opts }
 // Model returns the deployed model.
 func (rt *Runtime) Model() *ir.Model { return rt.model }
 
+// pick selects the next shard round-robin.
+func (rt *Runtime) pick() *shard {
+	if len(rt.rings) == 1 {
+		return rt.rings[0]
+	}
+	return rt.rings[rt.rr.Add(1)%uint64(len(rt.rings))]
+}
+
 // Classify submits one feature vector and blocks until its class is
 // computed (micro-batched with concurrent submissions). It sheds with
-// ErrOverloaded when the intake queue is full and fails with ErrClosed
-// once draining began. The input slice is copied; the caller may reuse it
+// ErrOverloaded when the slot ring is full and fails with ErrClosed once
+// draining began. The input slice is copied; the caller may reuse it
 // immediately.
 func (rt *Runtime) Classify(x []float64) (int, error) {
 	r := rt.reqPool.Get().(*request)
 	r.x = append(r.x[:0], x...)
-	r.start = time.Now()
-	if err := rt.enqueue(r); err != nil {
+	sh := rt.pick()
+	if err := rt.enqueue(sh, r); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			rt.stats.dropped.Add(1)
+		}
 		r.x = r.x[:0]
 		rt.reqPool.Put(r)
 		return 0, err
 	}
-	<-r.done
+	rt.await(sh, r)
 	class, err := r.class, r.err
 	rt.reqPool.Put(r)
 	return class, err
@@ -191,31 +229,54 @@ func (rt *Runtime) Classify(x []float64) (int, error) {
 // ClassifyBatch submits every vector of xs and waits for all results.
 // classes[i] is -1 for requests that were shed (counted in dropped) or
 // failed inference; err carries the first inference error, if any.
-// Accepted requests always complete, even when later ones shed.
+// Accepted requests always complete, even when later ones shed. When a
+// ring fills with this call's own in-flight traffic, the enqueue loop
+// helps harvest instead of shedding, so a batch larger than the ring
+// pipelines through it; sheds happen only under competing load.
 func (rt *Runtime) ClassifyBatch(xs [][]float64) (classes []int, dropped int, err error) {
 	classes = make([]int, len(xs))
 	pending := make([]*request, len(xs))
+	shards := make([]*shard, len(xs))
+	head := 0 // first of our requests that may still be in flight
 	for i, x := range xs {
 		r := rt.reqPool.Get().(*request)
 		r.x = append(r.x[:0], x...)
-		r.start = time.Now()
-		if eerr := rt.enqueue(r); eerr != nil {
-			r.x = r.x[:0]
-			rt.reqPool.Put(r)
+		for {
+			sh := rt.pick()
+			eerr := rt.enqueue(sh, r)
+			if eerr == nil {
+				pending[i], shards[i] = r, sh
+				rt.unpark(sh) // let the worker harvest while we keep enqueueing
+				break
+			}
+			if errors.Is(eerr, ErrOverloaded) {
+				for head < i && (pending[head] == nil || pending[head].done.Load() == 1) {
+					head++
+				}
+				if head < i {
+					// Our own traffic holds ring credits; help drain it
+					// and retry instead of shedding our own pipeline.
+					rt.harvest(shards[head])
+					runtime.Gosched()
+					continue
+				}
+				rt.stats.dropped.Add(1)
+			}
 			classes[i] = -1
 			dropped++
 			if errors.Is(eerr, ErrClosed) && err == nil {
 				err = eerr
 			}
-			continue
+			r.x = r.x[:0]
+			rt.reqPool.Put(r)
+			break
 		}
-		pending[i] = r
 	}
 	for i, r := range pending {
 		if r == nil {
 			continue
 		}
-		<-r.done
+		rt.await(shards[i], r)
 		if r.err != nil {
 			classes[i] = -1
 			if err == nil {
@@ -229,146 +290,34 @@ func (rt *Runtime) ClassifyBatch(xs [][]float64) (classes []int, dropped int, er
 	return classes, dropped, err
 }
 
-// enqueue admits r into the bounded intake queue without blocking.
-func (rt *Runtime) enqueue(r *request) error {
-	rt.closeMu.RLock()
-	defer rt.closeMu.RUnlock()
-	if rt.closed {
-		return ErrClosed
-	}
-	select {
-	case rt.intake <- r:
-		rt.stats.accepted.Add(1)
-		return nil
-	default:
-		rt.stats.dropped.Add(1)
-		return ErrOverloaded
-	}
-}
-
 // Stats snapshots the deployment's metrics.
 func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
 
 // Close stops intake and drains: every accepted request is classified
-// and delivered, then the batcher and shards exit. Blocks until the
-// drain completes. Idempotent; concurrent Classify calls either complete
-// or fail with ErrClosed.
+// and delivered, then the workers exit. Blocks until the drain
+// completes. Idempotent; concurrent Classify calls either complete or
+// fail with ErrClosed.
 func (rt *Runtime) Close() error {
 	rt.closeOnce.Do(func() {
-		rt.closeMu.Lock()
-		rt.closed = true
-		close(rt.intake)
-		rt.closeMu.Unlock()
-		rt.shards.Wait()
+		rt.closed.Store(true)
+		// Drain: credits quiesce once every admitted request has been
+		// harvested (and any producer between credit and publish has
+		// finished), completed catches accepted once every harvested
+		// request is classified. Progress needs no help from here — each
+		// in-flight request has a live producer spinning or a worker
+		// covering it.
+		for {
+			var inflight int64
+			for _, sh := range rt.rings {
+				inflight += sh.credits.Load()
+			}
+			if inflight == 0 && rt.stats.completed.Load() >= rt.stats.accepted.Load() {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		close(rt.stop)
+		rt.workers.Wait()
 	})
 	return nil
-}
-
-// batcher folds intake into batches: flush on BatchSize, on the MaxDelay
-// deadline of the oldest queued request, or (greedy mode, MaxDelay < 0)
-// as soon as the intake is momentarily empty.
-func (rt *Runtime) batcher() {
-	defer close(rt.batches)
-	o := rt.opts
-	greedy := o.MaxDelay < 0
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	defer timer.Stop()
-
-	batch := rt.getBatch()
-	flush := func(deadline bool) {
-		if len(*batch) == 0 {
-			return
-		}
-		rt.stats.flush(len(*batch), deadline, len(*batch) >= o.BatchSize)
-		rt.batches <- batch
-		batch = rt.getBatch()
-	}
-	for {
-		if len(*batch) == 0 {
-			// Idle: block for the first request of the next batch. Its
-			// arrival starts the flush deadline.
-			r, ok := <-rt.intake
-			if !ok {
-				return
-			}
-			*batch = append(*batch, r)
-			if len(*batch) >= o.BatchSize {
-				flush(false)
-				continue
-			}
-			if !greedy {
-				timer.Reset(o.MaxDelay)
-			}
-		}
-		if greedy {
-			select {
-			case r, ok := <-rt.intake:
-				if !ok {
-					flush(false)
-					return
-				}
-				*batch = append(*batch, r)
-				if len(*batch) >= o.BatchSize {
-					flush(false)
-				}
-			default:
-				flush(false)
-			}
-			continue
-		}
-		select {
-		case r, ok := <-rt.intake:
-			if !ok {
-				flush(false)
-				return
-			}
-			*batch = append(*batch, r)
-			if len(*batch) >= o.BatchSize {
-				timer.Stop()
-				flush(false)
-			}
-		case <-timer.C:
-			flush(true)
-		}
-	}
-}
-
-// shard is one inference worker: it owns a prepared predictor and
-// processes whole batches pulled off the shared dispatch channel (free
-// shards steal work, so an expensive batch never blocks the others).
-func (rt *Runtime) shard() {
-	defer rt.shards.Done()
-	pred, err := ir.NewPredictor(rt.model)
-	if err != nil {
-		// New() already validated the model; this is unreachable, but a
-		// shard must never process with a nil predictor.
-		panic(fmt.Sprintf("serve: shard predictor: %v", err))
-	}
-	for batch := range rt.batches {
-		for _, r := range *batch {
-			if rt.opts.testHook != nil {
-				rt.opts.testHook()
-			}
-			r.class, r.err = pred.Classify(r.x)
-			rt.stats.observe(r.class, r.err, time.Since(r.start))
-			r.done <- struct{}{}
-		}
-		rt.putBatch(batch)
-	}
-}
-
-// getBatch and putBatch recycle batch slices by pointer so the pooled
-// header is never re-boxed (a per-batch allocation would break the
-// zero-alloc serving budget).
-func (rt *Runtime) getBatch() *[]*request {
-	b := rt.batchPool.Get().(*[]*request)
-	*b = (*b)[:0]
-	return b
-}
-
-func (rt *Runtime) putBatch(b *[]*request) {
-	rt.batchPool.Put(b)
 }

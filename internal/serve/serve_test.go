@@ -82,10 +82,11 @@ func TestClassifySingle(t *testing.T) {
 	}
 }
 
-// TestFlushOnDeadlinePartialBatch covers the latency bound: a partial
-// batch (far below BatchSize) must flush once the oldest request has
-// waited MaxDelay, not hang for more traffic.
-func TestFlushOnDeadlinePartialBatch(t *testing.T) {
+// TestPartialBatchNeverWaits covers the latency bound: a partial batch
+// (far below BatchSize) must be harvested immediately — the ring
+// scheduler has no batching deadline to wait out, so requests complete
+// well inside the configured MaxDelay and DeadlineFlushes stays zero.
+func TestPartialBatchNeverWaits(t *testing.T) {
 	rt := mustRuntime(t, stepModel(), Options{
 		Shards: 1, BatchSize: 64, MaxDelay: 2 * time.Millisecond, QueueDepth: 64,
 	})
@@ -105,11 +106,14 @@ func TestFlushOnDeadlinePartialBatch(t *testing.T) {
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
-		t.Fatal("partial batch never flushed — deadline flush is broken")
+		t.Fatal("partial batch never harvested — the ring sweep is broken")
 	}
 	st := rt.Stats()
-	if st.Completed != 3 || st.DeadlineFlushes < 1 {
-		t.Fatalf("want 3 completions via >=1 deadline flush, got %+v", st)
+	if st.Completed != 3 || st.Batches < 1 {
+		t.Fatalf("want 3 completions via >=1 harvest sweep, got %+v", st)
+	}
+	if st.DeadlineFlushes != 0 {
+		t.Fatalf("the ring scheduler must never deadline-flush: %+v", st)
 	}
 	if st.MeanBatch > 3 {
 		t.Fatalf("mean batch %v exceeds the 3 in-flight requests", st.MeanBatch)
@@ -129,10 +133,10 @@ func TestQueueFullSheds(t *testing.T) {
 	})
 	defer gate.Do(func() { close(release) })
 
-	// With the shard blocked, total capacity is bounded by: 1 request in
-	// the shard + Shards batches in the dispatch channel + 1 batch in
-	// the batcher's hand + QueueDepth in intake = 4. 32 concurrent
-	// clients guarantee sheds.
+	// With the harvester blocked, capacity is bounded by the ring's
+	// credits: QueueDepth unharvested slots plus the requests already
+	// detached into the harvester's sweep — at most a handful. 32
+	// concurrent clients guarantee sheds.
 	const clients = 32
 	errs := make(chan error, clients)
 	for i := 0; i < clients; i++ {
@@ -391,6 +395,83 @@ func TestReplayRunRecordsClasses(t *testing.T) {
 			t.Fatalf("record %v, want %v", record, want)
 		}
 	}
+}
+
+// TestReplayBurst: the open-loop pacer keeps ReplayRun's accounting and
+// recording contract while reporting the offered rate, and its spikes
+// actually shed when they slam a tiny ring guarded by a slow classify.
+func TestReplayBurst(t *testing.T) {
+	t.Run("accounting", func(t *testing.T) {
+		rt := mustRuntime(t, stepModel(), Options{BatchSize: 8, MaxDelay: -1})
+		const n = 64
+		xs := make([][]float64, n)
+		labels := make([]int, n)
+		for i := range xs {
+			xs[i] = []float64{float64(i%2)*2 - 1, 0}
+			labels[i] = i % 2
+		}
+		record := make([]int, n)
+		// A high mean rate: the whole trace is offered almost at once, so
+		// the test measures accounting, not pacing.
+		res, err := ReplayBurst(context.Background(), rt, xs, labels, 4, record, BurstOptions{MeanRate: 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Issued != n || res.Delivered+res.Dropped+res.Errors != n {
+			t.Fatalf("burst accounting: %+v", res)
+		}
+		if res.OfferedRate <= 0 {
+			t.Fatalf("offered rate must be reported: %+v", res)
+		}
+		for i, c := range record {
+			if c != -1 && c != labels[i] {
+				t.Fatalf("record[%d]=%d, want %d or -1 (shed)", i, c, labels[i])
+			}
+		}
+		if res.Delivered > 0 && res.Accuracy != 1.0 {
+			t.Fatalf("stump must be perfect on delivered traffic: %+v", res)
+		}
+	})
+
+	t.Run("sheds-under-spike", func(t *testing.T) {
+		rt := mustRuntime(t, stepModel(), Options{
+			Shards: 1, QueueDepth: 1, BatchSize: 1, MaxDelay: -1,
+			testHook: func() { time.Sleep(100 * time.Microsecond) },
+		})
+		const n = 256
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = []float64{1, 0}
+		}
+		res, err := ReplayBurst(context.Background(), rt, xs, nil, 8, nil, BurstOptions{MeanRate: 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dropped == 0 {
+			t.Fatalf("a 100× spike against a 1-slot ring must shed: %+v", res)
+		}
+		if res.Delivered == 0 {
+			t.Fatalf("the quiet phase must still deliver: %+v", res)
+		}
+		st := rt.Stats()
+		if st.Accepted != st.Completed {
+			t.Fatalf("accepted traffic must drain: %+v", st)
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		rt := mustRuntime(t, stepModel(), Options{})
+		xs := [][]float64{{1, 0}}
+		if _, err := ReplayBurst(context.Background(), rt, xs, nil, 1, nil, BurstOptions{}); err == nil {
+			t.Fatal("zero mean rate must be rejected")
+		}
+		if _, err := ReplayBurst(context.Background(), nil, xs, nil, 1, nil, BurstOptions{MeanRate: 1}); err == nil {
+			t.Fatal("nil classifier must be rejected")
+		}
+		if _, err := ReplayBurst(context.Background(), rt, xs, []int{0, 1}, 1, nil, BurstOptions{MeanRate: 1}); err == nil {
+			t.Fatal("mismatched labels must be rejected")
+		}
+	})
 }
 
 // TestReplayRunInterrupted covers graceful drain: cancelling the context

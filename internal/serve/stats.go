@@ -4,7 +4,10 @@ package serve
 // atomics only (no locks, no allocations): counters, per-class tallies,
 // and a log2-bucketed latency histogram from which Stats derives p50/p99.
 // The memory-centric-profiling lesson applied to serving: latency and
-// throughput observability is built into the path, not sampled around it.
+// throughput observability is built into the path, not bolted around it.
+// Counters see every request; the latency histogram is fed by sampled
+// requests (every latSampleEvery-th ticket per shard, ring.go), so the
+// steady-state path sheds the two time.Now() calls on the other N-1.
 
 import (
 	"math/bits"
@@ -38,9 +41,10 @@ func (s *stats) init(classes int) {
 	s.perClass = make([]atomic.Uint64, classes)
 }
 
-// flush records one batch dispatch. full means the batch reached
-// BatchSize; deadline means the MaxDelay bound fired. Greedy-mode and
-// drain flushes of partial batches count in neither subcounter.
+// flush records one harvest sweep (= one micro-batch). full means the
+// sweep collected at least BatchSize requests. deadline is always false
+// under the ring scheduler — no request ever waits on a batching
+// deadline — but the counter survives for wire compatibility.
 func (s *stats) flush(size int, deadline, full bool) {
 	s.batches.Add(1)
 	s.batched.Add(uint64(size))
@@ -52,14 +56,20 @@ func (s *stats) flush(size int, deadline, full bool) {
 	}
 }
 
-// observe records one completed request.
-func (s *stats) observe(class int, err error, lat time.Duration) {
+// observeFast records one completed request's counters without a
+// latency sample — the common (unsampled) hot-path variant.
+func (s *stats) observeFast(class int, err error) {
 	s.completed.Add(1)
 	if err != nil {
 		s.errors.Add(1)
 	} else if class >= 0 && class < len(s.perClass) {
 		s.perClass[class].Add(1)
 	}
+}
+
+// observe records one completed request including its latency sample.
+func (s *stats) observe(class int, err error, lat time.Duration) {
+	s.observeFast(class, err)
 	ns := lat.Nanoseconds()
 	if ns < 0 {
 		ns = 0
@@ -73,7 +83,7 @@ func (s *stats) observe(class int, err error, lat time.Duration) {
 
 // Stats is a point-in-time snapshot of a deployment's serving metrics.
 type Stats struct {
-	// Accepted counts requests admitted to the intake queue; Completed
+	// Accepted counts requests admitted to a shard's slot ring; Completed
 	// counts requests classified and delivered (Completed ≤ Accepted,
 	// equal once quiescent). Dropped counts requests shed at the door by
 	// backpressure; Errors counts accepted requests whose inference
@@ -81,15 +91,16 @@ type Stats struct {
 	Accepted, Completed, Dropped, Errors uint64
 	// PerClass tallies delivered predictions by class index.
 	PerClass []uint64
-	// Batches counts dispatched micro-batches; FullFlushes flushed at
-	// BatchSize, DeadlineFlushes on the MaxDelay bound (greedy-mode and
-	// drain flushes of partial batches count in neither). MeanBatch is
-	// the average flushed batch size.
+	// Batches counts harvest sweeps (= micro-batches); FullFlushes are
+	// sweeps that collected at least BatchSize requests. DeadlineFlushes
+	// is always 0 under the ring scheduler (kept for wire
+	// compatibility). MeanBatch is the average sweep size.
 	Batches, FullFlushes, DeadlineFlushes uint64
 	MeanBatch                             float64
 	// P50 and P99 are latency-quantile upper bounds from the log2
-	// histogram (zero until a request completes): time from admission to
-	// delivered classification, batching wait included.
+	// histogram (zero until a sampled request completes): time from
+	// admission to delivered classification, batching wait included.
+	// The histogram is fed by every latSampleEvery-th request per shard.
 	P50, P99 time.Duration
 	// Throughput is delivered requests per second averaged over the
 	// deployment's uptime.

@@ -5,7 +5,11 @@ object per benchmark with iterations, ns_per_op, B_per_op,
 allocs_per_op, and any custom b.ReportMetric metrics.
 
 Usage: go test -bench=. -benchmem -run '^$' . | python3 scripts/bench2json.py \
-           --pr 4 --description "..." > BENCH_pr4.json
+           --pr 7 --description "..." > BENCH_pr7.json
+
+When the same benchmark appears more than once on stdin (e.g. the
+Makefile's second, higher-iteration pass over the serve benchmarks), the
+later lines overwrite the earlier entry — last measurement wins.
 """
 
 import argparse
