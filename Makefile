@@ -7,7 +7,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check vet build test bench-smoke bench bench-json staticcheck
+.PHONY: check vet build test validate fuzz bench-smoke bench bench-json staticcheck
 
 check: vet build test
 
@@ -19,6 +19,24 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Translation validation (docs/validation.md): the differential harness
+# across every model family, the interpreter + divergence-corpus
+# regression suite, and the product-surface validation tests (validate
+# stage, rollout gate, CLI -validate, HTTP wire).
+validate:
+	$(GO) test -count=1 ./internal/validate/
+	$(GO) test -count=1 -run 'Valid|RolloutGate' . ./cmd/homunculus/ ./internal/httpapi/
+
+# Budgeted EMI fuzz sweep (the nightly CI job). FUZZ_BUDGET caps the
+# wall clock; FUZZ_SEED varies the model stream; divergence repros land
+# in fuzz-repros/ (override with FUZZ_REPRO_DIR), one JSON per finding,
+# replayable with `homunculus -validate -repro <file>`.
+FUZZ_BUDGET ?= 300s
+FUZZ_SEED ?=
+fuzz:
+	FUZZ_BUDGET=$(FUZZ_BUDGET) FUZZ_SEED=$(FUZZ_SEED) FUZZ_REPRO_DIR=$(CURDIR)/fuzz-repros \
+	    $(GO) test -count=1 -run TestFuzzNightly -v ./internal/validate/
 
 # One iteration of every benchmark, no unit tests: catches bit-rotted
 # benchmark code and asserts the allocation budgets in bench_test.go.

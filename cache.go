@@ -33,6 +33,11 @@ type specKeyDoc struct {
 	Constraints alchemy.ConstraintsJSON `json:"constraints"`
 	Schedule    *schedKeyNode           `json:"schedule"`
 	Search      searchKeyDoc            `json:"search"`
+	// Validate distinguishes validated pipelines: the validate stage
+	// attaches verdicts to the artifact, so an unvalidated cache entry
+	// must not answer a validated submission (omitted when false, so
+	// pre-existing hashes are unchanged).
+	Validate bool `json:"validate,omitempty"`
 }
 
 type schedKeyNode struct {
@@ -74,13 +79,19 @@ type searchKeyDoc struct {
 // configuration. Equal hashes mean Generate would produce byte-identical
 // pipelines. Anonymous data loaders are fingerprinted by content, which
 // costs one Load; catalog references (alchemy.NamedLoader) hash by name.
-func SpecHash(p *alchemy.Platform, search core.SearchConfig) (string, error) {
-	return specHash(p, search, nil)
+// Result-affecting options (currently WithValidation) participate in the
+// hash; observability options do not.
+func SpecHash(p *alchemy.Platform, search core.SearchConfig, opts ...Option) (string, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return specHash(p, search, o.validate, nil)
 }
 
 // specHash is SpecHash with an optional per-model fingerprint source
 // (the Service memoizes fingerprints across submissions through it).
-func specHash(p *alchemy.Platform, search core.SearchConfig, fingerprint func(*alchemy.Model) (string, error)) (string, error) {
+func specHash(p *alchemy.Platform, search core.SearchConfig, validate bool, fingerprint func(*alchemy.Model) (string, error)) (string, error) {
 	if err := p.Validate(); err != nil {
 		return "", err
 	}
@@ -89,7 +100,7 @@ func specHash(p *alchemy.Platform, search core.SearchConfig, fingerprint func(*a
 			return alchemy.DatasetFingerprint(m.Spec.DataLoader)
 		}
 	}
-	doc := specKeyDoc{Kind: p.Kind.String()}
+	doc := specKeyDoc{Kind: p.Kind.String(), Validate: validate}
 	doc.Constraints = alchemy.ConstraintsJSON{
 		ThroughputGPkts: p.Constraints.Performance.ThroughputGPkts,
 		LatencyNS:       p.Constraints.Performance.LatencyNS,

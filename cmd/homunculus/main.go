@@ -8,6 +8,9 @@
 //	homunculus -spec pipeline.json -platform all   # sweep every backend
 //	homunculus -spec pipeline.json -timeout 30s    # bound the search
 //	homunculus -spec pipeline.json -progress       # stage events on stderr
+//	homunculus -spec pipeline.json -validate       # translation-validate artifacts
+//	homunculus -validate -model build/x.model.json -code build/x.spatial
+//	homunculus -repro build/x.repro.json           # replay a divergence repro
 //	homunculus -spec pipeline.json -deploy         # serve + replay a trace
 //	homunculus -spec pipeline.json -replay 5000    # replay 5000 samples
 //	homunculus -serve :8077                        # run as a daemon
@@ -240,6 +243,10 @@ func main() {
 	shadow := flag.Bool("shadow", false, "mirror traffic to the -rollout revision off the record instead of splitting it")
 	promote := flag.Bool("promote", false, "promote the mid-replay rollout at the three-quarter mark")
 	rollback := flag.Bool("rollback", false, "roll the mid-replay rollout back at the three-quarter mark")
+	validateFlag := flag.Bool("validate", false, "translation-validate emitted artifacts against the model's reference semantics; exit nonzero on divergence (docs/validation.md)")
+	modelPath := flag.String("model", "", "serialized model JSON to validate -code against (artifact mode; requires -validate)")
+	codeFile := flag.String("code", "", "emitted artifact file (.p4/.spatial) to validate against -model")
+	reproPath := flag.String("repro", "", "replay a saved divergence repro JSON; exit nonzero if it still reproduces")
 	flag.Parse()
 	showProgress = *progress
 	replayCfg = replaySettings{
@@ -260,6 +267,22 @@ func main() {
 	}
 	if err := replayCfg.validate(); err != nil {
 		log.Fatalf("homunculus: %v", err)
+	}
+	validateMode = *validateFlag
+	if *reproPath != "" {
+		if err := runReproReplay(*reproPath); err != nil {
+			log.Fatalf("homunculus: %v", err)
+		}
+		return
+	}
+	if *modelPath != "" || *codeFile != "" {
+		if !validateMode {
+			log.Fatalf("homunculus: -model/-code are artifact validation inputs; add -validate")
+		}
+		if err := runValidateArtifact(*modelPath, *codeFile, *platform, *outDir); err != nil {
+			log.Fatalf("homunculus: %v", err)
+		}
+		return
 	}
 	if *serveAddr != "" {
 		if err := runServe(*serveAddr); err != nil {
@@ -358,7 +381,7 @@ func runRemote(ctx context.Context, specPath, outDir, platformOverride, baseURL 
 	if err != nil {
 		return err
 	}
-	req := httpapi.SubmitRequest{Search: &httpapi.SearchJSON{
+	req := httpapi.SubmitRequest{Validate: validateMode, Search: &httpapi.SearchJSON{
 		Init:       spec.Search.Init,
 		Iterations: spec.Search.Iterations,
 		Epochs:     spec.Search.Epochs,
@@ -407,6 +430,19 @@ func runRemote(ctx context.Context, specPath, outDir, platformOverride, baseURL 
 	fmt.Printf("  cache hit:  %v\n", full.CacheHit)
 	fmt.Printf("  feasible:   %v\n", app.Feasible)
 	fmt.Printf("  code:       %s\n", codePath)
+	if validateMode {
+		v := app.Validation
+		switch {
+		case v == nil:
+			return fmt.Errorf("daemon returned no validation verdict")
+		case v.OK:
+			fmt.Printf("  validation: equivalent across %v on %d inputs\n", v.Evaluators, v.Inputs)
+		case v.Error != "":
+			return fmt.Errorf("translation validation failed: %s", v.Error)
+		default:
+			return fmt.Errorf("translation validation failed: diverged on %d/%d inputs across %v", v.Divergences, v.Inputs, v.Evaluators)
+		}
+	}
 	return nil
 }
 
@@ -552,6 +588,11 @@ func run(ctx context.Context, specPath, outDir, platformOverride string, timeout
 	fmt.Println()
 	fmt.Printf("  code:       %s\n", codePath)
 	fmt.Printf("  model:      %s\n", modelPath)
+	if validateMode {
+		if err := reportValidation(app, outDir, spec.Name); err != nil {
+			return err
+		}
+	}
 	if replayCfg.deploy {
 		return runReplay(ctx, spec, loader, pipe, search)
 	}
@@ -576,6 +617,9 @@ func compilePipeline(ctx context.Context, spec Spec, loader alchemy.DataLoader, 
 	genOpts := []homunculus.Option{homunculus.WithSearchConfig(search)}
 	if showProgress {
 		genOpts = append(genOpts, homunculus.WithProgress(printEvent))
+	}
+	if validateMode {
+		genOpts = append(genOpts, homunculus.WithValidation())
 	}
 	return homunculus.Generate(ctx, platform, genOpts...)
 }
@@ -1020,8 +1064,11 @@ func runSweep(ctx context.Context, spec Spec, model *alchemy.Model, outDir strin
 	// Per-target compilations interleave on the service, so sweep
 	// progress is always printed platform-tagged: Event.Platform is what
 	// lets one observer tell the concurrent streams apart.
-	reports, err := homunculus.GenerateAcross(ctx, base, nil,
-		homunculus.WithSearchConfig(search), homunculus.WithProgress(printEvent))
+	sweepOpts := []homunculus.Option{homunculus.WithSearchConfig(search), homunculus.WithProgress(printEvent)}
+	if validateMode {
+		sweepOpts = append(sweepOpts, homunculus.WithValidation())
+	}
+	reports, err := homunculus.GenerateAcross(ctx, base, nil, sweepOpts...)
 	if err != nil {
 		return err
 	}
@@ -1032,6 +1079,7 @@ func runSweep(ctx context.Context, spec Spec, model *alchemy.Model, outDir strin
 	fmt.Printf("cross-platform sweep of %q over %d backends\n", spec.Name, len(reports))
 	fmt.Printf("%-10s %-9s %-8s %-9s %s\n", "platform", "algo", "metric", "feasible", "detail")
 	deployable := 0
+	var diverged []string
 	for _, r := range reports {
 		if r.Err != nil {
 			fmt.Printf("%-10s %-9s %-8s %-9s %v\n", r.Platform, "-", "-", "error", r.Err)
@@ -1043,8 +1091,15 @@ func runSweep(ctx context.Context, spec Spec, model *alchemy.Model, outDir strin
 			continue
 		}
 		deployable++
+		detail := verdictDetail(app.Verdict)
+		if validateMode {
+			detail += " | " + app.Validation.String()
+			if !app.Validation.OK() {
+				diverged = append(diverged, r.Platform)
+			}
+		}
 		fmt.Printf("%-10s %-9s %-8.4f %-9v %s\n",
-			r.Platform, app.Algorithm, app.Metric, app.Verdict.Feasible, verdictDetail(app.Verdict))
+			r.Platform, app.Algorithm, app.Metric, app.Verdict.Feasible, detail)
 		codePath := filepath.Join(outDir, spec.Name+"."+r.Platform+backend.CodeExt(r.Platform))
 		if err := os.WriteFile(codePath, []byte(app.Code), 0o644); err != nil {
 			return fmt.Errorf("write code for %s: %w", r.Platform, err)
@@ -1054,6 +1109,9 @@ func runSweep(ctx context.Context, spec Spec, model *alchemy.Model, outDir strin
 		return fmt.Errorf("no registered backend produced a deployable pipeline")
 	}
 	fmt.Printf("%d/%d backends deployable; artifacts in %s\n", deployable, len(reports), outDir)
+	if len(diverged) > 0 {
+		return fmt.Errorf("translation validation failed on %s", strings.Join(diverged, ", "))
+	}
 	return nil
 }
 

@@ -1,0 +1,174 @@
+package main
+
+// Translation-validation CLI (docs/validation.md). Three entry points:
+//
+//	homunculus -validate -spec pipeline.json          compile + validate
+//	homunculus -validate -model m.json -code x.p4     check a shipped artifact
+//	homunculus -repro divergence.repro.json           replay a saved repro
+//
+// All three exit nonzero on divergence, after writing (or replaying) a
+// minimized repro JSON — the artifact a codegen bug report starts from.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/validate"
+
+	homunculus "repro"
+)
+
+// validateMode mirrors the -validate flag: single-target compilations run
+// the validate stage and the run fails on a diverging verdict.
+var validateMode bool
+
+// The CLI uses the same fixed traffic as the service's validate stage, so
+// a verdict printed here is bit-comparable with a daemon's.
+const (
+	cliValidationSeed    = 0x484f4d554e43 // "HOMUNC"
+	cliValidationTraffic = 256
+)
+
+// artifactLang picks the interpreter for an emitted artifact: the
+// -platform override when given, else the file extension the backends
+// write (.p4 / .spatial).
+func artifactLang(platformOverride, codePath string) (string, error) {
+	switch platformOverride {
+	case "tofino":
+		return "p4", nil
+	case "taurus", "fpga":
+		return "spatial", nil
+	case "":
+	default:
+		return "", fmt.Errorf("no artifact interpreter for platform %q (have tofino, taurus, fpga)", platformOverride)
+	}
+	switch ext := filepath.Ext(codePath); ext {
+	case ".p4":
+		return "p4", nil
+	case ".spatial":
+		return "spatial", nil
+	default:
+		return "", fmt.Errorf("cannot infer artifact language from %q; pass -platform", codePath)
+	}
+}
+
+// runValidateArtifact differentially checks an emitted artifact file
+// against its serialized model: the artifact text is interpreted and
+// driven with the fixed validation traffic next to the IR reference. On
+// divergence a minimized repro lands in outDir and the run errors.
+func runValidateArtifact(modelPath, codePath, platformOverride, outDir string) error {
+	if modelPath == "" || codePath == "" {
+		return fmt.Errorf("artifact validation needs both -model and -code")
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return fmt.Errorf("open model: %w", err)
+	}
+	defer mf.Close()
+	m, err := ir.ReadJSON(mf)
+	if err != nil {
+		return fmt.Errorf("read model %s: %w", modelPath, err)
+	}
+	raw, err := os.ReadFile(codePath)
+	if err != nil {
+		return fmt.Errorf("read artifact: %w", err)
+	}
+	lang, err := artifactLang(platformOverride, codePath)
+	if err != nil {
+		return err
+	}
+
+	evals := []validate.Evaluator{{Name: "ir", Classify: m.InferQ}}
+	switch lang {
+	case "p4":
+		interp, err := validate.NewP4Interp(string(raw))
+		if err != nil {
+			return fmt.Errorf("validate: %s: %w", codePath, err)
+		}
+		evals = append(evals, validate.Evaluator{Name: "p4", Classify: interp.Classify})
+	case "spatial":
+		interp, err := validate.NewSpatialInterp(string(raw))
+		if err != nil {
+			return fmt.Errorf("validate: %s: %w", codePath, err)
+		}
+		evals = append(evals, validate.Evaluator{Name: "spatial", Classify: interp.Classify})
+	}
+
+	rep := validate.Check(evals, validate.Traffic(m, cliValidationSeed, cliValidationTraffic))
+	if len(rep.Divergences) == 0 {
+		fmt.Printf("validate: %s is equivalent to %s across %v on %d inputs\n",
+			codePath, modelPath, rep.Evaluators, rep.Inputs)
+		return nil
+	}
+	reproPath, werr := writeRepro(m, evals, rep.Divergences[0], outDir,
+		strings.TrimSuffix(filepath.Base(codePath), filepath.Ext(codePath)))
+	if werr != nil {
+		return fmt.Errorf("divergence found but repro not writable: %w", werr)
+	}
+	return fmt.Errorf("validate: %s diverges from %s on %d/%d inputs\n  first: %s\n  repro: %s",
+		codePath, modelPath, len(rep.Divergences), rep.Inputs, rep.Divergences[0].String(), reproPath)
+}
+
+// writeRepro minimizes the first divergence and writes the repro JSON to
+// outDir/<name>.repro.json, echoing it to stdout for bug reports.
+func writeRepro(m *ir.Model, evals []validate.Evaluator, d validate.Divergence, outDir, name string) (string, error) {
+	r, err := validate.NewRepro(m, evals, d, "")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(outDir, name+".repro.json")
+	if err := r.WriteFile(path); err != nil {
+		return "", err
+	}
+	if err := r.Write(os.Stdout); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// runReproReplay re-executes a saved divergence repro against the current
+// code generators: still-diverging repros exit nonzero (the bug lives),
+// fixed ones report success — the CLI face of the regression corpus.
+func runReproReplay(path string) error {
+	r, err := validate.ReadReproFile(path)
+	if err != nil {
+		return err
+	}
+	d, reproduced, err := r.Replay()
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", path, err)
+	}
+	if reproduced {
+		return fmt.Errorf("repro %s still diverges: %s", path, d.String())
+	}
+	fmt.Printf("repro %s no longer diverges (fixed)\n", path)
+	return nil
+}
+
+// reportValidation renders a compiled app's validation verdict; a failed
+// verdict writes the embedded repro next to the other artifacts and
+// errors so the CLI exits nonzero.
+func reportValidation(app homunculus.AppResult, outDir, name string) error {
+	v := app.Validation
+	fmt.Printf("  validation: %s\n", v.String())
+	if v.OK() {
+		return nil
+	}
+	if len(v.Repro) > 0 {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, name+".repro.json")
+		if err := os.WriteFile(path, append(append([]byte(nil), v.Repro...), '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  repro:      %s\n", path)
+	}
+	return fmt.Errorf("translation validation failed: %s", v.String())
+}

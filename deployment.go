@@ -53,6 +53,13 @@ type DeployOptions struct {
 	// warm for instant rollback (default 2; negative keeps all). Only
 	// meaningful for endpoints; flat deployments ignore it.
 	RetainRetired int
+	// ValidateRollouts gates every revision of an endpoint behind
+	// translation validation: the shipped artifact text is interpreted
+	// and differentially checked against the model's IR reference before
+	// it may serve, and a diverging (or unparseable) artifact is refused
+	// with ErrValidationFailed (docs/validation.md). Only meaningful for
+	// endpoints; flat deployments ignore it.
+	ValidateRollouts bool
 }
 
 // DeploymentStats is a point-in-time snapshot of a deployment's serving
@@ -143,8 +150,9 @@ func (d *Deployment) Close() error {
 // behind a stable name and add versioned revisions, canary/shadow
 // rollouts, rollback, and manifest persistence across restarts; flat
 // deployments have none of those and are not restored by a durable
-// Open. Deploy remains only for the /v1/deployments wire surface
-// (docs/serving.md covers the deprecation plan).
+// Open. The /v1/deployments wire surface no longer calls Deploy — it
+// aliases onto endpoints with auto-generated names — so Deploy remains
+// only as a Go-API convenience (docs/serving.md).
 func (s *Service) Deploy(jobID string, opts DeployOptions) (*Deployment, error) {
 	j, ok := s.Job(jobID)
 	if !ok {

@@ -96,7 +96,7 @@ func (s *Service) journalSubmitted(j *Job, p *alchemy.Platform, o *options) {
 	}
 	rec := store.Record{Op: store.OpSubmitted, Job: j.id, Platform: j.platform}
 	if spec, err := alchemy.MarshalPlatform(p); err == nil {
-		if search, serr := marshalSearchConfig(o.search); serr == nil {
+		if search, serr := marshalSearchConfig(o.search, o.validate); serr == nil {
 			rec.Spec, rec.Search = spec, search
 		} else {
 			s.storeErr(fmt.Errorf("journal job %s search config: %w", j.id, serr))
@@ -305,9 +305,10 @@ func (s *Service) recover(dir string, fs store.FS) error {
 	s.nextID = maxID
 
 	type pendingJob struct {
-		id  string
-		p   *alchemy.Platform
-		cfg core.SearchConfig
+		id       string
+		p        *alchemy.Platform
+		cfg      core.SearchConfig
+		validate bool
 	}
 	var requeue []pendingJob
 	var keep []store.Record
@@ -334,13 +335,13 @@ func (s *Service) recover(dir string, fs store.FS) error {
 				s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, id)
 				continue
 			}
-			cfg, cerr := unmarshalSearchConfig(t.submitted.Search)
+			cfg, validate, cerr := unmarshalSearchConfig(t.submitted.Search)
 			if cerr != nil {
 				s.storeErr(fmt.Errorf("job %s search config: %w", id, cerr))
 				s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, id)
 				continue
 			}
-			requeue = append(requeue, pendingJob{id: id, p: p, cfg: cfg})
+			requeue = append(requeue, pendingJob{id: id, p: p, cfg: cfg, validate: validate})
 			keep = append(keep, *t.submitted)
 		}
 	}
@@ -366,7 +367,7 @@ func (s *Service) recover(dir string, fs store.FS) error {
 	}
 
 	for _, pj := range requeue {
-		if qerr := s.resubmitRecovered(pj.id, pj.p, pj.cfg); qerr != nil {
+		if qerr := s.resubmitRecovered(pj.id, pj.p, pj.cfg, pj.validate); qerr != nil {
 			s.storeErr(fmt.Errorf("requeue job %s: %w", pj.id, qerr))
 			s.recovery.JobsSkipped = append(s.recovery.JobsSkipped, pj.id)
 			continue
@@ -379,11 +380,11 @@ func (s *Service) recover(dir string, fs store.FS) error {
 // resubmitRecovered re-enqueues one interrupted job under its original
 // ID — Submit's admission path minus ID assignment and re-journaling
 // (the compacted journal already carries the admission record).
-func (s *Service) resubmitRecovered(id string, p *alchemy.Platform, cfg core.SearchConfig) error {
+func (s *Service) resubmitRecovered(id string, p *alchemy.Platform, cfg core.SearchConfig, validate bool) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	o := options{search: cfg}
+	o := options{search: cfg, validate: validate}
 	jctx, cancel := context.WithCancel(context.Background())
 	j := newJob(id, p.Kind.String(), cancel)
 	j.onFinish = s.journalFinish
@@ -439,6 +440,7 @@ func (s *Service) restoreEndpoint(rec store.EndpointRecord) error {
 		created:  time.Unix(0, rec.CreatedUnixNano),
 		svc:      s,
 		ep:       sep,
+		validate: rec.Options.ValidateRollouts,
 		reqOpts:  rec.Options,
 		meta:     meta,
 	}

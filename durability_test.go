@@ -137,7 +137,7 @@ func TestDurableInterruptedJobReruns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	search, err := marshalSearchConfig(fastConfig())
+	search, err := marshalSearchConfig(fastConfig(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ package homunculus
 // deprecation plan).
 
 import (
+	"errors"
 	"fmt"
 	"regexp"
 	"sync"
@@ -26,6 +27,9 @@ import (
 )
 
 var (
+	// ErrEndpointExists rejects creating an endpoint under a name a live
+	// endpoint already holds.
+	ErrEndpointExists = errors.New("homunculus: endpoint already exists")
 	// ErrRolloutActive rejects starting a rollout while another is in
 	// progress on the same endpoint.
 	ErrRolloutActive = serve.ErrRolloutActive
@@ -37,6 +41,9 @@ var (
 	// ErrEndpointClosed rejects requests to an endpoint that is draining
 	// or deleted (the same sentinel as ErrDeploymentClosed).
 	ErrEndpointClosed = serve.ErrClosed
+	// ErrValidationFailed (validation.go) refuses creating or rolling out
+	// a revision whose shipped artifact fails translation validation on a
+	// ValidateRollouts endpoint.
 )
 
 // RevisionState mirrors a revision's place in the endpoint lifecycle:
@@ -119,6 +126,10 @@ type Endpoint struct {
 	svc      *Service
 	ep       *serve.Endpoint
 
+	// validate gates every revision behind translation validation of its
+	// shipped artifact (DeployOptions.ValidateRollouts).
+	validate bool
+
 	// reqOpts are the creation-time options as requested (zero fields =
 	// inherit defaults) — what the manifest persists, so a restored
 	// endpoint re-derives machine defaults instead of pinning them.
@@ -146,11 +157,12 @@ type revisionMeta struct {
 // form (zero fields stay zero — defaults are re-derived on restore).
 func optionsRecord(o DeployOptions) store.OptionsRecord {
 	return store.OptionsRecord{
-		Shards:        o.Shards,
-		BatchSize:     o.BatchSize,
-		MaxDelayNS:    int64(o.MaxDelay),
-		QueueDepth:    o.QueueDepth,
-		RetainRetired: o.RetainRetired,
+		Shards:           o.Shards,
+		BatchSize:        o.BatchSize,
+		MaxDelayNS:       int64(o.MaxDelay),
+		QueueDepth:       o.QueueDepth,
+		RetainRetired:    o.RetainRetired,
+		ValidateRollouts: o.ValidateRollouts,
 	}
 }
 
@@ -183,6 +195,11 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 	if err != nil {
 		return nil, err
 	}
+	if opts.ValidateRollouts {
+		if err := gateRollout(pipe.Platform, app); err != nil {
+			return nil, err
+		}
+	}
 	sep, err := serve.NewEndpoint(name, app.Model, serve.Options{
 		Shards:        opts.Shards,
 		BatchSize:     opts.BatchSize,
@@ -199,6 +216,7 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 		created:  time.Now(),
 		svc:      s,
 		ep:       sep,
+		validate: opts.ValidateRollouts,
 		reqOpts:  optionsRecord(opts),
 		meta: map[int]revisionMeta{1: {
 			jobID:    jobID,
@@ -215,7 +233,7 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 	if _, dup := s.endpoints[name]; dup {
 		s.mu.Unlock()
 		_ = sep.Close()
-		return nil, fmt.Errorf("homunculus: endpoint %q already exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrEndpointExists, name)
 	}
 	s.endpoints[name] = e
 	s.epOrder = append(s.epOrder, name)
@@ -336,11 +354,12 @@ func (e *Endpoint) Model() *ir.Model { return e.ep.Model() }
 func (e *Endpoint) Config() EndpointOptions {
 	o := e.ep.Options()
 	return EndpointOptions{
-		Shards:        o.Shards,
-		BatchSize:     o.BatchSize,
-		MaxDelay:      o.MaxDelay,
-		QueueDepth:    o.QueueDepth,
-		RetainRetired: o.RetainRetired,
+		Shards:           o.Shards,
+		BatchSize:        o.BatchSize,
+		MaxDelay:         o.MaxDelay,
+		QueueDepth:       o.QueueDepth,
+		RetainRetired:    o.RetainRetired,
+		ValidateRollouts: e.validate,
 	}
 }
 
@@ -389,6 +408,11 @@ func (e *Endpoint) rollout(pipe *Pipeline, jobID string, opts RolloutOptions) (R
 	app, err := selectApp(pipe, want)
 	if err != nil {
 		return RevisionInfo{}, err
+	}
+	if e.validate {
+		if err := gateRollout(e.platform, app); err != nil {
+			return RevisionInfo{}, fmt.Errorf("homunculus: rollout on %s refused: %w", e.name, err)
+		}
 	}
 	rev, err := e.ep.Rollout(app.Model, serve.RolloutConfig{
 		CanaryPercent: opts.CanaryPercent,

@@ -38,15 +38,17 @@ import (
 
 // Stage names one phase of the compilation pipeline, in execution order:
 // load (datasets materialize), search (per-app design-space exploration),
-// compose (whole-pipeline feasibility), codegen (backend source).
+// compose (whole-pipeline feasibility), codegen (backend source),
+// validate (optional translation validation of the emitted artifacts).
 type Stage string
 
 // Pipeline stages.
 const (
-	StageLoad    Stage = "load"
-	StageSearch  Stage = "search"
-	StageCompose Stage = "compose"
-	StageCodegen Stage = "codegen"
+	StageLoad     Stage = "load"
+	StageSearch   Stage = "search"
+	StageCompose  Stage = "compose"
+	StageCodegen  Stage = "codegen"
+	StageValidate Stage = "validate"
 )
 
 // Event is one progress notification. Every unit of work emits a start
@@ -84,6 +86,10 @@ type Option func(*options)
 type options struct {
 	search   core.SearchConfig
 	progress ProgressFunc
+	// validate runs translation validation after codegen and attaches
+	// the verdict to each AppResult. It is part of the spec hash: a
+	// validated pipeline is a different artifact than an unvalidated one.
+	validate bool
 	// preloaded carries per-model data already materialized by the
 	// service's spec-hashing pass, so a cache miss does not load twice.
 	preloaded map[*alchemy.Model]*alchemy.Data
@@ -107,6 +113,17 @@ func WithProgress(fn ProgressFunc) Option {
 	return func(o *options) { o.progress = fn }
 }
 
+// WithValidation enables the validate stage: after codegen, each
+// compiled model's emitted artifacts are executed by the
+// internal/validate interpreters against bit-accurate IR inference on
+// fixed-seed traffic, and the verdict lands on AppResult.Validation
+// (docs/validation.md). Divergence does not fail compilation; it is
+// surfaced for the CLI, the jobs API, and the endpoint rollout gate to
+// act on.
+func WithValidation() Option {
+	return func(o *options) { o.validate = true }
+}
+
 // AppResult is the outcome for one scheduled model.
 type AppResult struct {
 	Name string
@@ -121,6 +138,9 @@ type AppResult struct {
 	Verdict core.Verdict
 	// Code is the generated backend source (Spatial or P4).
 	Code string
+	// Validation is the translation-validation verdict; nil unless the
+	// job was submitted with WithValidation.
+	Validation *ValidationReport
 	// Candidates summarizes every algorithm family tried.
 	Candidates []core.CandidateResult
 }
@@ -294,6 +314,27 @@ func compile(ctx context.Context, p *alchemy.Platform, target core.Target, o *op
 	}
 	for i, m := range models {
 		pipe.Apps[i].Code = jobs[index[m]].out.Code
+	}
+
+	// Stage 5 (opt-in): validate. Translation-validate each unique
+	// model's emitted artifacts against the IR reference and attach the
+	// verdict. Runs after codegen so a verdict always describes the same
+	// artifacts the pipeline carries.
+	if o.validate {
+		for _, job := range jobs {
+			if job.out.Model == nil {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("homunculus: compilation cancelled: %w", err)
+			}
+			emit(Event{Stage: StageValidate, App: job.out.Name})
+			job.out.Validation = validateModel(job.out.Model)
+			emit(Event{Stage: StageValidate, App: job.out.Name, Done: true})
+		}
+		for i, m := range models {
+			pipe.Apps[i].Validation = jobs[index[m]].out.Validation
+		}
 	}
 	return pipe, nil
 }

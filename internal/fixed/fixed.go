@@ -10,6 +10,8 @@ package fixed
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Format describes a signed fixed-point layout Qm.n: 1 sign bit, m integer
@@ -37,6 +39,33 @@ func (f Format) Bits() int { return 1 + f.IntBits + f.FracBits }
 // matching hardware-documentation convention).
 func (f Format) String() string { return fmt.Sprintf("Q%d.%d", f.IntBits+1, f.FracBits) }
 
+// ParseFormat inverts String: "Q8.8" -> Format{IntBits: 7, FracBits: 8}.
+// Generated artifacts carry the format in their header line; interpreters
+// that execute the artifact text recover the word layout through this.
+func ParseFormat(s string) (Format, error) {
+	rest, ok := strings.CutPrefix(s, "Q")
+	if !ok {
+		return Format{}, fmt.Errorf("fixed: format %q does not start with Q", s)
+	}
+	mStr, nStr, ok := strings.Cut(rest, ".")
+	if !ok {
+		return Format{}, fmt.Errorf("fixed: format %q is not Qm.n", s)
+	}
+	m, err := strconv.Atoi(mStr)
+	if err != nil {
+		return Format{}, fmt.Errorf("fixed: format %q integer bits: %w", s, err)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		return Format{}, fmt.Errorf("fixed: format %q fraction bits: %w", s, err)
+	}
+	f := Format{IntBits: m - 1, FracBits: n}
+	if f.IntBits < 0 || f.FracBits < 0 || f.Bits() > 32 {
+		return Format{}, fmt.Errorf("fixed: format %q out of range (word width %d)", s, f.Bits())
+	}
+	return f, nil
+}
+
 // Max returns the largest representable value.
 func (f Format) Max() float64 {
 	return float64(f.maxRaw()) / float64(int64(1)<<uint(f.FracBits))
@@ -52,6 +81,13 @@ func (f Format) Eps() float64 { return 1.0 / float64(int64(1)<<uint(f.FracBits))
 
 func (f Format) maxRaw() int64 { return int64(1)<<uint(f.IntBits+f.FracBits) - 1 }
 func (f Format) minRaw() int64 { return -(int64(1) << uint(f.IntBits+f.FracBits)) }
+
+// MaxRaw returns the largest representable raw word — the upper bound a
+// range-match table entry can carry.
+func (f Format) MaxRaw() int32 { return int32(f.maxRaw()) }
+
+// MinRaw returns the smallest (most negative) representable raw word.
+func (f Format) MinRaw() int32 { return int32(f.minRaw()) }
 
 // Quantize converts v to the nearest representable raw word, saturating at
 // the format bounds. NaN quantizes to 0.
@@ -120,6 +156,15 @@ func (f Format) DotQ(a, b []int32) int32 {
 	for ; i < len(a); i++ {
 		acc += int64(a[i]) * int64(b[i])
 	}
+	return f.saturate(acc >> uint(f.FracBits))
+}
+
+// Writeback finalizes a wide multiply-accumulate sum: rescale the
+// 2n-fraction-bit accumulator back to n fraction bits and saturate. It is
+// the final step of DotQ, exported so executors that keep their own wide
+// accumulator (the Taurus reduce tree, the artifact interpreters) share
+// DotQ's exact semantics: full precision until this single writeback.
+func (f Format) Writeback(acc int64) int32 {
 	return f.saturate(acc >> uint(f.FracBits))
 }
 

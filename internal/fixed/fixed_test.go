@@ -155,3 +155,49 @@ func TestVecHelpers(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, f := range []Format{Q8_8, Q4_12, Q16_16, {IntBits: 0, FracBits: 15}} {
+		got, err := ParseFormat(f.String())
+		if err != nil {
+			t.Fatalf("ParseFormat(%s): %v", f, err)
+		}
+		if got != f {
+			t.Fatalf("ParseFormat(%s) = %+v, want %+v", f, got, f)
+		}
+	}
+	for _, bad := range []string{"", "8.8", "Q8", "Qx.8", "Q8.y", "Q40.40", "Q0.8"} {
+		if _, err := ParseFormat(bad); err == nil {
+			t.Fatalf("ParseFormat(%q) must fail", bad)
+		}
+	}
+}
+
+func TestRawBounds(t *testing.T) {
+	f := Q8_8
+	if f.MaxRaw() != 32767 || f.MinRaw() != -32768 {
+		t.Fatalf("Q8.8 raw bounds = [%d, %d]", f.MinRaw(), f.MaxRaw())
+	}
+	if f.Quantize(f.Max()+1) != f.MaxRaw() || f.Quantize(f.Min()-1) != f.MinRaw() {
+		t.Fatal("quantize must saturate at the exported raw bounds")
+	}
+}
+
+// Property: Writeback is exactly DotQ's finalization — a DotQ over any
+// vector equals the Writeback of its wide accumulator.
+func TestWritebackMatchesDotQ(t *testing.T) {
+	fm := Q8_8
+	f := func(a, b [9]int16) bool {
+		av := make([]int32, len(a))
+		bv := make([]int32, len(b))
+		var acc int64
+		for i := range a {
+			av[i], bv[i] = int32(a[i]), int32(b[i])
+			acc += int64(av[i]) * int64(bv[i])
+		}
+		return fm.DotQ(av, bv) == fm.Writeback(acc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

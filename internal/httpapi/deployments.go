@@ -1,12 +1,17 @@
 package httpapi
 
-// Deployment endpoints: the serving side of the daemon. A finished
-// compilation job can be promoted to a live inference server and driven
-// with batched classify requests — the compile → serve lifecycle over
-// one wire surface (docs/serving.md):
+// Flat deployment routes: the original serving surface of the daemon,
+// now a thin alias over the endpoint lifecycle API (endpoints.go). A
+// POST mints an auto-generated endpoint name ("dep-%06d") and creates a
+// single-revision endpoint behind it; every other route resolves that
+// name through the endpoint table. The wire shapes are unchanged, so
+// existing clients keep working — but the deployments they create are
+// real endpoints: they show up under /v1/endpoints, can be rolled out
+// to, and (on a durable daemon) survive restarts, which the retired
+// flat Deploy runtime never did (docs/serving.md):
 //
 //	POST   /v1/deployments                 deploy a finished job's pipeline
-//	GET    /v1/deployments                 list deployments
+//	GET    /v1/deployments                 list flat-named deployments
 //	GET    /v1/deployments/{id}            deployment info + stats
 //	POST   /v1/deployments/{id}/classify   classify a feature batch
 //	GET    /v1/deployments/{id}/stats      serving metrics snapshot
@@ -17,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"regexp"
 	"time"
 
 	homunculus "repro"
@@ -36,7 +42,9 @@ type DeployRequest struct {
 	QueueDepth int    `json:"queue_depth,omitempty"`
 }
 
-// DeploymentJSON is the wire rendering of a deployment.
+// DeploymentJSON is the wire rendering of a deployment: the flat view
+// of a single-revision endpoint, its ID the auto-generated endpoint
+// name.
 type DeploymentJSON struct {
 	ID         string           `json:"id"`
 	JobID      string           `json:"job_id,omitempty"`
@@ -102,24 +110,36 @@ func statsJSON(st homunculus.DeploymentStats) *DeployStatsJSON {
 	}
 }
 
-func deploymentJSON(d *homunculus.Deployment, withStats bool) DeploymentJSON {
-	cfg := d.Config()
-	m := d.Model()
+// flatDeploymentName matches the auto-minted names the alias surface
+// assigns — what distinguishes its endpoints in the flat listing.
+var flatDeploymentName = regexp.MustCompile(`^dep-\d{6}$`)
+
+// deploymentJSON renders an endpoint in the flat deployment wire shape:
+// the stable revision's identity plus the endpoint's merged stats.
+func deploymentJSON(e *homunculus.Endpoint, withStats bool) DeploymentJSON {
+	cfg := e.Config()
 	out := DeploymentJSON{
-		ID:         d.ID(),
-		JobID:      d.JobID(),
-		App:        d.App(),
-		Platform:   d.Platform(),
-		Algorithm:  m.Kind.String(),
-		Features:   m.Inputs,
-		Classes:    m.Outputs,
+		ID:         e.Name(),
+		Platform:   e.Platform(),
 		Shards:     cfg.Shards,
 		BatchSize:  cfg.BatchSize,
 		MaxDelayUS: cfg.MaxDelay.Microseconds(),
 		QueueDepth: cfg.QueueDepth,
 	}
+	stable, _, _, _ := e.View()
+	for _, rev := range e.Revisions() {
+		if rev.ID == stable {
+			out.JobID = rev.JobID
+			out.App = rev.App
+		}
+	}
+	if m := e.Model(); m != nil {
+		out.Algorithm = m.Kind.String()
+		out.Features = m.Inputs
+		out.Classes = m.Outputs
+	}
 	if withStats {
-		out.Stats = statsJSON(d.Stats())
+		out.Stats = statsJSON(e.Stats().Merged)
 	}
 	return out
 }
@@ -134,14 +154,26 @@ func (h *handler) deploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("request needs a job_id"))
 		return
 	}
-	//lint:ignore SA1019 the /v1/deployments wire surface deliberately keeps serving the deprecated flat Deploy for compatibility
-	dep, err := h.svc.Deploy(req.JobID, homunculus.DeployOptions{
+	opts := homunculus.EndpointOptions{
 		App:        req.App,
 		Shards:     req.Shards,
 		BatchSize:  req.BatchSize,
 		MaxDelay:   time.Duration(req.MaxDelayUS) * time.Microsecond,
 		QueueDepth: req.QueueDepth,
-	})
+	}
+	// The flat surface carries no name, so mint "dep-%06d" names until
+	// one is free: a durable daemon restores earlier alias endpoints
+	// across restarts while the in-process counter starts over, and the
+	// collision loop walks past them.
+	var ep *homunculus.Endpoint
+	var err error
+	for {
+		name := fmt.Sprintf("dep-%06d", h.depSeq.Add(1))
+		ep, err = h.svc.CreateEndpoint(name, req.JobID, opts)
+		if !errors.Is(err, homunculus.ErrEndpointExists) {
+			break
+		}
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, homunculus.ErrJobNotFinished):
@@ -156,41 +188,54 @@ func (h *handler) deploy(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	w.Header().Set("Location", "/v1/deployments/"+dep.ID())
-	writeJSON(w, http.StatusCreated, deploymentJSON(dep, false))
+	w.Header().Set("Location", "/v1/deployments/"+ep.Name())
+	writeJSON(w, http.StatusCreated, deploymentJSON(ep, false))
 }
 
 func (h *handler) listDeployments(w http.ResponseWriter, r *http.Request) {
-	deps := h.svc.Deployments()
-	out := make([]DeploymentJSON, 0, len(deps))
-	for _, d := range deps {
-		out = append(out, deploymentJSON(d, false))
+	out := make([]DeploymentJSON, 0)
+	for _, e := range h.svc.Endpoints() {
+		// Only the alias surface's own endpoints appear in the flat
+		// listing; named endpoints stay under /v1/endpoints.
+		if flatDeploymentName.MatchString(e.Name()) {
+			out = append(out, deploymentJSON(e, false))
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (h *handler) deployment(w http.ResponseWriter, r *http.Request) {
-	d, ok := h.svc.Deployment(r.PathValue("id"))
+// deploymentFor resolves the {id} path segment through the endpoint
+// table — the alias accepts any live endpoint name, so flat clients can
+// also read and classify named endpoints.
+func (h *handler) deploymentFor(w http.ResponseWriter, r *http.Request) (*homunculus.Endpoint, bool) {
+	id := r.PathValue("id")
+	e, ok := h.svc.Endpoint(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", id))
+		return nil, false
+	}
+	return e, true
+}
+
+func (h *handler) deployment(w http.ResponseWriter, r *http.Request) {
+	e, ok := h.deploymentFor(w, r)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, deploymentJSON(d, true))
+	writeJSON(w, http.StatusOK, deploymentJSON(e, true))
 }
 
 func (h *handler) deploymentStats(w http.ResponseWriter, r *http.Request) {
-	d, ok := h.svc.Deployment(r.PathValue("id"))
+	e, ok := h.deploymentFor(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, statsJSON(d.Stats()))
+	writeJSON(w, http.StatusOK, statsJSON(e.Stats().Merged))
 }
 
 func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
-	d, ok := h.svc.Deployment(r.PathValue("id"))
+	e, ok := h.deploymentFor(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such deployment %q", r.PathValue("id")))
 		return
 	}
 	var req ClassifyRequest
@@ -202,7 +247,7 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("request needs a features batch"))
 		return
 	}
-	classes, dropped, err := d.ClassifyBatch(req.Features)
+	classes, dropped, err := e.ClassifyBatch(req.Features)
 	writeClassifyResponse(w, classes, dropped, err, len(req.Features))
 }
 
@@ -229,12 +274,12 @@ func writeClassifyResponse(w http.ResponseWriter, classes []int, dropped int, er
 
 func (h *handler) undeploy(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	st, err := h.svc.Undeploy(id)
+	st, err := h.svc.DeleteEndpoint(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
 	// The drain has completed: the final stats are the deployment's
 	// lifetime totals.
-	writeJSON(w, http.StatusOK, statsJSON(st))
+	writeJSON(w, http.StatusOK, statsJSON(st.Merged))
 }

@@ -291,3 +291,65 @@ func TestHTTPDeploymentJSONShape(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPDeploymentIsEndpointAlias pins the folded surface: a flat
+// deployment is a real endpoint behind a minted "dep-%06d" name —
+// visible and rollout-able under /v1/endpoints — while the flat listing
+// shows only alias-minted names.
+func TestHTTPDeploymentIsEndpointAlias(t *testing.T) {
+	srv, _ := setupServer(t, homunculus.ServiceOptions{MaxInFlight: 2})
+	job := compileDone(t, srv)
+
+	resp, body := postJSON(t, srv.URL+"/v1/deployments", DeployRequest{JobID: job.ID})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy status %d: %s", resp.StatusCode, body)
+	}
+	var dep DeploymentJSON
+	if err := json.Unmarshal(body, &dep); err != nil {
+		t.Fatal(err)
+	}
+	if !flatDeploymentName.MatchString(dep.ID) {
+		t.Fatalf("deployment ID %q is not an auto-minted endpoint name", dep.ID)
+	}
+
+	// The same resource is a live endpoint with a stable revision 1.
+	eresp, ebody := httpGet(t, srv.URL+"/v1/endpoints/"+dep.ID)
+	var ep EndpointJSON
+	if err := json.Unmarshal(ebody, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if eresp.StatusCode != http.StatusOK || ep.Name != dep.ID || ep.Stable != 1 {
+		t.Fatalf("endpoint view of deployment: %d %s", eresp.StatusCode, ebody)
+	}
+
+	// The endpoint lifecycle works on it: roll out the same job as
+	// revision 2 and promote.
+	rresp, rbody := postJSON(t, srv.URL+"/v1/endpoints/"+dep.ID+"/rollout",
+		RolloutRequest{JobID: job.ID, CanaryPercent: 50})
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("rollout on deployment: %d %s", rresp.StatusCode, rbody)
+	}
+	presp, pbody := postJSON(t, srv.URL+"/v1/endpoints/"+dep.ID+"/promote", struct{}{})
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("promote on deployment: %d %s", presp.StatusCode, pbody)
+	}
+
+	// A named endpoint stays out of the flat listing, but the alias
+	// resolves it by name for reads.
+	cresp, cbody := postJSON(t, srv.URL+"/v1/endpoints", EndpointRequest{Name: "alias-named", JobID: job.ID})
+	if cresp.StatusCode != http.StatusCreated {
+		t.Fatalf("named endpoint create: %d %s", cresp.StatusCode, cbody)
+	}
+	lresp, lbody := httpGet(t, srv.URL+"/v1/deployments")
+	var all []DeploymentJSON
+	if err := json.Unmarshal(lbody, &all); err != nil {
+		t.Fatal(err)
+	}
+	if lresp.StatusCode != http.StatusOK || len(all) != 1 || all[0].ID != dep.ID {
+		t.Fatalf("flat listing must show only minted names: %d %s", lresp.StatusCode, lbody)
+	}
+	gresp, _ := httpGet(t, srv.URL+"/v1/deployments/alias-named")
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("alias read of named endpoint: %d", gresp.StatusCode)
+	}
+}

@@ -1,11 +1,12 @@
 package httpapi
 
-// Endpoint lifecycle handlers: the versioned serving surface of the
-// daemon. Where /v1/deployments promotes one job to one immutable
-// server, /v1/endpoints serves a *stable name* whose revisions can be
-// rolled out gradually (deterministic canary split), mirrored (shadow
-// scoring with a divergence report), promoted atomically, and rolled
-// back — zero downtime at every step (docs/serving.md):
+// Endpoint lifecycle handlers: the serving surface of the daemon.
+// /v1/endpoints serves a *stable name* whose revisions can be rolled
+// out gradually (deterministic canary split), mirrored (shadow scoring
+// with a divergence report), promoted atomically, and rolled back —
+// zero downtime at every step. The flat /v1/deployments routes
+// (deployments.go) alias onto this surface behind auto-generated names
+// (docs/serving.md):
 //
 //	POST   /v1/endpoints                     create from a finished job
 //	GET    /v1/endpoints                     list endpoints
@@ -41,9 +42,14 @@ type EndpointRequest struct {
 	BatchSize  int    `json:"batch_size,omitempty"`
 	MaxDelayUS int64  `json:"max_delay_us,omitempty"`
 	QueueDepth int    `json:"queue_depth,omitempty"`
+	// ValidateRollouts gates revision 1 and every later rollout of this
+	// endpoint behind translation validation of the shipped artifact; a
+	// diverging revision is refused with 409 (docs/validation.md).
+	ValidateRollouts bool `json:"validate_rollouts,omitempty"`
 }
 
-// RolloutRequest is the POST /v1/endpoints/{name}/rollout body.
+// RolloutRequest is the POST /v1/endpoints/{name}/rollout body. Rollouts
+// inherit the endpoint's validate_rollouts setting.
 type RolloutRequest struct {
 	// JobID names the finished compilation job to roll out.
 	JobID string `json:"job_id"`
@@ -72,17 +78,20 @@ type RevisionJSON struct {
 
 // EndpointJSON is the wire rendering of an endpoint.
 type EndpointJSON struct {
-	Name          string             `json:"name"`
-	Platform      string             `json:"platform"`
-	Algorithm     string             `json:"algorithm"`
-	Features      int                `json:"features"`
-	Classes       int                `json:"classes"`
-	Stable        int                `json:"stable"`
-	Canary        int                `json:"canary,omitempty"`
-	CanaryPercent int                `json:"canary_percent,omitempty"`
-	Shadow        int                `json:"shadow,omitempty"`
-	Revisions     []RevisionJSON     `json:"revisions"`
-	Stats         *EndpointStatsJSON `json:"stats,omitempty"`
+	Name          string `json:"name"`
+	Platform      string `json:"platform"`
+	Algorithm     string `json:"algorithm"`
+	Features      int    `json:"features"`
+	Classes       int    `json:"classes"`
+	Stable        int    `json:"stable"`
+	Canary        int    `json:"canary,omitempty"`
+	CanaryPercent int    `json:"canary_percent,omitempty"`
+	Shadow        int    `json:"shadow,omitempty"`
+	// ValidateRollouts reports whether revisions are gated behind
+	// translation validation.
+	ValidateRollouts bool               `json:"validate_rollouts,omitempty"`
+	Revisions        []RevisionJSON     `json:"revisions"`
+	Stats            *EndpointStatsJSON `json:"stats,omitempty"`
 }
 
 // EndpointStatsJSON is the per-endpoint stats document: the merged view,
@@ -134,6 +143,7 @@ func endpointJSON(e *homunculus.Endpoint, withStats bool) EndpointJSON {
 		Name:     e.Name(),
 		Platform: e.Platform(),
 		Stable:   stable, Canary: canary, CanaryPercent: pct, Shadow: shadow,
+		ValidateRollouts: e.Config().ValidateRollouts,
 	}
 	if withStats {
 		// One full snapshot: the revisions array carries the per-revision
@@ -184,17 +194,20 @@ func (h *handler) createEndpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ep, err := h.svc.CreateEndpoint(req.Name, req.JobID, homunculus.EndpointOptions{
-		App:        req.App,
-		Shards:     req.Shards,
-		BatchSize:  req.BatchSize,
-		MaxDelay:   time.Duration(req.MaxDelayUS) * time.Microsecond,
-		QueueDepth: req.QueueDepth,
+		App:              req.App,
+		Shards:           req.Shards,
+		BatchSize:        req.BatchSize,
+		MaxDelay:         time.Duration(req.MaxDelayUS) * time.Microsecond,
+		QueueDepth:       req.QueueDepth,
+		ValidateRollouts: req.ValidateRollouts,
 	})
 	if err != nil {
 		switch {
 		case errors.Is(err, homunculus.ErrJobNotFinished):
 			writeError(w, http.StatusConflict, err)
 		case errors.Is(err, homunculus.ErrNotDeployable):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, homunculus.ErrValidationFailed):
 			writeError(w, http.StatusConflict, err)
 		case errors.Is(err, homunculus.ErrServiceClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -273,6 +286,8 @@ func (h *handler) rollout(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, homunculus.ErrJobNotFinished):
 			writeError(w, http.StatusConflict, err)
 		case errors.Is(err, homunculus.ErrNotDeployable):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, homunculus.ErrValidationFailed):
 			writeError(w, http.StatusConflict, err)
 		case errors.Is(err, homunculus.ErrEndpointClosed):
 			writeError(w, http.StatusConflict, err)

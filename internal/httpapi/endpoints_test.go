@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -371,5 +372,79 @@ func TestClassifyShedRetryAfter(t *testing.T) {
 	writeError(rec, http.StatusBadRequest, errors.New("nope"))
 	if rec.Header().Get("Retry-After") != "" {
 		t.Fatal("writeError(400) must not set Retry-After")
+	}
+}
+
+// TestHTTPEndpointValidationGate: creating or rolling out on a
+// validate_rollouts endpoint re-checks the shipped artifact, so a
+// corrupted emitted program (an injected codegen bug) is refused with
+// 409 at the HTTP layer.
+func TestHTTPEndpointValidationGate(t *testing.T) {
+	srv, svc := setupServer(t, homunculus.ServiceOptions{MaxInFlight: 2})
+	job := compileDone(t, srv)
+
+	// The clean pipeline passes the gate and the flag lands on the doc.
+	resp, body := postJSON(t, srv.URL+"/v1/endpoints", EndpointRequest{
+		Name: "gated", JobID: job.ID, ValidateRollouts: true,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("gated create status %d: %s", resp.StatusCode, body)
+	}
+	var ep EndpointJSON
+	if err := json.Unmarshal(body, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if !ep.ValidateRollouts {
+		t.Fatalf("endpoint document must carry validate_rollouts: %s", body)
+	}
+
+	// Inject the codegen bug: corrupt the job's shipped artifact text in
+	// place (the cached pipeline is what any later create/rollout serves).
+	j, ok := svc.Job(job.ID)
+	if !ok {
+		t.Fatal("job handle")
+	}
+	pipe, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for i := range pipe.Apps {
+		if pipe.Apps[i].Code != "" {
+			pipe.Apps[i].Code = pipe.Apps[i].Code[:len(pipe.Apps[i].Code)/3]
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("pipeline ships no artifact to corrupt")
+	}
+
+	// Rollout of the now-corrupted artifact is refused with 409.
+	rresp, rbody := postJSON(t, srv.URL+"/v1/endpoints/gated/rollout",
+		RolloutRequest{JobID: job.ID, CanaryPercent: 50})
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("corrupted rollout status %d: %s", rresp.StatusCode, rbody)
+	}
+	var failure errorJSON
+	if err := json.Unmarshal(rbody, &failure); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(failure.Error, "validation failed") {
+		t.Fatalf("rollout refusal must name validation: %s", rbody)
+	}
+
+	// Creating a fresh gated endpoint from the corrupted job is refused
+	// the same way; an ungated one still works.
+	cresp, _ := postJSON(t, srv.URL+"/v1/endpoints", EndpointRequest{
+		Name: "gated2", JobID: job.ID, ValidateRollouts: true,
+	})
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("corrupted gated create status %d", cresp.StatusCode)
+	}
+	uresp, _ := postJSON(t, srv.URL+"/v1/endpoints", EndpointRequest{
+		Name: "ungated", JobID: job.ID,
+	})
+	if uresp.StatusCode != http.StatusCreated {
+		t.Fatalf("ungated create status %d", uresp.StatusCode)
 	}
 }

@@ -11,14 +11,14 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/backends         registered platform kinds + defaults
 //
-// Finished jobs can be promoted to live inference servers through the
-// /v1/deployments endpoints (deployments.go, docs/serving.md): batched
-// classification over the compiled model's quantized fast path, with
-// backpressure and per-deployment latency/throughput stats. The
-// versioned serving surface lives under /v1/endpoints (endpoints.go):
-// named routes with revisions, canary/shadow rollouts, promote, and
-// rollback — zero-downtime swaps over the same runtime. Every 429 the
-// API emits carries a Retry-After backoff hint.
+// Finished jobs are promoted to live inference servers through the
+// /v1/endpoints surface (endpoints.go, docs/serving.md): named routes
+// with revisions, canary/shadow rollouts, promote, and rollback —
+// zero-downtime swaps over a batched, backpressured runtime with
+// per-revision latency/throughput stats. The original flat
+// /v1/deployments routes remain as thin aliases (deployments.go) that
+// create endpoints behind auto-generated "dep-%06d" names. Every 429
+// the API emits carries a Retry-After backoff hint.
 //
 // Dataset references resolve through the alchemy loader catalog;
 // RegisterBuiltinLoaders installs the bundled synthetic generators so a
@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -66,6 +67,9 @@ func RegisterBuiltinLoaders() {
 type SubmitRequest struct {
 	Platform *alchemy.PlatformJSON `json:"platform"`
 	Search   *SearchJSON           `json:"search,omitempty"`
+	// Validate runs translation validation after codegen and attaches
+	// each app's verdict to the job result (docs/validation.md).
+	Validate bool `json:"validate,omitempty"`
 }
 
 // SearchJSON mirrors the CLI spec's search knobs; zero fields keep
@@ -135,6 +139,21 @@ type AppJSON struct {
 	// Code is included only when the status request asks for it
 	// (?include=code) — generated sources can be large.
 	Code string `json:"code,omitempty"`
+	// Validation is present when the job was submitted with
+	// "validate": true.
+	Validation *ValidationJSON `json:"validation,omitempty"`
+}
+
+// ValidationJSON is the wire form of a translation-validation verdict.
+type ValidationJSON struct {
+	OK          bool     `json:"ok"`
+	Evaluators  []string `json:"evaluators,omitempty"`
+	Inputs      int      `json:"inputs"`
+	Divergences int      `json:"divergences"`
+	Error       string   `json:"error,omitempty"`
+	// Repro is the minimized divergence artifact; present only when the
+	// status request asks for code/repro payloads (?include=code).
+	Repro json.RawMessage `json:"repro,omitempty"`
 }
 
 // EventJSON is one SSE progress payload.
@@ -214,6 +233,10 @@ func NewServer(svc *homunculus.Service) http.Handler {
 
 type handler struct {
 	svc *homunculus.Service
+
+	// depSeq mints the auto-generated endpoint names ("dep-%06d") behind
+	// the flat /v1/deployments alias surface (deployments.go).
+	depSeq atomic.Uint64
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -270,8 +293,11 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 	// The job must outlive this request: submit with a background
 	// context rather than r.Context(). DELETE /v1/jobs/{id} is the
 	// cancellation path.
-	job, err := h.svc.Submit(context.Background(), p,
-		homunculus.WithSearchConfig(req.Search.Config()))
+	opts := []homunculus.Option{homunculus.WithSearchConfig(req.Search.Config())}
+	if req.Validate {
+		opts = append(opts, homunculus.WithValidation())
+	}
+	job, err := h.svc.Submit(context.Background(), p, opts...)
 	if err != nil {
 		switch {
 		case errors.Is(err, homunculus.ErrQueueFull):
@@ -433,6 +459,18 @@ func jobJSON(j *homunculus.Job, includeCode bool) JobJSON {
 			}
 			if includeCode {
 				aj.Code = app.Code
+			}
+			if v := app.Validation; v != nil {
+				aj.Validation = &ValidationJSON{
+					OK:          v.OK(),
+					Evaluators:  v.Evaluators,
+					Inputs:      v.Inputs,
+					Divergences: v.Divergences,
+					Error:       v.Err,
+				}
+				if includeCode {
+					aj.Validation.Repro = v.Repro
+				}
 			}
 			res.Apps = append(res.Apps, aj)
 		}

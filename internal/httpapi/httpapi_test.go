@@ -290,3 +290,31 @@ func TestHTTPBackends(t *testing.T) {
 		t.Fatalf("taurus registration wrong: %+v", byKind["taurus"])
 	}
 }
+
+// TestHTTPJobValidation: a submission with "validate": true carries the
+// translation-validation verdict on the finished job document, and the
+// same spec without the flag does not — the two resolve to distinct
+// cache entries.
+func TestHTTPJobValidation(t *testing.T) {
+	srv, _ := setupServer(t, homunculus.ServiceOptions{MaxInFlight: 2})
+
+	plain, resp := postJob(t, srv, submitBody("httpapi_tiny"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	done := pollDone(t, srv, plain.ID)
+	if done.State != homunculus.JobDone || done.Result.Apps[0].Validation != nil {
+		t.Fatalf("unvalidated job: state %q validation %+v", done.State, done.Result.Apps[0].Validation)
+	}
+
+	body := strings.Replace(submitBody("httpapi_tiny"), `"search":`, `"validate": true, "search":`, 1)
+	checked, resp := postJob(t, srv, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST validate status %d", resp.StatusCode)
+	}
+	vdone := pollDone(t, srv, checked.ID)
+	v := vdone.Result.Apps[0].Validation
+	if vdone.State != homunculus.JobDone || v == nil || !v.OK || v.Inputs == 0 || len(v.Evaluators) == 0 {
+		t.Fatalf("validated job: state %q validation %+v", vdone.State, v)
+	}
+}

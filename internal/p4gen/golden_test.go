@@ -1,0 +1,74 @@
+package p4gen
+
+// Golden-artifact tests over degenerate models: a tree that is a single
+// leaf, a depth-1 stump, and single-class (one-output) models — the
+// shapes the EMI fuzzer mutates toward and the easiest ones for an
+// emitter to get silently wrong. The full artifact text is pinned in
+// testdata so an emission change shows up as a reviewable diff, not
+// only as a validator failure. Refresh after an intentional change with
+//
+//	go test ./internal/p4gen -run Golden -update
+//
+// and review the diff like any other source change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden artifacts in testdata")
+
+// degenerateModels is the shared edge-case set (mirrored in
+// spatialgen's golden test so both emitters pin the same shapes).
+func degenerateModels() []*ir.Model {
+	return []*ir.Model{
+		// A tree with no splits at all: the root is a leaf, every input
+		// classifies identically.
+		{Kind: ir.DTree, Name: "single_leaf", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+			Tree: &ir.TreeNode{Feature: -1, Class: 1}},
+		// A depth-1 stump: one split, two leaves.
+		{Kind: ir.DTree, Name: "depth1", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+			Tree: &ir.TreeNode{Feature: 1, Threshold: 0.5,
+				Left:  &ir.TreeNode{Feature: -1, Class: 0},
+				Right: &ir.TreeNode{Feature: -1, Class: 1}}},
+		// A single-class dataset's SVM: one hyperplane, argmax over one
+		// score.
+		{Kind: ir.SVM, Name: "single_class_svm", Inputs: 2, Outputs: 1, Format: fixed.Q8_8,
+			SVM: &ir.SVMParams{W: [][]float64{{0.5, -0.25}}, B: []float64{0.125}}},
+		// A single-cluster KMeans: nearest-of-one.
+		{Kind: ir.KMeans, Name: "single_class_kmeans", Inputs: 2, Outputs: 1, Format: fixed.Q8_8,
+			Centroids: [][]float64{{0.75, -0.5}}},
+	}
+}
+
+func TestGoldenDegenerateArtifacts(t *testing.T) {
+	for _, m := range degenerateModels() {
+		t.Run(m.Name, func(t *testing.T) {
+			p, err := Generate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", m.Name+".p4.golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden artifact (refresh with -update): %v", err)
+			}
+			if string(want) != p.Source {
+				t.Errorf("emitted artifact drifted from %s (refresh with -update after review)\n--- emitted ---\n%s", path, p.Source)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package spatialgen
+
+// Golden-artifact tests over degenerate models, mirroring p4gen's set
+// (plus a minimal one-layer DNN, which only this backend accepts): the
+// full emitted Spatial text is pinned in testdata so emission changes
+// land as reviewable diffs, not only as validator failures. Refresh
+// after an intentional change with
+//
+//	go test ./internal/spatialgen -run Golden -update
+//
+// and review the diff like any other source change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden artifacts in testdata")
+
+func degenerateModels() []*ir.Model {
+	return []*ir.Model{
+		{Kind: ir.DTree, Name: "single_leaf", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+			Tree: &ir.TreeNode{Feature: -1, Class: 1}},
+		{Kind: ir.DTree, Name: "depth1", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+			Tree: &ir.TreeNode{Feature: 1, Threshold: 0.5,
+				Left:  &ir.TreeNode{Feature: -1, Class: 0},
+				Right: &ir.TreeNode{Feature: -1, Class: 1}}},
+		{Kind: ir.SVM, Name: "single_class_svm", Inputs: 2, Outputs: 1, Format: fixed.Q8_8,
+			SVM: &ir.SVMParams{W: [][]float64{{0.5, -0.25}}, B: []float64{0.125}}},
+		{Kind: ir.KMeans, Name: "single_class_kmeans", Inputs: 2, Outputs: 1, Format: fixed.Q8_8,
+			Centroids: [][]float64{{0.75, -0.5}}},
+		// The smallest DNN a single-class dataset yields: one dense layer
+		// straight to the lone output.
+		{Kind: ir.DNN, Name: "single_class_dnn", Inputs: 2, Outputs: 1, Format: fixed.Q8_8,
+			Layers: []ir.Layer{{In: 2, Out: 1, W: [][]float64{{0.5, -0.25}}, B: []float64{0.125}, Activation: "softmax"}}},
+	}
+}
+
+func TestGoldenDegenerateArtifacts(t *testing.T) {
+	for _, m := range degenerateModels() {
+		t.Run(m.Name, func(t *testing.T) {
+			p, err := Generate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", m.Name+".spatial.golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden artifact (refresh with -update): %v", err)
+			}
+			if string(want) != p.Source {
+				t.Errorf("emitted artifact drifted from %s (refresh with -update after review)\n--- emitted ---\n%s", path, p.Source)
+			}
+		})
+	}
+}

@@ -77,13 +77,22 @@ func TestGenerateDNNWithNormalizer(t *testing.T) {
 
 func TestGenerateSVMAndKMeans(t *testing.T) {
 	svm := &ir.Model{Kind: ir.SVM, Name: "tc", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
-		SVM: &ir.SVMParams{W: [][]float64{{1, 2, 3}, {4, 5, 6}}, B: []float64{0, 0}}}
+		SVM: &ir.SVMParams{W: [][]float64{{1, 2, 3}, {4, 5, 6}}, B: []float64{0.5, -0.25}}}
 	p, err := Generate(svm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(p.Source, "svm_score") {
-		t.Fatal("svm kernel missing")
+	// The hyperplanes must be embedded in the artifact — a kernel stub
+	// referencing weights the source does not carry is unexecutable.
+	for _, want := range []string{
+		"val w = LUT[T](2, 3)(1, 2, 3",
+		"val bias = LUT[T](2)(0.5, -0.25)",
+		"svm_score(w, bias, norm, k)",
+		"ArgMax(scores, 2)",
+	} {
+		if !strings.Contains(p.Source, want) {
+			t.Fatalf("svm source missing %q:\n%s", want, p.Source)
+		}
 	}
 	km := &ir.Model{Kind: ir.KMeans, Name: "clu", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
 		Centroids: [][]float64{{1, 2, 3}, {4, 5, 6}}}
@@ -91,8 +100,16 @@ func TestGenerateSVMAndKMeans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(p2.Source, "kmeans_distance") {
-		t.Fatal("kmeans kernel missing")
+	// Centroids embedded, and the nearest centroid selected by ArgMin
+	// (distances are minimized, not maximized).
+	for _, want := range []string{
+		"val centroids = LUT[T](2, 3)(1, 2, 3",
+		"kmeans_distance(centroids, norm, k)",
+		"ArgMin(scores, 2)",
+	} {
+		if !strings.Contains(p2.Source, want) {
+			t.Fatalf("kmeans source missing %q:\n%s", want, p2.Source)
+		}
 	}
 }
 
@@ -105,8 +122,37 @@ func TestGenerateTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(p.Source, "mux(fields(0) <= 0.500000") {
+	if !strings.Contains(p.Source, "mux(norm(0) <= 0.5.to[T]") {
 		t.Fatalf("tree mux missing:\n%s", p.Source)
+	}
+}
+
+// Thresholds and normalization constants must survive a source round-trip
+// bit-for-bit: %.6f formatting once shifted thresholds across quantization
+// boundaries (a validator-found divergence).
+func TestExactFloatFormatting(t *testing.T) {
+	thr := 0.1234567890123456789 // not representable at 6 decimals
+	tree := &ir.TreeNode{Feature: 0, Threshold: thr,
+		Left:  &ir.TreeNode{Feature: -1, Class: 0},
+		Right: &ir.TreeNode{Feature: -1, Class: 1}}
+	m := &ir.Model{Kind: ir.DTree, Name: "dt", Inputs: 1, Outputs: 2, Format: fixed.Q8_8, Tree: tree,
+		Mean: []float64{1.0 / 3.0}, Std: []float64{0.7000000000000001}}
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		formatFloat(thr) + ".to[T]",
+		"mean=" + formatFloat(1.0/3.0),
+		"std=" + formatFloat(0.7000000000000001),
+	} {
+		if !strings.Contains(p.Source, want) {
+			t.Fatalf("source missing exact literal %q:\n%s", want, p.Source)
+		}
+	}
+	// All kinds carry the normalizer, not just DNNs.
+	if !strings.Contains(p.Source, "normalize(fields") {
+		t.Fatal("tree artifact must carry the normalization affine")
 	}
 }
 

@@ -47,6 +47,9 @@ type OptionsRecord struct {
 	QueueDepth int   `json:"queue_depth,omitempty"`
 	// RetainRetired caps warm retired revisions (0 = default).
 	RetainRetired int `json:"retain_retired,omitempty"`
+	// ValidateRollouts gates revisions behind translation validation of
+	// their shipped artifact.
+	ValidateRollouts bool `json:"validate_rollouts,omitempty"`
 }
 
 // RevisionRecord persists one revision's identity and lifecycle place.

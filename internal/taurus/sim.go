@@ -20,14 +20,24 @@ type Sim struct {
 	grid   Grid
 	format fixed.Format
 	stages []stage
+	// mean/std, when set, are the normalization affine applied in the
+	// parser's feature-extraction stage — in the float domain, before
+	// quantization, exactly as InferQ applies it.
+	mean, std []float64
 	// Inputs is the expected feature vector width.
 	Inputs int
 }
 
-// stage transforms the packet's in-flight value vector in one cycle.
+// stage transforms the packet's in-flight value vector in one cycle. The
+// vector is carried in wide (int64) words: map-stage partial sums stay at
+// full precision through the reduce tree and are rescaled to the Q format
+// by a single writeback in the activation stage, matching fixed.DotQ —
+// an early Sim saturated each lane's partial separately, which diverged
+// from InferQ whenever a lane's partial overflowed but the full sum did
+// not (caught by translation validation).
 type stage struct {
 	name string
-	run  func(v []int32) []int32
+	run  func(v []int64) []int64
 }
 
 // NewSim compiles a DNN model for the grid. Only DNNs have a multi-stage
@@ -48,21 +58,15 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 	v := g.VectorWidth
 
 	// Optional normalization folds into the parser stage (no fabric
-	// cycle), mirroring Estimate which charges it nothing.
-	norm := func(x []int32) []int32 { return x }
+	// cycle), mirroring Estimate which charges it nothing. The affine is
+	// applied by Process in the float domain before quantization —
+	// quantize-then-renormalize loses the input's sub-LSB precision and
+	// diverges from InferQ — so the fabric-side stage is a pass-through.
 	if len(m.Mean) == m.Inputs {
-		mean := append([]float64{}, m.Mean...)
-		std := append([]float64{}, m.Std...)
-		norm = func(x []int32) []int32 {
-			out := make([]int32, len(x))
-			for i := range x {
-				val := (f.Dequantize(x[i]) - mean[i]) / std[i]
-				out[i] = f.Quantize(val)
-			}
-			return out
-		}
+		s.mean = append([]float64{}, m.Mean...)
+		s.std = append([]float64{}, m.Std...)
 	}
-	s.stages = append(s.stages, stage{name: "parse+extract", run: norm})
+	s.stages = append(s.stages, stage{name: "parse+extract", run: func(x []int64) []int64 { return x }})
 
 	for li, l := range m.Layers {
 		layer := l // capture
@@ -77,11 +81,12 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 
 		// Map stage: each (neuron, lane) computes an 8-wide partial dot
 		// product in one cycle (the intra-lane tree is charged
-		// intLog2(min(in, v)) extra cycles below, as pipeline fill).
+		// intLog2(min(in, v)) extra cycles below, as pipeline fill). The
+		// partials are raw 2n-fraction-bit sums — no per-lane rescale.
 		s.stages = append(s.stages, stage{
 			name: fmt.Sprintf("layer%d.map", li),
-			run: func(x []int32) []int32 {
-				partials := make([]int32, layer.Out*lanes)
+			run: func(x []int64) []int64 {
+				partials := make([]int64, layer.Out*lanes)
 				for o := 0; o < layer.Out; o++ {
 					for lane := 0; lane < lanes; lane++ {
 						lo := lane * v
@@ -89,7 +94,11 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 						if hi > layer.In {
 							hi = layer.In
 						}
-						partials[o*lanes+lane] = f.DotQ(wq[o][lo:hi], x[lo:hi])
+						var acc int64
+						for j := lo; j < hi; j++ {
+							acc += int64(wq[o][j]) * x[j]
+						}
+						partials[o*lanes+lane] = acc
 					}
 				}
 				return partials
@@ -98,27 +107,29 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 		for d := 0; d < intLog2(min(layer.In, v)); d++ {
 			s.stages = append(s.stages, stage{
 				name: fmt.Sprintf("layer%d.lane_reduce%d", li, d),
-				run:  func(x []int32) []int32 { return x }, // fill cycles of the intra-lane tree
+				run:  func(x []int64) []int64 { return x }, // fill cycles of the intra-lane tree
 			})
 		}
 
-		// Cross-lane reduce tree: halve the partials per neuron each cycle.
+		// Cross-lane reduce tree: halve the partials per neuron each
+		// cycle, keeping the wide accumulator (int64 addition is exact
+		// and associative here, so the tree order matches DotQ's sum).
 		reduceLanes := lanes
 		for d := 0; reduceLanes > 1; d++ {
 			halved := (reduceLanes + 1) / 2
 			from := reduceLanes
 			s.stages = append(s.stages, stage{
 				name: fmt.Sprintf("layer%d.reduce%d", li, d),
-				run: func(x []int32) []int32 {
-					out := make([]int32, layer.Out*halved)
+				run: func(x []int64) []int64 {
+					out := make([]int64, layer.Out*halved)
 					for o := 0; o < layer.Out; o++ {
 						for i := 0; i < halved; i++ {
 							a := x[o*from+2*i]
-							var b int32
+							var b int64
 							if 2*i+1 < from {
 								b = x[o*from+2*i+1]
 							}
-							out[o*halved+i] = f.Add(a, b)
+							out[o*halved+i] = a + b
 						}
 					}
 					return out
@@ -127,14 +138,15 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 			reduceLanes = halved
 		}
 
-		// Activation stage: add bias, apply the PWL nonlinearity.
+		// Activation stage: one writeback of the wide accumulator (the
+		// DotQ semantics), then saturating bias add and PWL nonlinearity.
 		act := layer.Activation
 		s.stages = append(s.stages, stage{
 			name: fmt.Sprintf("layer%d.act", li),
-			run: func(x []int32) []int32 {
-				out := make([]int32, layer.Out)
+			run: func(x []int64) []int64 {
+				out := make([]int64, layer.Out)
 				for o := 0; o < layer.Out; o++ {
-					acc := f.Add(x[o], bq[o])
+					acc := f.Add(f.Writeback(x[o]), bq[o])
 					switch act {
 					case "relu":
 						acc = fixed.ReLUQ(acc)
@@ -149,7 +161,7 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 							acc = -one
 						}
 					}
-					out[o] = acc
+					out[o] = int64(acc)
 				}
 				return out
 			},
@@ -157,7 +169,7 @@ func NewSim(g Grid, m *ir.Model) (*Sim, error) {
 		// Double-buffer stage between layers.
 		s.stages = append(s.stages, stage{
 			name: fmt.Sprintf("layer%d.buffer", li),
-			run:  func(x []int32) []int32 { return x },
+			run:  func(x []int64) []int64 { return x },
 		})
 	}
 	return s, nil
@@ -174,7 +186,18 @@ func (s *Sim) Process(x []float64) (class int, cycles int, err error) {
 	if len(x) != s.Inputs {
 		return 0, 0, fmt.Errorf("taurus: input has %d features, pipeline wants %d", len(x), s.Inputs)
 	}
-	v := s.format.QuantizeVec(x)
+	xn := x
+	if len(s.mean) == s.Inputs {
+		xn = make([]float64, len(x))
+		for i := range x {
+			xn[i] = (x[i] - s.mean[i]) / s.std[i]
+		}
+	}
+	vq := s.format.QuantizeVec(xn)
+	v := make([]int64, len(vq))
+	for i, w := range vq {
+		v[i] = int64(w)
+	}
 	for _, st := range s.stages {
 		v = st.run(v)
 	}

@@ -157,3 +157,70 @@ func TestSimEmptyStream(t *testing.T) {
 		t.Fatal("empty stream must be a no-op")
 	}
 }
+
+// Regression (validator-found): a lane whose partial dot product
+// overflows the Q format must not saturate independently — the fabric
+// reduce tree keeps full precision until one writeback. Lane 0 sums to
+// +7.5e9 raw and lane 1 to -7.5e9; per-lane saturation collapsed them to
+// +32767/-32768 (score -1) while the true sum is 0, flipping the argmax.
+func TestSimLaneSaturationRegression(t *testing.T) {
+	m := &ir.Model{Kind: ir.DNN, Name: "lanesat", Inputs: 16, Outputs: 2, Format: fixed.Q8_8}
+	l := ir.Layer{In: 16, Out: 2, B: []float64{0, 0}, Activation: "softmax"}
+	l.W = [][]float64{make([]float64, 16), make([]float64, 16)}
+	for j := 0; j < 8; j++ {
+		l.W[0][j] = 120
+		l.W[0][8+j] = -120
+	}
+	m.Layers = []ir.Layer{l}
+	x := make([]float64, 16)
+	for j := range x {
+		x[j] = 120
+	}
+	sim, err := NewSim(DefaultGrid(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.InferQ(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sim.Process(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("lane-saturated input: sim %d vs InferQ %d", got, want)
+	}
+	if want != 0 {
+		t.Fatalf("test vector lost its discriminating power: InferQ = %d", want)
+	}
+}
+
+// Regression (validator-found): normalization must happen in the float
+// domain before quantization. Quantizing first destroys sub-LSB inputs
+// (0.001 quantizes to 0 in Q8.8), so renormalizing the dequantized word
+// computes 0/std instead of x/std.
+func TestSimNormalizerPrecisionRegression(t *testing.T) {
+	m := &ir.Model{Kind: ir.DNN, Name: "normprec", Inputs: 1, Outputs: 2, Format: fixed.Q8_8,
+		Mean: []float64{0}, Std: []float64{0.001},
+		Layers: []ir.Layer{{In: 1, Out: 2, W: [][]float64{{1}, {0}}, B: []float64{0, 0.5}, Activation: "softmax"}}}
+	sim, err := NewSim(DefaultGrid(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.001} // below one LSB; normalizes to exactly 1.0
+	want, err := m.InferQ(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sim.Process(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sub-LSB input: sim %d vs InferQ %d", got, want)
+	}
+	if want != 0 {
+		t.Fatalf("test vector lost its discriminating power: InferQ = %d", want)
+	}
+}

@@ -1,0 +1,194 @@
+package validate
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate the divergence seed corpus")
+
+// corpusSeeds are the historically-found codegen bugs, one seed per bug.
+// Each seed is the model shape + input that triggered the divergence
+// before the emitter fix landed; the corpus replay asserts they all stay
+// fixed. New fuzzer findings get minimized into this directory by the
+// nightly job and promoted here with their fix.
+func corpusSeeds() []struct {
+	File  string
+	Note  string
+	Model *ir.Model
+	Input []float64
+} {
+	return []struct {
+		File  string
+		Note  string
+		Model *ir.Model
+		Input []float64
+	}{
+		{
+			File: "p4_svm_range_midpoint.json",
+			Note: "P4 SVM range tables scored each feature at its bucket midpoint; exact MAC-table fix. Input sits between midpoints where the old tables rounded the score across the class boundary.",
+			Model: &ir.Model{Kind: ir.SVM, Name: "seed_svm_midpoint", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+				SVM: &ir.SVMParams{W: [][]float64{{1, -1}, {-1, 1}}, B: []float64{0.001, 0}}},
+			Input: []float64{0.06640625, 0.06249999}, // 17 LSB vs just under 16 LSB
+		},
+		{
+			File: "p4_kmeans_representative_entry.json",
+			Note: "P4 KMeans tables once shipped a single representative entry instead of full centroid words; distances to dropped components vanished.",
+			Model: &ir.Model{Kind: ir.KMeans, Name: "seed_kmeans_entry", Inputs: 3, Outputs: 2, Format: fixed.Q8_8,
+				Centroids: [][]float64{{0, 10, 10}, {1, 0, 0}}},
+			Input: []float64{0.5, 9, 9}, // near cluster 0 only via the trailing components
+		},
+		{
+			File: "p4_tree_single_leaf.json",
+			Note: "P4 tree emitter had no entry form for a split-free tree; the walk table was empty and the packet fell through to class 0.",
+			Model: &ir.Model{Kind: ir.DTree, Name: "seed_leaf_only", Inputs: 1, Outputs: 3, Format: fixed.Q8_8,
+				Tree: &ir.TreeNode{Feature: -1, Class: 2}},
+			Input: []float64{0},
+		},
+		{
+			File: "p4_tree_threshold_boundary.json",
+			Note: "Tree range upper bound vs strict-less-than: v <= Quantize(th) must route Left exactly at the quantized threshold word.",
+			Model: &ir.Model{Kind: ir.DTree, Name: "seed_tree_boundary", Inputs: 1, Outputs: 2, Format: fixed.Q8_8,
+				Tree: &ir.TreeNode{Feature: 0, Threshold: 0.12890625, // exactly 33 LSB
+					Left:  &ir.TreeNode{Feature: -1, Class: 0},
+					Right: &ir.TreeNode{Feature: -1, Class: 1}}},
+			Input: []float64{0.12890625},
+		},
+		{
+			File: "p4_tree_saturated_threshold.json",
+			Note: "Threshold quantizing to MaxRaw leaves an empty right range [MaxRaw+1, MaxRaw]; the emitter must omit it, not emit it inverted.",
+			Model: &ir.Model{Kind: ir.DTree, Name: "seed_tree_rail", Inputs: 1, Outputs: 2, Format: fixed.Q8_8,
+				Tree: &ir.TreeNode{Feature: 0, Threshold: 500,
+					Left:  &ir.TreeNode{Feature: -1, Class: 1},
+					Right: &ir.TreeNode{Feature: -1, Class: 0}}},
+			Input: []float64{127.99609375}, // MaxRaw
+		},
+		{
+			File: "spatial_threshold_precision.json",
+			Note: "Spatial %.6f literal formatting truncated thresholds; parsed-back literal quantized one LSB below the model parameter.",
+			Model: &ir.Model{Kind: ir.DTree, Name: "seed_spatial_precision", Inputs: 1, Outputs: 2, Format: fixed.Q16_16,
+				Tree: &ir.TreeNode{Feature: 0, Threshold: 0.12345678921234, // rounds differently at 6 decimals
+					Left:  &ir.TreeNode{Feature: -1, Class: 0},
+					Right: &ir.TreeNode{Feature: -1, Class: 1}}},
+			Input: []float64{0.1234588623046875}, // the exact quantized step of the true threshold
+		},
+		{
+			File: "spatial_kmeans_argmax.json",
+			Note: "Spatial KMeans selected clusters with ArgMax over distances — the farthest centroid won.",
+			Model: &ir.Model{Kind: ir.KMeans, Name: "seed_spatial_argmax", Inputs: 2, Outputs: 3, Format: fixed.Q8_8,
+				Centroids: [][]float64{{0, 0}, {5, 5}, {-5, 5}}},
+			Input: []float64{0.25, -0.25},
+		},
+		{
+			File: "spatial_norm_missing.json",
+			Note: "Spatial emitted the normalization affine only for DNNs; classical models classified raw features.",
+			Model: &ir.Model{Kind: ir.SVM, Name: "seed_spatial_norm", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+				Mean: []float64{10, -10}, Std: []float64{4, 4},
+				SVM: &ir.SVMParams{W: [][]float64{{1, 0}, {0, 1}}, B: []float64{0, 0}}},
+			Input: []float64{11, -11},
+		},
+		{
+			File: "sim_lane_saturation.json",
+			Note: "Fabric sim saturated each 8-wide lane partial separately; a lane overflow that the full sum recovers from changed the class.",
+			Model: func() *ir.Model {
+				m := &ir.Model{Kind: ir.DNN, Name: "seed_sim_lanes", Inputs: 16, Outputs: 2, Format: fixed.Q8_8}
+				l := ir.Layer{In: 16, Out: 2, Activation: "softmax"}
+				l.W = make([][]float64, 2)
+				l.B = []float64{0, 0}
+				for o := range l.W {
+					l.W[o] = make([]float64, 16)
+					for j := range l.W[o] {
+						if (j < 8) == (o == 0) {
+							l.W[o][j] = 120 // lane 0 overflows +, lane 1 recovers -
+						} else {
+							l.W[o][j] = -120
+						}
+					}
+				}
+				m.Layers = []ir.Layer{l}
+				return m
+			}(),
+			Input: func() []float64 {
+				x := make([]float64, 16)
+				for i := range x {
+					x[i] = 120
+				}
+				return x
+			}(),
+		},
+		{
+			File: "sim_norm_sub_lsb.json",
+			Note: "Sim quantized inputs before applying the normalizer; sub-LSB features with small stds quantized to zero and lost the signal.",
+			Model: func() *ir.Model {
+				m := &ir.Model{Kind: ir.DNN, Name: "seed_sim_norm", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+					Mean: []float64{0, 0}, Std: []float64{0.001, 1}}
+				l := ir.Layer{In: 2, Out: 2, Activation: "softmax"}
+				l.W = [][]float64{{1, 0}, {0, 1}}
+				l.B = []float64{0, 0.25}
+				m.Layers = []ir.Layer{l}
+				return m
+			}(),
+			Input: []float64{0.001, 0},
+		},
+	}
+}
+
+// TestCorpusReplay replays every checked-in divergence seed against
+// freshly generated artifacts and requires each historical bug to stay
+// fixed. Run with -update to regenerate the corpus files from the seed
+// table (e.g. after an IR JSON format bump).
+func TestCorpusReplay(t *testing.T) {
+	dir := "corpus"
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range corpusSeeds() {
+			evals, err := Evaluators(s.Model)
+			if err != nil {
+				t.Fatalf("%s: %v", s.File, err)
+			}
+			d, _ := checkOne(evals, s.Input)
+			r, err := NewRepro(s.Model, evals, d, "")
+			if err != nil {
+				t.Fatalf("%s: %v", s.File, err)
+			}
+			r.Input = s.Input // keep the curated witness, not a re-minimized one
+			r.Results = d.Results
+			r.Note = s.Note
+			if err := r.WriteFile(filepath.Join(dir, s.File)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus directory missing (run go test -run TestCorpusReplay -update): %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus directory is empty")
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			r, err := ReadReproFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, diverged, err := r.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diverged {
+				t.Fatalf("historical bug regressed: %s\n%s", r.Note, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package validate
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+)
+
+// FuzzConfig bounds a fuzzing run.
+type FuzzConfig struct {
+	Seed    uint64        // base seed; each generated model derives its own
+	Models  int           // models to generate (0 = until Budget expires)
+	Traffic int           // random inputs per model (boundary probes are added on top)
+	Budget  time.Duration // wall-clock cap (0 = no cap)
+}
+
+// FuzzFinding is one model whose artifacts diverged from the IR.
+type FuzzFinding struct {
+	Model  *ir.Model
+	Report Report
+}
+
+// Fuzz generates equivalence-modulo-inputs model variants — degenerate
+// trees, thresholds parked on quantization boundaries, extreme formats,
+// single-class outputs — and differentially checks each one. The mutation
+// pool is biased toward the shapes that have historically broken code
+// generators: emitters are written against well-formed production models,
+// and the degenerate corners (a tree that is one leaf, a threshold at the
+// saturation rail, a Q4.12 model with near-rail weights) are exactly
+// where table-range and rounding logic goes wrong.
+func Fuzz(cfg FuzzConfig) ([]FuzzFinding, int, error) {
+	if cfg.Traffic <= 0 {
+		cfg.Traffic = 64
+	}
+	deadline := time.Time{}
+	if cfg.Budget > 0 {
+		deadline = time.Now().Add(cfg.Budget)
+	}
+	var findings []FuzzFinding
+	checked := 0
+	for i := 0; ; i++ {
+		if cfg.Models > 0 && i >= cfg.Models {
+			break
+		}
+		if cfg.Models <= 0 && cfg.Budget <= 0 && i >= 256 {
+			break // neither bound set: one bounded sweep
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		m := GenModel(cfg.Seed + uint64(i))
+		rep, err := CheckModel(m, cfg.Seed^uint64(i)<<32, cfg.Traffic)
+		if err != nil {
+			return findings, checked, fmt.Errorf("validate: fuzz model %d (%s): %w", i, m.Name, err)
+		}
+		checked++
+		if !rep.OK() {
+			findings = append(findings, FuzzFinding{Model: m, Report: rep})
+		}
+	}
+	return findings, checked, nil
+}
+
+// fuzzFormats are the quantization formats the fuzzer cycles through —
+// the production defaults plus the extremes (minimal fraction, minimal
+// integer range) where rounding and saturation corners live.
+var fuzzFormats = []fixed.Format{
+	fixed.Q8_8,
+	fixed.Q4_12,
+	fixed.Q16_16,
+	{IntBits: 1, FracBits: 6},
+	{IntBits: 12, FracBits: 3},
+}
+
+// GenModel deterministically derives one fuzz model from a seed. The
+// same seed always yields the same model, so any finding is replayable
+// from its seed alone (the repro artifact embeds the model anyway).
+func GenModel(seed uint64) *ir.Model {
+	rng := splitmix64(seed)
+	f := fuzzFormats[rng.next()%uint64(len(fuzzFormats))]
+	inputs := 1 + int(rng.next()%6)
+	outputs := 2 + int(rng.next()%3)
+	rail := float64(int64(1) << uint(f.IntBits))
+	lsb := 1 / float64(int64(1)<<uint(f.FracBits))
+
+	// value draws a parameter; the distribution is deliberately spiky:
+	// plain uniform values, exact quantization steps, boundary rails,
+	// and sub-LSB dust.
+	value := func() float64 {
+		switch rng.next() % 8 {
+		case 0:
+			return 0
+		case 1:
+			return rail - lsb // top of range
+		case 2:
+			return -rail // saturation rail
+		case 3:
+			return float64(int64(rng.next()%64)) * lsb // exact step
+		case 4:
+			return float64(int64(rng.next()%64))*lsb + lsb/2 // rounding midpoint
+		case 5:
+			return (rng.float() - 0.5) * lsb // sub-LSB dust
+		default:
+			return (rng.float()*2 - 1) * rail
+		}
+	}
+
+	m := &ir.Model{
+		Inputs:  inputs,
+		Outputs: outputs,
+		Format:  f,
+	}
+	if rng.next()%2 == 0 {
+		m.Mean = make([]float64, inputs)
+		m.Std = make([]float64, inputs)
+		for i := range m.Mean {
+			m.Mean[i] = value()
+			s := rng.float()*2 + 0.001 // includes sub-LSB stds
+			m.Std[i] = s
+		}
+	}
+
+	switch rng.next() % 4 {
+	case 0:
+		m.Kind = ir.DTree
+		m.Name = fmt.Sprintf("fuzz_tree_%d", seed)
+		m.Tree = genTree(&rng, inputs, outputs, int(rng.next()%4), value)
+	case 1:
+		m.Kind = ir.SVM
+		m.Name = fmt.Sprintf("fuzz_svm_%d", seed)
+		w := make([][]float64, outputs)
+		b := make([]float64, outputs)
+		for k := range w {
+			w[k] = make([]float64, inputs)
+			for j := range w[k] {
+				w[k][j] = value()
+			}
+			b[k] = value()
+		}
+		m.SVM = &ir.SVMParams{W: w, B: b}
+	case 2:
+		m.Kind = ir.KMeans
+		m.Name = fmt.Sprintf("fuzz_kmeans_%d", seed)
+		m.Centroids = make([][]float64, outputs)
+		for k := range m.Centroids {
+			m.Centroids[k] = make([]float64, inputs)
+			for j := range m.Centroids[k] {
+				m.Centroids[k][j] = value()
+			}
+		}
+	default:
+		m.Kind = ir.DNN
+		m.Name = fmt.Sprintf("fuzz_dnn_%d", seed)
+		hidden := 1 + int(rng.next()%8)
+		acts := []string{"relu", "sigmoid", "tanh"}
+		l1 := ir.Layer{In: inputs, Out: hidden, Activation: acts[rng.next()%3]}
+		l1.W = make([][]float64, hidden)
+		l1.B = make([]float64, hidden)
+		for o := range l1.W {
+			l1.W[o] = make([]float64, inputs)
+			for j := range l1.W[o] {
+				l1.W[o][j] = value()
+			}
+			l1.B[o] = value()
+		}
+		l2 := ir.Layer{In: hidden, Out: outputs, Activation: "softmax"}
+		l2.W = make([][]float64, outputs)
+		l2.B = make([]float64, outputs)
+		for o := range l2.W {
+			l2.W[o] = make([]float64, hidden)
+			for j := range l2.W[o] {
+				l2.W[o][j] = value()
+			}
+			l2.B[o] = value()
+		}
+		m.Layers = []ir.Layer{l1, l2}
+	}
+	return m
+}
+
+// genTree builds a tree of the requested depth. Depth 0 yields the
+// degenerate single-leaf tree (historically mishandled by table-based
+// emitters, which assumed at least one split). With some probability a
+// subtree collapses to a single class on both sides — the single-class
+// shape.
+func genTree(rng *splitmix64, inputs, outputs, depth int, value func() float64) *ir.TreeNode {
+	if depth <= 0 || rng.next()%5 == 0 {
+		return &ir.TreeNode{Feature: -1, Class: int(rng.next() % uint64(outputs))}
+	}
+	n := &ir.TreeNode{
+		Feature:   int(rng.next() % uint64(inputs)),
+		Threshold: value(),
+	}
+	n.Left = genTree(rng, inputs, outputs, depth-1, value)
+	n.Right = genTree(rng, inputs, outputs, depth-1, value)
+	if rng.next()%8 == 0 && n.Left.Feature < 0 && n.Right.Feature < 0 {
+		n.Right.Class = n.Left.Class // single-class subtree
+	}
+	return n
+}

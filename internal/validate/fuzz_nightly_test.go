@@ -1,0 +1,78 @@
+package validate
+
+// Budgeted fuzz entry point for `make fuzz` and the nightly CI job
+// (.github/workflows/nightly-fuzz.yml). The sweep is opt-in via
+// FUZZ_BUDGET so `go test ./...` stays fast; the nightly workflow sets
+// a real budget and a per-run seed, and uploads whatever lands in
+// FUZZ_REPRO_DIR as workflow artifacts — one minimized repro JSON per
+// divergent model, replayable with `homunculus -validate -repro`.
+//
+//	FUZZ_BUDGET     wall-clock cap, e.g. "300s" (required to run)
+//	FUZZ_SEED       base seed (default a fixed constant; CI passes the
+//	                run number so every night covers fresh models)
+//	FUZZ_REPRO_DIR  where divergence repros are written (default
+//	                "fuzz-repros")
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestFuzzNightly(t *testing.T) {
+	budget := os.Getenv("FUZZ_BUDGET")
+	if budget == "" {
+		t.Skip("set FUZZ_BUDGET (e.g. 300s) to run the budgeted fuzz sweep")
+	}
+	d, err := time.ParseDuration(budget)
+	if err != nil {
+		t.Fatalf("FUZZ_BUDGET: %v", err)
+	}
+	seed := uint64(0x4e49474854) // "NIGHT"
+	if s := os.Getenv("FUZZ_SEED"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FUZZ_SEED: %v", err)
+		}
+		seed = n
+	}
+
+	findings, checked, err := Fuzz(FuzzConfig{Seed: seed, Budget: d, Traffic: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fuzz: %d models checked under %s (seed %d), %d divergent", checked, d, seed, len(findings))
+	if len(findings) == 0 {
+		return
+	}
+
+	dir := os.Getenv("FUZZ_REPRO_DIR")
+	if dir == "" {
+		dir = "fuzz-repros"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range findings {
+		evals, eerr := Evaluators(f.Model)
+		if eerr != nil {
+			t.Errorf("finding %d (%s): evaluators: %v", i, f.Model.Name, eerr)
+			continue
+		}
+		r, rerr := NewRepro(f.Model, evals, f.Report.Divergences[0], "")
+		if rerr != nil {
+			t.Errorf("finding %d (%s): repro: %v", i, f.Model.Name, rerr)
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s.repro.json", f.Model.Name))
+		if werr := r.WriteFile(path); werr != nil {
+			t.Errorf("finding %d (%s): write: %v", i, f.Model.Name, werr)
+			continue
+		}
+		t.Logf("repro: %s (%s)", path, f.Report.Divergences[0].String())
+	}
+	t.Fatalf("fuzz found %d divergent models; repros in %s", len(findings), dir)
+}

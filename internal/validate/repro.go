@@ -1,0 +1,162 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/ir"
+)
+
+// Repro is a minimized, self-contained divergence reproducer: the model
+// (full IR JSON, so the artifacts can be regenerated), the fingerprint of
+// the dataset it was trained on, and the smallest failing input the
+// minimizer found, with every evaluator's answer. Repros are written as
+// JSON artifacts by the harness and replayed verbatim by the corpus
+// regression test and the nightly fuzz job.
+type Repro struct {
+	Version     int             `json:"version"`
+	Model       json.RawMessage `json:"model"`
+	DatasetFP   string          `json:"dataset_fingerprint,omitempty"`
+	Input       []float64       `json:"input"`
+	Results     []Result        `json:"results"`
+	MinimizedBy int             `json:"minimized_steps"`
+	Note        string          `json:"note,omitempty"`
+}
+
+const reproVersion = 1
+
+// NewRepro minimizes the divergence and packages it with the model.
+func NewRepro(m *ir.Model, evals []Evaluator, d Divergence, datasetFP string) (*Repro, error) {
+	var mb bytes.Buffer
+	if err := m.WriteJSON(&mb); err != nil {
+		return nil, fmt.Errorf("validate: repro: %w", err)
+	}
+	input, steps := Minimize(evals, d.Input)
+	final, _ := checkOne(evals, input)
+	return &Repro{
+		Version:     reproVersion,
+		Model:       json.RawMessage(mb.Bytes()),
+		DatasetFP:   datasetFP,
+		Input:       input,
+		Results:     final.Results,
+		MinimizedBy: steps,
+	}, nil
+}
+
+// Minimize greedily simplifies a diverging input while it keeps
+// diverging: first zeroing whole features, then rounding the survivors
+// to fewer decimal digits. The result is the witness a human debugs, so
+// smaller and rounder wins; steps counts accepted simplifications.
+func Minimize(evals []Evaluator, input []float64) ([]float64, int) {
+	diverges := func(x []float64) bool {
+		_, bad := checkOne(evals, x)
+		return bad
+	}
+	x := append([]float64{}, input...)
+	if !diverges(x) {
+		return x, 0
+	}
+	steps := 0
+	for i := range x {
+		if x[i] == 0 {
+			continue
+		}
+		old := x[i]
+		x[i] = 0
+		if diverges(x) {
+			steps++
+		} else {
+			x[i] = old
+		}
+	}
+	for _, digits := range []int{0, 1, 2, 4} {
+		scale := math.Pow(10, float64(digits))
+		for i := range x {
+			rounded := math.Round(x[i]*scale) / scale
+			if rounded == x[i] {
+				continue
+			}
+			old := x[i]
+			x[i] = rounded
+			if diverges(x) {
+				steps++
+			} else {
+				x[i] = old
+			}
+		}
+	}
+	return x, steps
+}
+
+// Write serializes the repro as indented JSON.
+func (r *Repro) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the repro to path.
+func (r *Repro) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRepro parses a repro artifact.
+func ReadRepro(rd io.Reader) (*Repro, error) {
+	var r Repro
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("validate: bad repro artifact: %w", err)
+	}
+	if r.Version != reproVersion {
+		return nil, fmt.Errorf("validate: repro version %d not supported", r.Version)
+	}
+	if len(r.Model) == 0 || len(r.Input) == 0 {
+		return nil, fmt.Errorf("validate: repro artifact missing model or input")
+	}
+	return &r, nil
+}
+
+// ReadReproFile reads a repro artifact from path.
+func ReadReproFile(path string) (*Repro, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRepro(f)
+}
+
+// DecodeModel decodes the embedded IR model.
+func (r *Repro) DecodeModel() (*ir.Model, error) {
+	return ir.ReadJSON(bytes.NewReader(r.Model))
+}
+
+// Replay regenerates the artifacts from the embedded model and re-runs
+// the recorded input through every evaluator. It returns the divergence
+// (when the bug still reproduces) and whether it reproduced — a fixed
+// codegen bug yields reproduced=false, which is what the corpus
+// regression test asserts for checked-in repros of fixed bugs... and the
+// opposite for seeds that must stay green.
+func (r *Repro) Replay() (Divergence, bool, error) {
+	m, err := r.DecodeModel()
+	if err != nil {
+		return Divergence{}, false, err
+	}
+	evals, err := Evaluators(m)
+	if err != nil {
+		return Divergence{}, false, err
+	}
+	d, diverged := checkOne(evals, r.Input)
+	return d, diverged, nil
+}

@@ -1,0 +1,327 @@
+package validate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+	"repro/internal/p4gen"
+	"repro/internal/spatialgen"
+)
+
+// Representative production-shaped models, one per family.
+
+func svmModel() *ir.Model {
+	return &ir.Model{Kind: ir.SVM, Name: "tc_svm", Inputs: 4, Outputs: 3, Format: fixed.Q8_8,
+		Mean: []float64{0.5, -1.25, 3, 0.0625},
+		Std:  []float64{2, 0.5, 1.5, 0.125},
+		SVM: &ir.SVMParams{
+			W: [][]float64{
+				{0.75, -1.5, 0.25, 2},
+				{-0.5, 1.125, -2.25, 0.875},
+				{1.0625, 0.5, -0.75, -1.25},
+			},
+			B: []float64{0.5, -0.25, 0.125},
+		}}
+}
+
+func kmeansModel() *ir.Model {
+	return &ir.Model{Kind: ir.KMeans, Name: "clu", Inputs: 3, Outputs: 4, Format: fixed.Q4_12,
+		Centroids: [][]float64{
+			{0.5, -0.25, 1.75},
+			{-1.5, 0.875, -0.0625},
+			{2.25, 2.25, 2.25},
+			{0, 0, 0},
+		}}
+}
+
+func treeModel() *ir.Model {
+	return &ir.Model{Kind: ir.DTree, Name: "ids_tree", Inputs: 3, Outputs: 3, Format: fixed.Q8_8,
+		Mean: []float64{1, 2, 3},
+		Std:  []float64{0.5, 2, 1},
+		Tree: &ir.TreeNode{Feature: 1, Threshold: 0.375,
+			Left: &ir.TreeNode{Feature: 0, Threshold: -1.5,
+				Left:  &ir.TreeNode{Feature: -1, Class: 0},
+				Right: &ir.TreeNode{Feature: -1, Class: 2}},
+			Right: &ir.TreeNode{Feature: 2, Threshold: 126.5,
+				Left:  &ir.TreeNode{Feature: -1, Class: 1},
+				Right: &ir.TreeNode{Feature: -1, Class: 0}}}}
+}
+
+func dnnModel() *ir.Model {
+	m := &ir.Model{Kind: ir.DNN, Name: "anomaly", Inputs: 5, Outputs: 2, Format: fixed.Q8_8,
+		Mean: []float64{0, 1, -1, 0.5, 2},
+		Std:  []float64{1, 2, 0.25, 1.5, 3}}
+	l1 := ir.Layer{In: 5, Out: 6, Activation: "relu"}
+	l1.W = [][]float64{
+		{0.5, -0.25, 1, 0.125, -0.75},
+		{-1.5, 0.875, 0.0625, 2, -0.5},
+		{0.25, 0.25, -0.25, -0.25, 0.5},
+		{1.75, -2, 0.375, 0.625, -1},
+		{-0.125, 0.5, 1.25, -0.875, 0.75},
+		{2.5, -1.125, 0.1875, -0.0625, 1.5},
+	}
+	l1.B = []float64{0.5, -0.5, 0.25, 0, -0.125, 1}
+	l2 := ir.Layer{In: 6, Out: 2, Activation: "softmax"}
+	l2.W = [][]float64{
+		{0.75, -0.5, 1.125, 0.25, -1.25, 0.5},
+		{-0.625, 1, 0.375, -0.75, 0.875, -0.25},
+	}
+	l2.B = []float64{0.125, -0.375}
+	m.Layers = []ir.Layer{l1, l2}
+	return m
+}
+
+func allModels() []*ir.Model {
+	return []*ir.Model{svmModel(), kmeansModel(), treeModel(), dnnModel()}
+}
+
+// The tentpole invariant: for every model family, every evaluator —
+// InferQ, the P4 interpreter, the Spatial interpreter, the fabric sim —
+// classifies identical fixed-seed traffic bit-identically.
+func TestDifferentialAllFamilies(t *testing.T) {
+	for _, m := range allModels() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			rep, err := CheckModel(m, 0xda7a_5eed, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEvals := 3
+			if len(rep.Evaluators) != wantEvals {
+				t.Fatalf("evaluators = %v, want %d", rep.Evaluators, wantEvals)
+			}
+			if !rep.OK() {
+				t.Fatalf("diverged on %d/%d inputs; first: %s",
+					len(rep.Divergences), rep.Inputs, rep.Divergences[0])
+			}
+		})
+	}
+}
+
+// Activation coverage: sigmoid and tanh PWL stages must agree across
+// Spatial and the sim, not just relu/softmax.
+func TestDifferentialDNNActivations(t *testing.T) {
+	for _, act := range []string{"sigmoid", "tanh"} {
+		m := dnnModel()
+		m.Layers[0].Activation = act
+		rep, err := CheckModel(m, 31337, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s diverged: %s", act, rep.Divergences[0])
+		}
+	}
+}
+
+// An injected codegen bug must be caught. Corrupt each artifact the way
+// a real emitter bug would (a flipped weight word, a shifted threshold)
+// and require the harness to flag it.
+func TestCorruptedP4ArtifactDetected(t *testing.T) {
+	m := svmModel()
+	prog, err := p4gen.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the sign of one weight word in a MAC entry.
+	src := strings.Replace(prog.Source, "(_) : mac_0(", "(_) : mac_0(-", 1)
+	if src == prog.Source {
+		t.Fatalf("corruption did not apply:\n%s", prog.Source)
+	}
+	interp, err := NewP4Interp(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := []Evaluator{{Name: "ir", Classify: m.InferQ}, {Name: "p4", Classify: interp.Classify}}
+	rep := Check(evals, Traffic(m, 7, 256))
+	if rep.OK() {
+		t.Fatal("corrupted P4 artifact passed validation")
+	}
+}
+
+func TestCorruptedSpatialArtifactDetected(t *testing.T) {
+	m := treeModel()
+	prog, err := spatialgen.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift the root threshold by one LSB — the classic rounding bug.
+	src := strings.Replace(prog.Source, "0.375.to[T]", "0.379.to[T]", 1)
+	if src == prog.Source {
+		t.Fatalf("corruption did not apply:\n%s", prog.Source)
+	}
+	interp, err := NewSpatialInterp(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := []Evaluator{{Name: "ir", Classify: m.InferQ}, {Name: "spatial", Classify: interp.Classify}}
+	rep := Check(evals, Traffic(m, 7, 512))
+	if rep.OK() {
+		t.Fatal("corrupted Spatial artifact passed validation")
+	}
+}
+
+// A truncated artifact must fail to parse, not silently validate.
+func TestTruncatedArtifactRejected(t *testing.T) {
+	m := svmModel()
+	prog, _ := p4gen.Generate(m)
+	if _, err := NewP4Interp(prog.Source[:len(prog.Source)/2]); err == nil {
+		t.Fatal("truncated P4 artifact parsed")
+	}
+	sprog, _ := spatialgen.Generate(m)
+	cut := strings.Index(sprog.Source, "val bias")
+	if _, err := NewSpatialInterp(sprog.Source[:cut]); err == nil {
+		t.Fatal("truncated Spatial artifact parsed")
+	}
+}
+
+// Degenerate single-leaf trees must validate: the P4 emitter once had no
+// entry form for a tree with no splits.
+func TestDegenerateSingleLeafTree(t *testing.T) {
+	m := &ir.Model{Kind: ir.DTree, Name: "leaf", Inputs: 2, Outputs: 3, Format: fixed.Q8_8,
+		Tree: &ir.TreeNode{Feature: -1, Class: 2}}
+	rep, err := CheckModel(m, 99, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("single-leaf tree diverged: %s", rep.Divergences[0])
+	}
+}
+
+// Thresholds at the saturation rail: the right-side range [th+1, MaxRaw]
+// is empty and must be omitted, not emitted inverted.
+func TestSaturatedThresholdTree(t *testing.T) {
+	m := &ir.Model{Kind: ir.DTree, Name: "rail", Inputs: 1, Outputs: 2, Format: fixed.Q8_8,
+		Tree: &ir.TreeNode{Feature: 0, Threshold: 1000, // quantizes to MaxRaw
+			Left:  &ir.TreeNode{Feature: -1, Class: 1},
+			Right: &ir.TreeNode{Feature: -1, Class: 0}}}
+	rep, err := CheckModel(m, 99, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("saturated-threshold tree diverged: %s", rep.Divergences[0])
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	m := svmModel()
+	a := Traffic(m, 42, 16)
+	b := Traffic(m, 42, 16)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("traffic not deterministic at [%d][%d]", i, j)
+			}
+		}
+	}
+	c := Traffic(m, 43, 16)
+	same := true
+	for i := range a[0] {
+		if a[0][i] != c[0][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traffic")
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	m := svmModel()
+	evals, err := Evaluators(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture a divergence with a deliberately wrong evaluator.
+	bad := append(append([]Evaluator{}, evals...), Evaluator{
+		Name: "broken",
+		Classify: func(x []float64) (int, error) {
+			c, err := m.InferQ(x)
+			if err != nil {
+				return 0, err
+			}
+			return (c + 1) % m.Outputs, nil
+		}})
+	rep := Check(bad, Traffic(m, 5, 32))
+	if rep.OK() {
+		t.Fatal("broken evaluator not flagged")
+	}
+	r, err := NewRepro(m, bad, rep.Divergences[0], "sha256:feedface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepro(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DatasetFP != "sha256:feedface" {
+		t.Fatalf("fingerprint = %q", back.DatasetFP)
+	}
+	m2, err := back.DecodeModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != m.Name || m2.Kind != m.Kind {
+		t.Fatalf("model round-trip: %q/%v", m2.Name, m2.Kind)
+	}
+	// The genuine artifacts are correct, so replaying the repro against
+	// freshly generated code must NOT diverge.
+	_, diverged, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverged {
+		t.Fatal("replay diverged against correct codegen")
+	}
+}
+
+func TestMinimizeShrinksInput(t *testing.T) {
+	m := svmModel()
+	evals, _ := Evaluators(m)
+	bad := append(append([]Evaluator{}, evals...), Evaluator{
+		Name:     "broken",
+		Classify: func(x []float64) (int, error) { c, err := m.InferQ(x); return (c + 1) % m.Outputs, err }})
+	input := []float64{1.23456789, -3.14159, 2.71828, -0.577215}
+	min, steps := Minimize(bad, input)
+	if steps == 0 {
+		t.Fatal("minimizer made no progress on a messy always-diverging input")
+	}
+	if _, diverged := checkOne(bad, min); !diverged {
+		t.Fatal("minimized input no longer diverges")
+	}
+}
+
+func TestFuzzSmoke(t *testing.T) {
+	findings, checked, err := Fuzz(FuzzConfig{Seed: 1, Models: 48, Traffic: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 48 {
+		t.Fatalf("checked %d models, want 48", checked)
+	}
+	for _, f := range findings {
+		t.Errorf("fuzz finding: model %s (%v): %s", f.Model.Name, f.Model.Kind, f.Report.Divergences[0])
+	}
+}
+
+func TestGenModelDeterministic(t *testing.T) {
+	a, b := GenModel(7), GenModel(7)
+	if a.Name != b.Name || a.Kind != b.Kind || a.Inputs != b.Inputs {
+		t.Fatal("GenModel not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,12 +33,47 @@ type pipelineDoc struct {
 }
 
 type appDoc struct {
-	Name      string          `json:"name"`
-	Algorithm string          `json:"algorithm,omitempty"`
-	Metric    float64         `json:"metric"`
-	Model     json.RawMessage `json:"model,omitempty"`
-	Verdict   verdictDoc      `json:"verdict"`
-	Code      string          `json:"code,omitempty"`
+	Name       string          `json:"name"`
+	Algorithm  string          `json:"algorithm,omitempty"`
+	Metric     float64         `json:"metric"`
+	Model      json.RawMessage `json:"model,omitempty"`
+	Verdict    verdictDoc      `json:"verdict"`
+	Code       string          `json:"code,omitempty"`
+	Validation *validationDoc  `json:"validation,omitempty"`
+}
+
+type validationDoc struct {
+	Evaluators  []string        `json:"evaluators,omitempty"`
+	Inputs      int             `json:"inputs"`
+	Divergences int             `json:"divergences"`
+	Repro       json.RawMessage `json:"repro,omitempty"`
+	Err         string          `json:"error,omitempty"`
+}
+
+func toValidationDoc(v *ValidationReport) *validationDoc {
+	if v == nil {
+		return nil
+	}
+	return &validationDoc{
+		Evaluators:  v.Evaluators,
+		Inputs:      v.Inputs,
+		Divergences: v.Divergences,
+		Repro:       v.Repro,
+		Err:         v.Err,
+	}
+}
+
+func (d *validationDoc) report() *ValidationReport {
+	if d == nil {
+		return nil
+	}
+	return &ValidationReport{
+		Evaluators:  d.Evaluators,
+		Inputs:      d.Inputs,
+		Divergences: d.Divergences,
+		Repro:       d.Repro,
+		Err:         d.Err,
+	}
 }
 
 type verdictDoc struct {
@@ -66,11 +101,12 @@ func MarshalPipeline(pipe *Pipeline) ([]byte, error) {
 	for i := range pipe.Apps {
 		app := &pipe.Apps[i]
 		ad := appDoc{
-			Name:      app.Name,
-			Algorithm: app.Algorithm,
-			Metric:    app.Metric,
-			Verdict:   toVerdictDoc(app.Verdict),
-			Code:      app.Code,
+			Name:       app.Name,
+			Algorithm:  app.Algorithm,
+			Metric:     app.Metric,
+			Verdict:    toVerdictDoc(app.Verdict),
+			Code:       app.Code,
+			Validation: toValidationDoc(app.Validation),
 		}
 		if app.Model != nil {
 			var buf bytes.Buffer
@@ -101,11 +137,12 @@ func UnmarshalPipeline(raw []byte) (*Pipeline, error) {
 	pipe := &Pipeline{Platform: doc.Platform}
 	for _, ad := range doc.Apps {
 		app := AppResult{
-			Name:      ad.Name,
-			Algorithm: ad.Algorithm,
-			Metric:    ad.Metric,
-			Verdict:   ad.Verdict.verdict(),
-			Code:      ad.Code,
+			Name:       ad.Name,
+			Algorithm:  ad.Algorithm,
+			Metric:     ad.Metric,
+			Verdict:    ad.Verdict.verdict(),
+			Code:       ad.Code,
+			Validation: ad.Validation.report(),
 		}
 		if len(ad.Model) > 0 {
 			m, err := ir.ReadJSON(bytes.NewReader(ad.Model))
@@ -123,35 +160,45 @@ func UnmarshalPipeline(raw []byte) (*Pipeline, error) {
 	return pipe, nil
 }
 
-// marshalSearchConfig renders the effective search configuration for a
-// journal record. It reuses the cache key's canonical document
-// (searchKeyDoc), so a recovered job hashes to the same SpecHash as the
-// original submission.
-func marshalSearchConfig(cfg core.SearchConfig) ([]byte, error) {
+// journalConfigDoc is the journaled effective configuration: the cache
+// key's canonical search document plus the result-affecting option flags,
+// so a recovered job hashes to the same SpecHash as the original
+// submission (old journals without the flags decode them false).
+type journalConfigDoc struct {
+	searchKeyDoc
+	Validate bool `json:"validate,omitempty"`
+}
+
+// marshalSearchConfig renders the effective configuration for a journal
+// record.
+func marshalSearchConfig(cfg core.SearchConfig, validate bool) ([]byte, error) {
 	algos := make([]string, 0, len(cfg.Algorithms))
 	for _, k := range cfg.Algorithms {
 		algos = append(algos, k.String())
 	}
-	return json.Marshal(searchKeyDoc{
-		Algorithms:      algos,
-		Metric:          string(cfg.Metric),
-		BO:              cfg.BO,
-		MaxHiddenLayers: cfg.MaxHiddenLayers,
-		MaxNeurons:      cfg.MaxNeurons,
-		MaxClusters:     cfg.MaxClusters,
-		TrainEpochs:     cfg.TrainEpochs,
-		FormatIntBits:   cfg.Format.IntBits,
-		FormatFracBits:  cfg.Format.FracBits,
-		Seed:            cfg.Seed,
+	return json.Marshal(journalConfigDoc{
+		searchKeyDoc: searchKeyDoc{
+			Algorithms:      algos,
+			Metric:          string(cfg.Metric),
+			BO:              cfg.BO,
+			MaxHiddenLayers: cfg.MaxHiddenLayers,
+			MaxNeurons:      cfg.MaxNeurons,
+			MaxClusters:     cfg.MaxClusters,
+			TrainEpochs:     cfg.TrainEpochs,
+			FormatIntBits:   cfg.Format.IntBits,
+			FormatFracBits:  cfg.Format.FracBits,
+			Seed:            cfg.Seed,
+		},
+		Validate: validate,
 	})
 }
 
 // unmarshalSearchConfig is the journal-replay inverse. OnCandidate is
 // observability-only and does not round-trip.
-func unmarshalSearchConfig(raw []byte) (core.SearchConfig, error) {
-	var doc searchKeyDoc
+func unmarshalSearchConfig(raw []byte) (core.SearchConfig, bool, error) {
+	var doc journalConfigDoc
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return core.SearchConfig{}, fmt.Errorf("homunculus: parse search config: %w", err)
+		return core.SearchConfig{}, false, fmt.Errorf("homunculus: parse search config: %w", err)
 	}
 	cfg := core.SearchConfig{
 		Metric:          core.Metric(doc.Metric),
@@ -166,9 +213,9 @@ func unmarshalSearchConfig(raw []byte) (core.SearchConfig, error) {
 	for _, a := range doc.Algorithms {
 		kind, err := ir.ParseKind(a)
 		if err != nil {
-			return core.SearchConfig{}, fmt.Errorf("homunculus: search config: %w", err)
+			return core.SearchConfig{}, false, fmt.Errorf("homunculus: search config: %w", err)
 		}
 		cfg.Algorithms = append(cfg.Algorithms, kind)
 	}
-	return cfg, nil
+	return cfg, doc.Validate, nil
 }

@@ -158,13 +158,16 @@ func TestSearchConfigRoundTripPreservesSpecHash(t *testing.T) {
 	cfg.Seed = 7
 	cfg.TrainEpochs = 42
 	cfg.Algorithms = []ir.Kind{ir.DNN, ir.DTree}
-	raw, err := marshalSearchConfig(cfg)
+	raw, err := marshalSearchConfig(cfg, true)
 	if err != nil {
 		t.Fatalf("marshalSearchConfig: %v", err)
 	}
-	back, err := unmarshalSearchConfig(raw)
+	back, validated, err := unmarshalSearchConfig(raw)
 	if err != nil {
 		t.Fatalf("unmarshalSearchConfig: %v", err)
+	}
+	if !validated {
+		t.Fatal("validate flag lost in search-config round trip")
 	}
 
 	// The recovered config must produce the same content address as the

@@ -348,7 +348,7 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 	// Data materialized while fingerprinting anonymous loaders is kept
 	// for the load stage, so a cache miss costs one Load, not two.
 	preload := map[*alchemy.Model]*alchemy.Data{}
-	key, err := specHash(p, o.search, func(m *alchemy.Model) (string, error) {
+	key, err := specHash(p, o.search, o.validate, func(m *alchemy.Model) (string, error) {
 		return s.fingerprint(m, preload)
 	})
 	if err != nil {
