@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the tier-1 gate; `make
 # bench-smoke` executes every benchmark once so the bench harness cannot
 # silently rot; `make bench-json` snapshots the full benchmark pass into
-# BENCH_pr7.json (the artifact CI's bench-compare job uploads and
+# BENCH_pr9.json (the artifact CI's bench-compare job uploads and
 # checks); `make staticcheck` runs the pinned lint gate.
 
 GO ?= go
@@ -47,7 +47,7 @@ bench-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Snapshot the benchmark pass as BENCH_pr7.json (one iteration per
+# Snapshot the benchmark pass as BENCH_pr9.json (one iteration per
 # benchmark, with allocation reporting so the budget comparison in CI
 # has allocs_per_op for every entry). The serve-path benchmarks are then
 # re-run at 2000 iterations — their ns/op carries a CI regression budget,
@@ -56,14 +56,14 @@ bench:
 # through a temp file, not a pipe, so a failing benchmark run fails the
 # target instead of feeding a truncated snapshot to the parser.
 bench-json:
-	$(GO) version > BENCH_pr7.out
-	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . >> BENCH_pr7.out
+	$(GO) version > BENCH_pr9.out
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . >> BENCH_pr9.out
 	$(GO) test -bench='^(BenchmarkServeClassify|BenchmarkServeClassifyConcurrent|BenchmarkEndpointClassifyCanary)$$' \
-	    -benchtime=2000x -benchmem -run='^$$' . >> BENCH_pr7.out
-	python3 scripts/bench2json.py --pr 7 \
-	    --description "Ring-scheduler snapshot (go test -bench . -benchmem; serve benchmarks at -benchtime=2000x). PR1-PR3 allocation budgets hold and the serve path keeps its 0 allocs/op steady state (steady_allocs). The PR7 bitmap-scheduled slot ring replaces the intake/dispatch channel hops: against the BENCH_pr4.json baselines, BenchmarkServeClassifyConcurrent 16232 -> ~600 ns/op (~27x, budget 3246 = the 5x acceptance gate), BenchmarkServeClassify 1565 -> ~550 ns/op, BenchmarkEndpointClassifyCanary 1481 -> ~600 ns/op, each with ns/op regression budgets enforced by CI's bench-compare job." \
-	    < BENCH_pr7.out > BENCH_pr7.json
-	rm -f BENCH_pr7.out
+	    -benchtime=2000x -benchmem -run='^$$' . >> BENCH_pr9.out
+	python3 scripts/bench2json.py --pr 9 \
+	    --description "Autopilot-serving snapshot (go test -bench . -benchmem; serve benchmarks at -benchtime=2000x). All prior allocation budgets hold and the serve path keeps its 0 allocs/op steady state (steady_allocs) with the PR9 adaptive-flush arrival predictor compiled in but disabled by default. BenchmarkTuneAutopilot runs the replay-driven BO tuner against the deterministic sim landscape and sweeps the published coarse knob grid: within_pct is the worst relative gap between the tuner's chosen config and the best grid point across {throughput, p99}; CI's bench-compare asserts within_pct <= 10." \
+	    < BENCH_pr9.out > BENCH_pr9.json
+	rm -f BENCH_pr9.out
 
 # Pinned staticcheck (the CI lint gate); requires network on first run
 # to install the tool.

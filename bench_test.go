@@ -32,6 +32,7 @@ import (
 	"repro/internal/synth/botnet"
 	"repro/internal/synth/nslkdd"
 	"repro/internal/taurus"
+	"repro/internal/tune"
 )
 
 // ---- Tables ----
@@ -831,4 +832,55 @@ func BenchmarkServiceSubmitDurable(b *testing.B) {
 		b.Fatalf("durable Submit mean latency %v exceeds the 1ms budget", mean)
 	}
 	pin.Cancel()
+}
+
+// BenchmarkTuneAutopilot runs the serving autotuner against the
+// deterministic analytic landscape and sweeps the published coarse knob
+// grid (the AutoTM-style yardstick), reporting how far the tuner's
+// chosen config falls short of the best grid point — within_pct is the
+// worst relative gap across {throughput, p99}, clamped at 0 when the
+// tuner wins. CI's bench-compare job asserts within_pct <= 10. The sim
+// evaluator (not wall-clock replay) keeps the metric noise-free.
+func BenchmarkTuneAutopilot(b *testing.B) {
+	eval := tune.SimEvaluator()
+	slo, err := tune.ParseSLO("p99<=2ms,drops=0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := tune.Options{Seed: 9, Budget: 24, MaxShards: 8, SLO: slo, Evaluate: eval}
+	var rep *tune.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep, err = tune.Run(context.Background(), nil, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	grid, err := tune.Grid(context.Background(), eval, slo, tune.CoarseGrid(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bestTput, bestP99 := 0.0, math.MaxFloat64
+	for _, c := range grid {
+		if !c.Feasible {
+			continue
+		}
+		bestTput = math.Max(bestTput, c.Metrics.Throughput)
+		bestP99 = math.Min(bestP99, float64(c.Metrics.P99))
+	}
+	if bestTput == 0 {
+		b.Fatal("no feasible grid point — the landscape or SLO regressed")
+	}
+	chosen := rep.Chosen.Metrics
+	gapTput := 100 * (bestTput - chosen.Throughput) / bestTput
+	gapP99 := 100 * (float64(chosen.P99) - bestP99) / bestP99
+	within := math.Max(0, math.Max(gapTput, gapP99))
+	b.ReportMetric(within, "within_pct")
+	b.ReportMetric(chosen.Throughput, "tuner_tput")
+	b.ReportMetric(bestTput, "grid_tput")
+	b.ReportMetric(float64(chosen.P99)/1e3, "tuner_p99_us")
+	b.ReportMetric(bestP99/1e3, "grid_p99_us")
+	b.ReportMetric(float64(len(rep.Front)), "front_size")
 }

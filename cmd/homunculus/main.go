@@ -13,6 +13,8 @@
 //	homunculus -repro build/x.repro.json           # replay a divergence repro
 //	homunculus -spec pipeline.json -deploy         # serve + replay a trace
 //	homunculus -spec pipeline.json -replay 5000    # replay 5000 samples
+//	homunculus -spec pipeline.json -tune -slo "p99<=2ms,drops=0"
+//	                                               # autotune the serving config
 //	homunculus -serve :8077                        # run as a daemon
 //	homunculus -spec pipeline.json -remote http://127.0.0.1:8077
 //	                                               # compile on a daemon
@@ -178,6 +180,11 @@ type replaySettings struct {
 	shards  int
 	queue   int
 
+	// adaptive enables the per-shard arrival-rate predictor on the
+	// replay deployment (ServingConfig.AdaptiveFlush): quiet traffic
+	// flushes greedily, predicted bursts hold for full batches.
+	adaptive bool
+
 	// burst switches the replayer from the closed loop (issue as fast as
 	// the deployment admits) to the open-loop burst pacer: offered load
 	// arrives at a calibrated mean rate with periodic 100× spikes, so the
@@ -197,6 +204,9 @@ type replaySettings struct {
 
 // validate rejects contradictory lifecycle flag combinations.
 func (r replaySettings) validate() error {
+	if r.adaptive && r.delay < 0 {
+		return fmt.Errorf("-adaptive needs a positive -batch-delay bound; a negative delay is greedy flush with nothing to adapt")
+	}
 	if r.endpoint == "" {
 		if r.rollout || r.shadow || r.promote || r.rollback || r.canary != 0 {
 			return fmt.Errorf("-rollout/-canary/-shadow/-promote/-rollback require -endpoint")
@@ -236,7 +246,12 @@ func main() {
 	batchDelay := flag.Duration("batch-delay", 0, "deployment micro-batch flush deadline (default 500µs; negative = greedy)")
 	shards := flag.Int("shards", 0, "deployment inference shards (default GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "deployment ring depth; requests beyond it shed (default 1024)")
+	adaptive := flag.Bool("adaptive", false, "enable the adaptive arrival-rate flush predictor on the replay deployment (requires a positive -batch-delay bound; default 500µs)")
 	burst := flag.Bool("burst", false, "pace the replay as open-loop offered load with 100× mean-rate spikes (implies -deploy; digests are not reproducible)")
+	tuneFlag := flag.Bool("tune", false, "after compiling, tune the serving config by replaying the trace against sandboxed candidates (docs/tuning.md)")
+	sloFlag := flag.String("slo", "", "serving SLO for -tune, e.g. \"p99<=2ms,drops=0\" (default \""+defaultSLO+"\")")
+	tuneBudget := flag.Int("tune-budget", 0, "candidate evaluation budget for -tune (default 24)")
+	tuneSeed := flag.Int64("tune-seed", 0, "optimizer seed for -tune (default: the spec's search.seed)")
 	endpoint := flag.String("endpoint", "", "serve the compiled pipeline behind a named endpoint (implies -deploy)")
 	rollout := flag.Bool("rollout", false, "mid-replay, recompile the spec (seed+1) and roll it out as a new revision (requires -endpoint)")
 	canary := flag.Int("canary", 0, "canary traffic percent for the -rollout revision (0 = deploy warm, no traffic)")
@@ -257,6 +272,7 @@ func main() {
 		delay:    *batchDelay,
 		shards:   *shards,
 		queue:    *queue,
+		adaptive: *adaptive,
 		burst:    *burst,
 		endpoint: *endpoint,
 		rollout:  *rollout,
@@ -267,6 +283,12 @@ func main() {
 	}
 	if err := replayCfg.validate(); err != nil {
 		log.Fatalf("homunculus: %v", err)
+	}
+	tuneCfg = tuneSettings{
+		enabled: *tuneFlag || *sloFlag != "",
+		slo:     *sloFlag,
+		budget:  *tuneBudget,
+		seed:    *tuneSeed,
 	}
 	validateMode = *validateFlag
 	if *reproPath != "" {
@@ -302,6 +324,9 @@ func main() {
 	if *remote != "" {
 		if replayCfg.deploy {
 			log.Fatalf("homunculus: -deploy/-replay/-endpoint serve in-process; they are not available with -remote")
+		}
+		if tuneCfg.enabled {
+			log.Fatalf("homunculus: -tune replays in-process; tune a daemon endpoint via POST /v1/endpoints/{name}/tune instead")
 		}
 		if err := runRemote(ctx, *specPath, *outDir, *platform, *remote, *timeout); err != nil {
 			log.Fatalf("homunculus: %v", err)
@@ -509,6 +534,9 @@ func run(ctx context.Context, specPath, outDir, platformOverride string, timeout
 		if replayCfg.deploy {
 			return fmt.Errorf("-deploy/-replay apply to a single-target compilation, not -platform all")
 		}
+		if tuneCfg.enabled {
+			return fmt.Errorf("-tune applies to a single-target compilation, not -platform all")
+		}
 		model := alchemy.NewModel(alchemy.ModelSpec{
 			Name:               spec.Name,
 			OptimizationMetric: orDefault(spec.Metric, "f1"),
@@ -590,6 +618,11 @@ func run(ctx context.Context, specPath, outDir, platformOverride string, timeout
 	fmt.Printf("  model:      %s\n", modelPath)
 	if validateMode {
 		if err := reportValidation(app, outDir, spec.Name); err != nil {
+			return err
+		}
+	}
+	if tuneCfg.enabled {
+		if err := runTune(ctx, spec, loader, pipe); err != nil {
 			return err
 		}
 	}
@@ -713,6 +746,33 @@ func calibrateBurstRate(c serve.Classifier, xs [][]float64) float64 {
 	return rate
 }
 
+// replayEndpointOptions renders the replay flag knobs as endpoint
+// options — through the canonical ServingConfig when -adaptive asks
+// for the arrival predictor, through the legacy flat spellings
+// otherwise (preserving the default greedy flush the byte-identity
+// digests are pinned to).
+func replayEndpointOptions() homunculus.EndpointOptions {
+	if !replayCfg.adaptive {
+		return homunculus.EndpointOptions{
+			Shards:     replayCfg.shards,
+			BatchSize:  replayCfg.batch,
+			MaxDelay:   replayCfg.delay,
+			QueueDepth: replayCfg.queue,
+		}
+	}
+	delay := int64(replayCfg.delay)
+	if delay <= 0 {
+		delay = int64(500 * time.Microsecond)
+	}
+	return homunculus.EndpointOptions{Serving: &homunculus.ServingConfig{
+		Shards:        replayCfg.shards,
+		BatchSize:     replayCfg.batch,
+		MaxDelayNS:    &delay,
+		QueueDepth:    replayCfg.queue,
+		AdaptiveFlush: true,
+	}}
+}
+
 // runReplay serves the compiled pipeline in-process — behind a named
 // endpoint when -endpoint is set, a flat deployment otherwise — and
 // drives it with the replayed trace (docs/serving.md).
@@ -740,12 +800,7 @@ func runReplay(ctx context.Context, spec Spec, loader alchemy.DataLoader, pipe *
 // keeping the flat report shape — lastReplayReport.endpoint stays nil —
 // so the byte-identity tests keep comparing the two serving paths.
 func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculus.Pipeline, xs [][]float64, labels []int, clients int) error {
-	ep, err := svc.CreateEndpointPipeline("replay", pipe, homunculus.EndpointOptions{
-		Shards:     replayCfg.shards,
-		BatchSize:  replayCfg.batch,
-		MaxDelay:   replayCfg.delay,
-		QueueDepth: replayCfg.queue,
-	})
+	ep, err := svc.CreateEndpointPipeline("replay", pipe, replayEndpointOptions())
 	if err != nil {
 		return err
 	}
@@ -782,12 +837,7 @@ func runFlatReplay(ctx context.Context, svc *homunculus.Service, pipe *homunculu
 // the third quarter runs the split, -promote/-rollback fire at the
 // three-quarter mark, and the final quarter runs the settled route.
 func runEndpointReplay(ctx context.Context, svc *homunculus.Service, spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline, search core.SearchConfig, xs [][]float64, labels []int, clients int) error {
-	ep, err := svc.CreateEndpointPipeline(replayCfg.endpoint, pipe, homunculus.EndpointOptions{
-		Shards:     replayCfg.shards,
-		BatchSize:  replayCfg.batch,
-		MaxDelay:   replayCfg.delay,
-		QueueDepth: replayCfg.queue,
-	})
+	ep, err := svc.CreateEndpointPipeline(replayCfg.endpoint, pipe, replayEndpointOptions())
 	if err != nil {
 		return err
 	}

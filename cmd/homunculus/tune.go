@@ -1,0 +1,156 @@
+// The -tune flag group: replay-driven serving autotuning from the CLI
+// (docs/tuning.md). After compilation, the trace that -replay would
+// drive through a deployment is instead replayed against sandboxed
+// candidate runtimes by the internal/tune optimizer, which prints the
+// Pareto frontier over {p99, throughput, drop rate}, the chosen
+// canonical ServingConfig, and a verification replay of that config
+// re-checked against the SLO.
+//
+//	homunculus -spec pipeline.json -tune -slo "p99<=2ms,drops=0"
+//	homunculus -spec pipeline.json -tune -tune-budget 12 -replay 2000
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/alchemy"
+	"repro/internal/serve"
+	"repro/internal/tune"
+
+	homunculus "repro"
+)
+
+// defaultSLO is what -tune enforces when -slo is left empty.
+const defaultSLO = "p99<=2ms,drops=0"
+
+// tuneSettings mirrors the -tune flag group.
+type tuneSettings struct {
+	enabled bool
+	slo     string
+	budget  int
+	seed    int64
+}
+
+var tuneCfg tuneSettings
+
+// lastTuneReport captures the most recent CLI tuning outcome so tests
+// can assert on it (the lastReplayReport pattern).
+var lastTuneReport *tune.Report
+
+// lastTuneVerify is the verification replay's measurement of the
+// chosen config.
+var lastTuneVerify *tune.Metrics
+
+// runTune tunes the compiled pipeline's serving configuration against
+// the replay trace and verifies the chosen config in a fresh replay.
+func runTune(ctx context.Context, spec Spec, loader alchemy.DataLoader, pipe *homunculus.Pipeline) error {
+	lastTuneReport, lastTuneVerify = nil, nil
+	app := pipe.Apps[0]
+	xs, _, err := buildTrace(spec, loader, replayCfg.samples)
+	if err != nil {
+		return err
+	}
+	sloStr := orDefault(tuneCfg.slo, defaultSLO)
+	slo, err := tune.ParseSLO(sloStr)
+	if err != nil {
+		return err
+	}
+	seed := tuneCfg.seed
+	if seed == 0 {
+		seed = spec.Search.Seed
+	}
+	fmt.Printf("tuning %q serving config: SLO %q, seed %d, %d trace samples\n",
+		spec.Name, sloStr, seed, len(xs))
+
+	rep, err := tune.Run(ctx, app.Model, xs, tune.Options{
+		Seed:      seed,
+		Budget:    tuneCfg.budget,
+		SLO:       slo,
+		Clients:   replayCfg.clients,
+		MaxShards: replayCfg.shards,
+	})
+	if err != nil {
+		var inf *tune.InfeasibleError
+		if errors.As(err, &inf) {
+			fmt.Printf("no candidate met the SLO; closest miss %s violated: %v\n",
+				describeConfig(inf.Best.Config), inf.Violations)
+		}
+		return err
+	}
+	lastTuneReport = rep
+
+	chosenKey, err := rep.Chosen.Config.Canonical()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evaluated %d candidates; Pareto frontier (%d points, * = chosen):\n",
+		len(rep.Evaluations), len(rep.Front))
+	for _, c := range rep.Front {
+		key, err := c.Config.Canonical()
+		if err != nil {
+			return err
+		}
+		mark := " "
+		if bytes.Equal(key, chosenKey) {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-44s %s\n", mark, describeConfig(c.Config), describeMetrics(c.Metrics))
+	}
+	fmt.Printf("chosen config (canonical):\n  %s\n", chosenKey)
+
+	// Verification replay: a fresh sandboxed runtime at the chosen
+	// config, paced exactly as the tuner's evaluations were.
+	rate, err := tune.Calibrate(app.Model, xs)
+	if err != nil {
+		return err
+	}
+	// Mirror the tuner's client default (tune.Options), not GOMAXPROCS:
+	// the verification must measure the same offered concurrency the
+	// candidates were scored under, or its quantiles aren't comparable.
+	clients := replayCfg.clients
+	if clients <= 0 {
+		clients = 8
+	}
+	eval := tune.ReplayEvaluator(app.Model, xs, clients, serve.BurstOptions{MeanRate: rate})
+	m, err := eval(ctx, rep.Chosen.Config)
+	if err != nil {
+		return fmt.Errorf("verification replay: %w", err)
+	}
+	lastTuneVerify = &m
+	fmt.Printf("verification replay: %s\n", describeMetrics(m))
+	if viol := slo.Check(m); len(viol) > 0 {
+		return fmt.Errorf("chosen config missed SLO %q in the verification replay: %v", sloStr, viol)
+	}
+	fmt.Printf("SLO %q met in verification replay\n", sloStr)
+	return nil
+}
+
+// describeConfig renders a candidate config as a compact knob tuple.
+func describeConfig(cfg serve.ServingConfig) string {
+	r := cfg.Resolved()
+	delay := time.Duration(0)
+	if r.MaxDelayNS != nil {
+		delay = time.Duration(*r.MaxDelayNS)
+	}
+	flush := "fixed"
+	if r.AdaptiveFlush {
+		flush = "adaptive"
+	}
+	if delay <= 0 {
+		flush = "greedy"
+	}
+	return fmt.Sprintf("batch=%d shards=%d delay=%v flush=%s queue=%d",
+		r.BatchSize, r.Shards, delay, flush, r.QueueDepth)
+}
+
+// describeMetrics renders one candidate's measurements.
+func describeMetrics(m tune.Metrics) string {
+	return fmt.Sprintf("p50=%v p99=%v tput=%.0f req/s drop=%.2f%%",
+		m.P50.Round(time.Microsecond), m.P99.Round(time.Microsecond),
+		m.Throughput, 100*m.DropRate)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/tune"
+)
+
+func resetTune() {
+	tuneCfg = tuneSettings{}
+	replayCfg = replaySettings{}
+	lastTuneReport = nil
+	lastTuneVerify = nil
+	lastReplayReport = nil
+}
+
+// TestRunTuneSpec drives `-tune` end to end on the tiny ad spec: the
+// run compiles, replays candidates, leaves a report with a non-empty
+// frontier and a feasible chosen config in the test seam, and the
+// verification replay meets the (generous) SLO.
+func TestRunTuneSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay tuning is wall-clock bound")
+	}
+	defer resetTune()
+	tuneCfg = tuneSettings{enabled: true, slo: "p99<=500ms", budget: 4, seed: 7}
+	replayCfg = replaySettings{samples: 200, clients: 2, shards: 2}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := lastTuneReport
+	if rep == nil || len(rep.Front) == 0 || !rep.Chosen.Feasible {
+		t.Fatalf("tune report: %+v", rep)
+	}
+	if _, err := rep.Chosen.Config.Canonical(); err != nil {
+		t.Fatalf("chosen config must be canonical: %v", err)
+	}
+	if lastTuneVerify == nil {
+		t.Fatal("verification replay left no metrics")
+	}
+	if lastTuneVerify.P99 > 500*time.Millisecond {
+		t.Fatalf("verification replay missed the SLO: %+v", lastTuneVerify)
+	}
+}
+
+// TestRunTuneInfeasibleSLO: an SLO no configuration can meet surfaces
+// the typed infeasibility error, not a junk config.
+func TestRunTuneInfeasibleSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay tuning is wall-clock bound")
+	}
+	defer resetTune()
+	tuneCfg = tuneSettings{enabled: true, slo: "p99<=1ns", budget: 4, seed: 7}
+	replayCfg = replaySettings{samples: 120, clients: 2, shards: 1}
+	err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0)
+	if !errors.Is(err, tune.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if lastTuneReport != nil {
+		t.Fatal("infeasible run must not leave a report")
+	}
+}
+
+// TestRunTuneBadSLO: a malformed -slo fails before any replay.
+func TestRunTuneBadSLO(t *testing.T) {
+	defer resetTune()
+	tuneCfg = tuneSettings{enabled: true, slo: "p99>=2ms"}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err == nil {
+		t.Fatal("reversed latency bound must fail")
+	}
+}
+
+// TestRunReplayAdaptiveByteIdentical: -adaptive only changes flush
+// timing — a fixed-seed replay must digest byte-identically to the
+// default greedy path.
+func TestRunReplayAdaptiveByteIdentical(t *testing.T) {
+	defer resetTune()
+	replayCfg = replaySettings{deploy: true, samples: 400, clients: 4, batch: 16, delay: time.Millisecond}
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	base := lastReplayReport
+	if base == nil || base.digest == "" {
+		t.Fatalf("baseline replay report: %+v", base)
+	}
+
+	replayCfg.adaptive = true
+	if err := run(context.Background(), "testdata/ad.json", t.TempDir(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	adaptive := lastReplayReport
+	if adaptive == nil || adaptive.digest != base.digest {
+		t.Fatalf("adaptive flush diverged:\n  greedy:   %s\n  adaptive: %s", base.digest, adaptive.digest)
+	}
+	if adaptive.result.Dropped != 0 || adaptive.final.Accepted != adaptive.final.Completed {
+		t.Fatalf("adaptive replay dropped traffic: %+v", adaptive.final)
+	}
+}
+
+// TestReplaySettingsValidateAdaptive: -adaptive with a negative (greedy)
+// -batch-delay is contradictory.
+func TestReplaySettingsValidateAdaptive(t *testing.T) {
+	r := replaySettings{adaptive: true, delay: -time.Millisecond}
+	if err := r.validate(); err == nil {
+		t.Fatal("adaptive + negative delay must be rejected")
+	}
+	r.delay = time.Millisecond
+	if err := r.validate(); err != nil {
+		t.Fatal(err)
+	}
+}

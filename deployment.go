@@ -60,6 +60,14 @@ type DeployOptions struct {
 	// with ErrValidationFailed (docs/validation.md). Only meaningful for
 	// endpoints; flat deployments ignore it.
 	ValidateRollouts bool
+	// Serving, when non-nil, is the canonical versioned serving
+	// configuration — the same document the tuner emits and
+	// PUT /v1/endpoints/{name}/config applies. It wins wholesale over
+	// the flat Shards/BatchSize/MaxDelay/QueueDepth/RetainRetired knobs
+	// above (which remain for compatibility) and is validated up front,
+	// so an out-of-range value fails the deploy with every violation
+	// listed instead of being silently clamped.
+	Serving *ServingConfig
 }
 
 // DeploymentStats is a point-in-time snapshot of a deployment's serving
@@ -190,12 +198,12 @@ func (s *Service) deploy(pipe *Pipeline, jobID string, opts DeployOptions) (*Dep
 	id := fmt.Sprintf("dep-%06d", s.nextDepID)
 	s.mu.Unlock()
 
-	ep, err := serve.NewEndpoint(id, app.Model, serve.Options{
-		Shards:     opts.Shards,
-		BatchSize:  opts.BatchSize,
-		MaxDelay:   opts.MaxDelay,
-		QueueDepth: opts.QueueDepth,
-	})
+	sopts, err := servingOptions(opts)
+	if err != nil {
+		return nil, fmt.Errorf("homunculus: deploy %s: %w", app.Name, err)
+	}
+	sopts.RetainRetired = 0 // flat deployments have no revision history
+	ep, err := serve.NewEndpoint(id, app.Model, sopts)
 	if err != nil {
 		return nil, fmt.Errorf("homunculus: deploy %s: %w", app.Name, err)
 	}

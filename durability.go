@@ -202,6 +202,8 @@ func serveOptions(r store.OptionsRecord) serve.Options {
 		Shards:        r.Shards,
 		BatchSize:     r.BatchSize,
 		MaxDelay:      time.Duration(r.MaxDelayNS),
+		MaxDelaySet:   r.MaxDelaySet,
+		AdaptiveFlush: r.AdaptiveFlush,
 		QueueDepth:    r.QueueDepth,
 		RetainRetired: r.RetainRetired,
 	}

@@ -80,6 +80,11 @@ type RolloutOptions struct {
 	BatchSize  int
 	MaxDelay   time.Duration
 	QueueDepth int
+	// Serving, when non-nil, is the canonical config for the new
+	// revision; it wins wholesale over the flat knobs above. Its
+	// presence-aware MaxDelayNS lets a rollout pin an explicit greedy
+	// flush (delay 0) instead of inheriting the endpoint default.
+	Serving *ServingConfig
 }
 
 // RevisionInfo describes one revision of an endpoint.
@@ -195,18 +200,17 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 	if err != nil {
 		return nil, err
 	}
-	if opts.ValidateRollouts {
+	validate := validateRollouts(opts)
+	if validate {
 		if err := gateRollout(pipe.Platform, app); err != nil {
 			return nil, err
 		}
 	}
-	sep, err := serve.NewEndpoint(name, app.Model, serve.Options{
-		Shards:        opts.Shards,
-		BatchSize:     opts.BatchSize,
-		MaxDelay:      opts.MaxDelay,
-		QueueDepth:    opts.QueueDepth,
-		RetainRetired: opts.RetainRetired,
-	})
+	sopts, err := servingOptions(opts)
+	if err != nil {
+		return nil, fmt.Errorf("homunculus: endpoint %s: %w", name, err)
+	}
+	sep, err := serve.NewEndpoint(name, app.Model, sopts)
 	if err != nil {
 		return nil, fmt.Errorf("homunculus: endpoint %s: %w", name, err)
 	}
@@ -216,12 +220,13 @@ func (s *Service) createEndpoint(name string, pipe *Pipeline, jobID string, opts
 		created:  time.Now(),
 		svc:      s,
 		ep:       sep,
-		validate: opts.ValidateRollouts,
-		reqOpts:  optionsRecord(opts),
+		validate: validate,
+		reqOpts:  servingRecord(opts),
 		meta: map[int]revisionMeta{1: {
 			jobID:    jobID,
 			app:      app.Name,
 			specHash: s.endpointArtifact(pipe, jobID),
+			opts:     servingRecord(opts),
 		}},
 	}
 	s.mu.Lock()
@@ -414,15 +419,27 @@ func (e *Endpoint) rollout(pipe *Pipeline, jobID string, opts RolloutOptions) (R
 			return RevisionInfo{}, fmt.Errorf("homunculus: rollout on %s refused: %w", e.name, err)
 		}
 	}
+	rovr := serve.Options{
+		Shards:     opts.Shards,
+		BatchSize:  opts.BatchSize,
+		MaxDelay:   opts.MaxDelay,
+		QueueDepth: opts.QueueDepth,
+	}
+	rrec := optionsRecord(DeployOptions{
+		Shards: opts.Shards, BatchSize: opts.BatchSize,
+		MaxDelay: opts.MaxDelay, QueueDepth: opts.QueueDepth,
+	})
+	if opts.Serving != nil {
+		if err := opts.Serving.Validate(); err != nil {
+			return RevisionInfo{}, fmt.Errorf("homunculus: rollout on %s: %w", e.name, err)
+		}
+		rovr = opts.Serving.Options()
+		rrec = configRecord(*opts.Serving)
+	}
 	rev, err := e.ep.Rollout(app.Model, serve.RolloutConfig{
 		CanaryPercent: opts.CanaryPercent,
 		Shadow:        opts.Shadow,
-		Opts: serve.Options{
-			Shards:     opts.Shards,
-			BatchSize:  opts.BatchSize,
-			MaxDelay:   opts.MaxDelay,
-			QueueDepth: opts.QueueDepth,
-		},
+		Opts:          rovr,
 	})
 	if err != nil {
 		return RevisionInfo{}, fmt.Errorf("homunculus: rollout on %s: %w", e.name, err)
@@ -432,10 +449,7 @@ func (e *Endpoint) rollout(pipe *Pipeline, jobID string, opts RolloutOptions) (R
 		jobID:    jobID,
 		app:      app.Name,
 		specHash: e.svc.endpointArtifact(pipe, jobID),
-		opts: optionsRecord(DeployOptions{
-			Shards: opts.Shards, BatchSize: opts.BatchSize,
-			MaxDelay: opts.MaxDelay, QueueDepth: opts.QueueDepth,
-		}),
+		opts:     rrec,
 	}
 	e.mu.Unlock()
 	e.svc.persistEndpoints()

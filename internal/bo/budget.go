@@ -1,0 +1,53 @@
+package bo
+
+// Evaluation-callback combinators for driving MaximizeMulti from a
+// measured (expensive) objective: a hard evaluation budget and an SLO
+// feasibility constraint, composable around the raw measurement
+// function. The serving tuner (internal/tune) wraps its replay
+// evaluator as Constrained(WithBudget(measure, N), sloCheck).
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExhausted aborts a search whose objective was wrapped by
+// WithBudget once the evaluation cap is hit. MaximizeMulti returns it
+// alongside the partial result, so the caller keeps every completed
+// evaluation.
+var ErrBudgetExhausted = errors.New("bo: evaluation budget exhausted")
+
+// WithBudget caps the number of times obj may run. Evaluation n+1 and
+// beyond fail with ErrBudgetExhausted (wrapped with the spent count).
+// The cap is the contract an expensive measured objective needs:
+// replaying a traffic trace per point, the budget — not the iteration
+// schedule — is what bounds wall-clock.
+func WithBudget(obj MultiObjective, budget int) MultiObjective {
+	spent := 0
+	return func(x []float64) ([]float64, bool, map[string]float64, error) {
+		if spent >= budget {
+			return nil, false, nil, fmt.Errorf("%w after %d evaluations", ErrBudgetExhausted, spent)
+		}
+		spent++
+		return obj(x)
+	}
+}
+
+// Constrained marks points infeasible when check rejects their
+// measured values: the point still enters the history (and informs the
+// surrogate), but ParetoFront and the scalarized acquisition exclude
+// it. check receives the objective values and metrics of a successful
+// evaluation; an objective that already reported infeasible stays
+// infeasible.
+func Constrained(obj MultiObjective, check func(values []float64, metrics map[string]float64) bool) MultiObjective {
+	return func(x []float64) ([]float64, bool, map[string]float64, error) {
+		values, feasible, metrics, err := obj(x)
+		if err != nil {
+			return values, false, metrics, err
+		}
+		if feasible && check != nil {
+			feasible = check(values, metrics)
+		}
+		return values, feasible, metrics, nil
+	}
+}

@@ -1,0 +1,65 @@
+package bo
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestWithBudgetCapsEvaluations(t *testing.T) {
+	calls := 0
+	obj := WithBudget(func(x []float64) ([]float64, bool, map[string]float64, error) {
+		calls++
+		return []float64{-x[0] * x[0], x[0]}, true, nil, nil
+	}, 7)
+
+	space := Space{Params: []Param{{Name: "x", Kind: Real, Min: -1, Max: 1}}}
+	cfg := DefaultConfig() // 5 init + 15 iterations > budget 7
+	cfg.Seed = 3
+	res, err := MaximizeMulti(context.Background(), space, cfg, 2, obj)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	if calls != 7 {
+		t.Fatalf("budget must cap the objective at 7 calls, got %d", calls)
+	}
+	if len(res.History) != 7 {
+		t.Fatalf("partial history must be returned: got %d evaluations", len(res.History))
+	}
+}
+
+func TestConstrainedMarksInfeasible(t *testing.T) {
+	obj := Constrained(func(x []float64) ([]float64, bool, map[string]float64, error) {
+		return []float64{x[0], -x[0]}, true, map[string]float64{"p99": x[0] * 10}, nil
+	}, func(values []float64, metrics map[string]float64) bool {
+		return metrics["p99"] <= 5
+	})
+
+	if _, feasible, _, err := obj([]float64{0.4}); err != nil || !feasible {
+		t.Fatalf("p99=4 must stay feasible: feasible=%v err=%v", feasible, err)
+	}
+	if _, feasible, _, err := obj([]float64{0.9}); err != nil || feasible {
+		t.Fatalf("p99=9 must be infeasible: feasible=%v err=%v", feasible, err)
+	}
+
+	// Infeasible points must be excluded from the frontier but still
+	// enter the history.
+	space := Space{Params: []Param{{Name: "x", Kind: Real, Min: 0, Max: 1}}}
+	cfg := DefaultConfig()
+	cfg.InitSamples, cfg.Iterations, cfg.Seed = 4, 4, 11
+	res, err := MaximizeMulti(context.Background(), space, cfg, 2, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Front {
+		if !f.Feasible {
+			t.Fatalf("infeasible point on the frontier: %+v", f)
+		}
+		if f.Metrics["p99"] > 5 {
+			t.Fatalf("constraint leaked onto the frontier: %+v", f)
+		}
+	}
+	if len(res.History) != 8 {
+		t.Fatalf("history must keep infeasible evaluations: %d", len(res.History))
+	}
+}

@@ -16,6 +16,9 @@ package httpapi
 //	POST   /v1/endpoints/{name}/rollback     abort rollout / revert stable
 //	POST   /v1/endpoints/{name}/classify     classify a feature batch
 //	GET    /v1/endpoints/{name}/stats        per-revision stats + divergence
+//	GET    /v1/endpoints/{name}/config       canonical serving config (config.go)
+//	PUT    /v1/endpoints/{name}/config       validate + apply a config (config.go)
+//	POST   /v1/endpoints/{name}/tune         replay-driven autotuning (config.go)
 //	DELETE /v1/endpoints/{name}              drain and remove
 
 import (
@@ -37,11 +40,23 @@ type EndpointRequest struct {
 	// revision 1.
 	JobID string `json:"job_id"`
 	// App selects one application of a multi-model pipeline.
-	App        string `json:"app,omitempty"`
-	Shards     int    `json:"shards,omitempty"`
-	BatchSize  int    `json:"batch_size,omitempty"`
-	MaxDelayUS int64  `json:"max_delay_us,omitempty"`
-	QueueDepth int    `json:"queue_depth,omitempty"`
+	App string `json:"app,omitempty"`
+	// Serving is the canonical versioned serving configuration — the
+	// same document GET/PUT /v1/endpoints/{name}/config speak and the
+	// tuner emits. When present it wins wholesale over the flat knobs
+	// below and is validated up front (400 lists every violation).
+	Serving *homunculus.ServingConfig `json:"serving,omitempty"`
+	// Deprecated: set Serving. The flat knobs remain as thin aliases for
+	// pre-config-API clients; zero values select defaults.
+	Shards int `json:"shards,omitempty"`
+	// Deprecated: set Serving.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Deprecated: set Serving (whose max_delay_ns is presence-aware, so
+	// an explicit greedy flush survives; this µs spelling cannot say
+	// "explicit zero").
+	MaxDelayUS int64 `json:"max_delay_us,omitempty"`
+	// Deprecated: set Serving.
+	QueueDepth int `json:"queue_depth,omitempty"`
 	// ValidateRollouts gates revision 1 and every later rollout of this
 	// endpoint behind translation validation of the shipped artifact; a
 	// diverging revision is refused with 409 (docs/validation.md).
@@ -58,12 +73,20 @@ type RolloutRequest struct {
 	CanaryPercent int `json:"canary_percent,omitempty"`
 	// Shadow mirrors traffic to the new revision off the record instead
 	// of splitting it.
-	Shadow     bool   `json:"shadow,omitempty"`
-	App        string `json:"app,omitempty"`
-	Shards     int    `json:"shards,omitempty"`
-	BatchSize  int    `json:"batch_size,omitempty"`
-	MaxDelayUS int64  `json:"max_delay_us,omitempty"`
-	QueueDepth int    `json:"queue_depth,omitempty"`
+	Shadow bool   `json:"shadow,omitempty"`
+	App    string `json:"app,omitempty"`
+	// Serving, when present, is the canonical config for the new
+	// revision; it wins wholesale over the flat knobs below.
+	Serving *homunculus.ServingConfig `json:"serving,omitempty"`
+	// Deprecated: set Serving. Thin aliases for pre-config-API clients;
+	// zero values inherit the endpoint defaults.
+	Shards int `json:"shards,omitempty"`
+	// Deprecated: set Serving.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Deprecated: set Serving.
+	MaxDelayUS int64 `json:"max_delay_us,omitempty"`
+	// Deprecated: set Serving.
+	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
 // RevisionJSON is the wire rendering of one endpoint revision.
@@ -195,6 +218,7 @@ func (h *handler) createEndpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	ep, err := h.svc.CreateEndpoint(req.Name, req.JobID, homunculus.EndpointOptions{
 		App:              req.App,
+		Serving:          req.Serving,
 		Shards:           req.Shards,
 		BatchSize:        req.BatchSize,
 		MaxDelay:         time.Duration(req.MaxDelayUS) * time.Microsecond,
@@ -212,7 +236,7 @@ func (h *handler) createEndpoint(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, homunculus.ErrServiceClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
-			writeError(w, http.StatusBadRequest, err)
+			writeConfigAwareError(w, http.StatusBadRequest, err)
 		}
 		return
 	}
@@ -274,6 +298,7 @@ func (h *handler) rollout(w http.ResponseWriter, r *http.Request) {
 		App:           req.App,
 		CanaryPercent: req.CanaryPercent,
 		Shadow:        req.Shadow,
+		Serving:       req.Serving,
 		Shards:        req.Shards,
 		BatchSize:     req.BatchSize,
 		MaxDelay:      time.Duration(req.MaxDelayUS) * time.Microsecond,
@@ -292,7 +317,7 @@ func (h *handler) rollout(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, homunculus.ErrEndpointClosed):
 			writeError(w, http.StatusConflict, err)
 		default:
-			writeError(w, http.StatusBadRequest, err)
+			writeConfigAwareError(w, http.StatusBadRequest, err)
 		}
 		return
 	}

@@ -227,6 +227,10 @@ func NewServer(svc *homunculus.Service) http.Handler {
 	mux.HandleFunc("POST /v1/endpoints/{name}/rollback", h.rollback)
 	mux.HandleFunc("POST /v1/endpoints/{name}/classify", h.endpointClassify)
 	mux.HandleFunc("GET /v1/endpoints/{name}/stats", h.endpointStats)
+	mux.HandleFunc("GET /v1/endpoints/{name}/config", h.getEndpointConfig)
+	mux.HandleFunc("PUT /v1/endpoints/{name}/config", h.putEndpointConfig)
+	mux.HandleFunc("POST /v1/endpoints/{name}/tune", h.tuneEndpoint)
+	mux.HandleFunc("POST /v1/jobs/{id}/tune", h.tuneJob)
 	mux.HandleFunc("DELETE /v1/endpoints/{name}", h.deleteEndpoint)
 	return mux
 }

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func delayNS(d time.Duration) *int64 {
+	ns := int64(d)
+	return &ns
+}
+
+// TestServingConfigZeroValueIsDefaults covers the API contract that a
+// zero ServingConfig resolves to exactly the same runtime bounds as a
+// zero Options — the canonical form changes the spelling, not the
+// defaults.
+func TestServingConfigZeroValueIsDefaults(t *testing.T) {
+	var c ServingConfig
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+	got := c.Options().withDefaults()
+	want := Options{}.withDefaults()
+	if got.Shards != want.Shards || got.BatchSize != want.BatchSize ||
+		got.MaxDelay != want.MaxDelay || got.MaxDelaySet != want.MaxDelaySet ||
+		got.QueueDepth != want.QueueDepth || got.RetainRetired != want.RetainRetired ||
+		got.AdaptiveFlush != want.AdaptiveFlush {
+		t.Fatalf("zero ServingConfig resolved %+v, zero Options resolved %+v", got, want)
+	}
+}
+
+func TestServingConfigValidateListsAllViolations(t *testing.T) {
+	c := ServingConfig{
+		Version:       7,
+		Shards:        -3,
+		BatchSize:     1 << 20,
+		MaxDelayNS:    delayNS(time.Hour),
+		QueueDepth:    -1,
+		RetainRetired: -9,
+	}
+	err := c.Validate()
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConfigError, got %v", err)
+	}
+	if len(ce.Violations) != 6 {
+		t.Fatalf("want all 6 violations listed, got %d: %v", len(ce.Violations), ce.Violations)
+	}
+	for _, field := range []string{"version", "shards", "batch_size", "max_delay_ns", "queue_depth", "retain_retired"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Fatalf("violation list must name %q: %v", field, err)
+		}
+	}
+}
+
+// TestServingConfigCanonical covers canonical marshalling: the version
+// is stamped, the bytes are deterministic, and ParseConfig round-trips
+// them (rejecting unknown fields).
+func TestServingConfigCanonical(t *testing.T) {
+	c := ServingConfig{Shards: 2, BatchSize: 32, MaxDelayNS: delayNS(0), AdaptiveFlush: true}
+	a, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical bytes must be deterministic:\n%s\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"version":1`)) {
+		t.Fatalf("canonical form must stamp version %d: %s", ConfigVersion, a)
+	}
+	if !bytes.Contains(a, []byte(`"max_delay_ns":0`)) {
+		t.Fatalf("explicit zero delay must survive marshalling: %s", a)
+	}
+	rt, err := ParseConfig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := rt.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, rt2) {
+		t.Fatalf("round-trip not byte-identical:\n%s\n%s", a, rt2)
+	}
+	if _, err := ParseConfig([]byte(`{"batch_sise": 32}`)); err == nil {
+		t.Fatal("typoed field must be rejected, not silently defaulted")
+	}
+	if _, err := ParseConfig([]byte(`{"shards": -1}`)); err == nil {
+		t.Fatal("ParseConfig must validate")
+	}
+}
+
+// TestServingConfigOptionsPresence covers the presence-aware MaxDelay
+// conversion in both directions.
+func TestServingConfigOptionsPresence(t *testing.T) {
+	o := ServingConfig{}.Options()
+	if o.MaxDelaySet {
+		t.Fatal("absent max_delay_ns must not claim presence")
+	}
+	o = ServingConfig{MaxDelayNS: delayNS(0)}.Options()
+	if !o.MaxDelaySet || o.MaxDelay != 0 {
+		t.Fatalf("explicit zero delay lost: %+v", o)
+	}
+	if o.withDefaults().MaxDelay != 0 {
+		t.Fatalf("withDefaults overrode an explicit zero delay: %+v", o.withDefaults())
+	}
+	back := ConfigFromOptions(o)
+	if back.MaxDelayNS == nil || *back.MaxDelayNS != 0 {
+		t.Fatalf("ConfigFromOptions dropped explicit zero: %+v", back)
+	}
+	r := ServingConfig{}.Resolved()
+	if r.MaxDelayNS == nil || time.Duration(*r.MaxDelayNS) != 500*time.Microsecond {
+		t.Fatalf("resolved default delay wrong: %+v", r)
+	}
+	if r.Shards <= 0 || r.BatchSize != 64 || r.QueueDepth != 1024 {
+		t.Fatalf("resolved defaults wrong: %+v", r)
+	}
+}
+
+// TestRolloutExplicitGreedyDelay is the regression test for the
+// inheritance bug: resolveOpts treated MaxDelay == 0 as "inherit", so
+// a rollout could never request an explicit greedy deadline on an
+// endpoint whose default delay was nonzero.
+func TestRolloutExplicitGreedyDelay(t *testing.T) {
+	ep, err := NewEndpoint("greedy", stepModel(), Options{
+		Shards: 1, QueueDepth: 64, MaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	cfg := ServingConfig{MaxDelayNS: delayNS(0)}
+	rev, err := ep.Rollout(stepModel(), RolloutConfig{CanaryPercent: 50, Opts: cfg.Options()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rev.Opts(); got.MaxDelay != 0 || !got.MaxDelaySet {
+		t.Fatalf("explicit greedy (MaxDelay=0) swallowed by inheritance: %+v", got)
+	}
+	// Unset delay must still inherit the endpoint default.
+	if err := ep.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rev2, err := ep.Rollout(stepModel(), RolloutConfig{CanaryPercent: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rev2.Opts(); got.MaxDelay != 2*time.Millisecond {
+		t.Fatalf("unset delay must inherit endpoint default: %+v", got)
+	}
+}
+
+// TestReconfigure covers the atomic config-apply path: one revision
+// bump, traffic served throughout, new defaults visible, previous
+// bounds one Rollback away.
+func TestReconfigure(t *testing.T) {
+	ep, err := NewEndpoint("cfg", stepModel(), Options{Shards: 1, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	cfg := ServingConfig{BatchSize: 16, QueueDepth: 128, MaxDelayNS: delayNS(time.Millisecond)}
+	rev, err := ep.Reconfigure(cfg.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.ID != 2 || rev.state != RevStable {
+		t.Fatalf("reconfigure must promote a fresh revision: id=%d state=%v", rev.ID, rev.state)
+	}
+	o := ep.Options()
+	if o.BatchSize != 16 || o.QueueDepth != 128 || o.MaxDelay != time.Millisecond || !o.MaxDelaySet {
+		t.Fatalf("endpoint defaults not updated: %+v", o)
+	}
+	if c, err := ep.Classify([]float64{1, 0}); err != nil || c != 1 {
+		t.Fatalf("classify after reconfigure: class=%d err=%v", c, err)
+	}
+	// The old bounds are one Rollback away.
+	if err := ep.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	stable, _, _, _ := ep.View()
+	if stable != 1 {
+		t.Fatalf("rollback after reconfigure must restore revision 1, got %d", stable)
+	}
+	// A reconfigure during an active rollout must refuse.
+	if _, err := ep.Rollout(stepModel(), RolloutConfig{CanaryPercent: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Reconfigure(Options{}); !errors.Is(err, ErrRolloutActive) {
+		t.Fatalf("want ErrRolloutActive, got %v", err)
+	}
+}

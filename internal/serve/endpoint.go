@@ -103,6 +103,9 @@ func (r *Revision) Model() *ir.Model { return r.model }
 // Warm reports whether the revision currently holds a live runtime.
 func (r *Revision) Warm() bool { return r.rt.Load() != nil }
 
+// Opts returns the revision's resolved runtime bounds.
+func (r *Revision) Opts() Options { return r.opts }
+
 // Stats snapshots the revision's own serving metrics (zero when cold —
 // a closed runtime's counters are gone).
 func (r *Revision) Stats() Stats {
@@ -303,7 +306,12 @@ func NewEndpoint(name string, model *ir.Model, opts Options) (*Endpoint, error) 
 func (e *Endpoint) Name() string { return e.name }
 
 // Options returns the endpoint's default (defaulted) runtime bounds.
-func (e *Endpoint) Options() Options { return e.opts }
+// (Locked: Reconfigure replaces the defaults at runtime.)
+func (e *Endpoint) Options() Options {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts
+}
 
 // Model returns the current stable revision's model (nil after Close).
 func (e *Endpoint) Model() *ir.Model {
@@ -314,7 +322,12 @@ func (e *Endpoint) Model() *ir.Model {
 }
 
 // resolveOpts fills a rollout's zero option fields from the endpoint's
-// defaults.
+// defaults. MaxDelay is presence-aware: a rollout carrying
+// MaxDelaySet keeps its value even when it is zero (explicit greedy),
+// which the bare `== 0` check used to swallow by inheriting the
+// endpoint default. AdaptiveFlush likewise inherits only when the
+// delay bound does — an explicitly configured delay is a complete
+// flush policy.
 func (e *Endpoint) resolveOpts(o Options) Options {
 	if o.Shards <= 0 {
 		o.Shards = e.opts.Shards
@@ -322,8 +335,12 @@ func (e *Endpoint) resolveOpts(o Options) Options {
 	if o.BatchSize <= 0 {
 		o.BatchSize = e.opts.BatchSize
 	}
-	if o.MaxDelay == 0 {
+	if o.MaxDelay == 0 && !o.MaxDelaySet {
 		o.MaxDelay = e.opts.MaxDelay
+		o.MaxDelaySet = e.opts.MaxDelaySet
+		if !o.AdaptiveFlush {
+			o.AdaptiveFlush = e.opts.AdaptiveFlush
+		}
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = e.opts.QueueDepth
@@ -436,6 +453,33 @@ func (e *Endpoint) Promote() error {
 	e.mu.Unlock()
 	closeRuntimes(evicted)
 	return nil
+}
+
+// Reconfigure applies o as the endpoint's new serving bounds through
+// the regular rollout path: the stable model is rolled out as a fresh
+// revision with the resolved options and promoted immediately, so the
+// change is one atomic routing-table swap, in-flight requests finish
+// on the old runtime, and the previous bounds stay one Rollback away.
+// Zero fields inherit the endpoint's current defaults (MaxDelay
+// presence-aware, see resolveOpts); the resolved options become the
+// endpoint's defaults for future rollouts. Fails with ErrRolloutActive
+// while a canary or shadow rollout is in progress.
+func (e *Endpoint) Reconfigure(o Options) (*Revision, error) {
+	m := e.Model()
+	if m == nil {
+		return nil, ErrClosed
+	}
+	rev, err := e.Rollout(m, RolloutConfig{Opts: o})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Promote(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.opts = rev.opts.withDefaults()
+	e.mu.Unlock()
+	return rev, nil
 }
 
 // Rollback reverses the most recent lifecycle step: with a rollout in

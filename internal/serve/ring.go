@@ -79,6 +79,17 @@ type shard struct {
 	slots []slot
 
 	pred *ir.Predictor
+
+	// Adaptive-flush state (predict.go). Producers feed the shared
+	// arrival history with relaxed atomics (lastNS, gapHist); the gaps
+	// predictor itself, like pred, is guarded by the busy flag. nil
+	// unless Options.AdaptiveFlush resolved on. flushDeadline is set by
+	// a hold that expired (busy-guarded) and consumed by the next sweep
+	// for DeadlineFlushes accounting.
+	gaps          *gapPredictor
+	lastNS        atomic.Int64  // previous arrival, UnixNano
+	gapHist       atomic.Uint64 // packed 4-bit gap buckets, newest lowest
+	flushDeadline bool
 }
 
 func newShard(model *ir.Model, capacity uint64) (*shard, error) {
@@ -126,6 +137,17 @@ func (rt *Runtime) enqueue(sh *shard, r *request) error {
 	if rt.closed.Load() {
 		sh.credits.Add(-1)
 		return ErrClosed
+	}
+	if sh.gaps != nil {
+		// Feed the arrival predictor: one relaxed Swap for the gap, one
+		// load/store pair to shift the bucket into the shared history.
+		// Concurrent producers may drop a nibble — the predictor is a
+		// timing heuristic, so lossy history is acceptable.
+		now := time.Now().UnixNano()
+		if prev := sh.lastNS.Swap(now); prev != 0 {
+			h := sh.gapHist.Load()
+			sh.gapHist.Store(h<<4 | uint64(gapBucket(now-prev)))
+		}
 	}
 	t := sh.tickets.Add(1) - 1
 	i := t & sh.mask
@@ -183,7 +205,9 @@ func (rt *Runtime) sweep(sh *shard) int {
 		}
 	}
 	if n > 0 {
-		rt.stats.flush(n, false, n >= rt.opts.BatchSize)
+		deadline := sh.flushDeadline
+		sh.flushDeadline = false
+		rt.stats.flush(n, deadline, n >= rt.opts.BatchSize)
 	}
 	return n
 }
@@ -193,6 +217,11 @@ func (rt *Runtime) sweep(sh *shard) int {
 func (rt *Runtime) harvest(sh *shard) bool {
 	if !sh.busy.CompareAndSwap(0, 1) {
 		return false
+	}
+	if sh.gaps != nil {
+		rt.adaptiveHold(sh)
+	} else if rt.holdFixed {
+		rt.fixedHold(sh)
 	}
 	for rt.sweep(sh) > 0 {
 	}

@@ -63,11 +63,30 @@ type Options struct {
 	// Default 64. (The ring harvests continuously, so this is a stats
 	// threshold, not a dispatch trigger.)
 	BatchSize int
-	// MaxDelay is retained for configuration compatibility. The ring
-	// scheduler harvests as soon as a slot is published, so no request
-	// ever waits on a batching deadline — the bound is trivially met.
-	// Default 500µs; negative (the old greedy mode) is equivalent.
+	// MaxDelay bounds how long a harvester may hold a partial batch
+	// waiting for more arrivals. Whether it holds at all is policy:
+	// the default policy is greedy (harvest as soon as a slot is
+	// published — no request ever waits on a batching deadline), the
+	// historical ring-scheduler behavior. Deadline batching engages
+	// only when the bound was set explicitly through the canonical
+	// ServingConfig (MaxDelaySet, positive MaxDelay) or when
+	// AdaptiveFlush decides a burst is worth holding for. Default
+	// 500µs; zero-without-presence inherits the default, negative is
+	// always greedy.
 	MaxDelay time.Duration
+	// MaxDelaySet marks MaxDelay as explicitly configured, making an
+	// explicit zero (greedy) distinguishable from "use the default" —
+	// the flat int spellings conflate the two, which made greedy
+	// unrepresentable on rollout inheritance. Set automatically by
+	// ServingConfig.Options when max_delay_ns is present.
+	MaxDelaySet bool
+	// AdaptiveFlush enables the per-shard TAGE-flavored inter-arrival
+	// predictor (predict.go): the harvester holds a partial batch only
+	// when the predicted arrival gaps say the batch will fill within
+	// the MaxDelay bound. Quiet traffic keeps greedy latency; bursts
+	// get full batches. Classification output is bit-identical either
+	// way. Default off.
+	AdaptiveFlush bool
 	// QueueDepth caps requests accepted but not yet harvested by a
 	// shard. Classify sheds with ErrOverloaded beyond it. Default 1024.
 	// The per-shard ring size is QueueDepth/Shards rounded up to a
@@ -95,7 +114,7 @@ func (o Options) withDefaults() Options {
 	if o.BatchSize <= 0 {
 		o.BatchSize = 64
 	}
-	if o.MaxDelay == 0 {
+	if o.MaxDelay == 0 && !o.MaxDelaySet {
 		o.MaxDelay = 500 * time.Microsecond
 	}
 	if o.QueueDepth <= 0 {
@@ -131,6 +150,12 @@ type Runtime struct {
 	opts  Options
 	model *ir.Model
 
+	// holdFixed selects the fixed-deadline flush policy: harvesters
+	// hold partial batches up to MaxDelay (predict.go). Set only for
+	// explicitly configured bounds (Options.MaxDelaySet) without
+	// AdaptiveFlush.
+	holdFixed bool
+
 	rings []*shard
 	rr    atomic.Uint64 // round-robin shard cursor
 
@@ -158,6 +183,7 @@ func New(model *ir.Model, opts Options) (*Runtime, error) {
 		rings: make([]*shard, o.Shards),
 		stop:  make(chan struct{}),
 	}
+	adaptive := o.AdaptiveFlush && o.MaxDelay > 0
 	for i := range rt.rings {
 		// newShard validates the model via ir.NewPredictor, so a broken
 		// model fails at Deploy time, not on the first live request.
@@ -165,8 +191,15 @@ func New(model *ir.Model, opts Options) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
+		if adaptive {
+			sh.gaps = new(gapPredictor)
+		}
 		rt.rings[i] = sh
 	}
+	// Deadline batching only for explicitly configured positive bounds
+	// (ServingConfig presence); legacy flat MaxDelay spellings keep the
+	// greedy ring-scheduler behavior they were written against.
+	rt.holdFixed = o.MaxDelaySet && o.MaxDelay > 0 && !adaptive
 	rt.reqPool.New = func() any {
 		return &request{wake: make(chan struct{}, 1), x: make([]float64, 0, model.Inputs)}
 	}

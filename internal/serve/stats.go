@@ -93,8 +93,10 @@ type Stats struct {
 	PerClass []uint64
 	// Batches counts harvest sweeps (= micro-batches); FullFlushes are
 	// sweeps that collected at least BatchSize requests. DeadlineFlushes
-	// is always 0 under the ring scheduler (kept for wire
-	// compatibility). MeanBatch is the average sweep size.
+	// are sweeps released by an expired hold deadline — always 0 under
+	// the default greedy policy, nonzero only when deadline batching is
+	// enabled through ServingConfig (max_delay_ns present and positive,
+	// or adaptive_flush). MeanBatch is the average sweep size.
 	Batches, FullFlushes, DeadlineFlushes uint64
 	MeanBatch                             float64
 	// P50 and P99 are latency-quantile upper bounds from the log2

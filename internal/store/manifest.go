@@ -44,7 +44,13 @@ type OptionsRecord struct {
 	Shards     int   `json:"shards,omitempty"`
 	BatchSize  int   `json:"batch_size,omitempty"`
 	MaxDelayNS int64 `json:"max_delay_ns,omitempty"`
-	QueueDepth int   `json:"queue_depth,omitempty"`
+	// MaxDelaySet records that MaxDelayNS was configured explicitly —
+	// an explicit zero (greedy flush) must survive the round-trip,
+	// which omitempty on the int64 alone cannot express.
+	MaxDelaySet bool `json:"max_delay_set,omitempty"`
+	// AdaptiveFlush enables the arrival-predictor flush policy.
+	AdaptiveFlush bool `json:"adaptive_flush,omitempty"`
+	QueueDepth    int  `json:"queue_depth,omitempty"`
 	// RetainRetired caps warm retired revisions (0 = default).
 	RetainRetired int `json:"retain_retired,omitempty"`
 	// ValidateRollouts gates revisions behind translation validation of

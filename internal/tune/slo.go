@@ -1,0 +1,143 @@
+// Package tune is the serving autopilot: it replays a recorded (or
+// synthesized) traffic trace against candidate serving configurations
+// in sandboxed runtimes, scores each run on {p99 latency, throughput,
+// drop rate}, and drives the multi-objective BO engine (internal/bo)
+// to a Pareto frontier under an SLO constraint — emitting the winner
+// as a canonical serve.ServingConfig, a first-class artifact rather
+// than a flag recipe. See docs/tuning.md.
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is a parsed serving objective: every set bound must hold for a
+// measured configuration to count as feasible. The zero value accepts
+// everything.
+type SLO struct {
+	// P99 / P50 are latency upper bounds (0 = unconstrained).
+	P99 time.Duration
+	P50 time.Duration
+	// MaxDropRate bounds Dropped/Issued when HasDropRate is set;
+	// "drops=0" parses to {0, true}.
+	MaxDropRate float64
+	HasDropRate bool
+	// MinThroughput is a delivered-requests/second lower bound
+	// (0 = unconstrained).
+	MinThroughput float64
+
+	src string
+}
+
+// ParseSLO parses the CLI/wire SLO syntax: comma-separated terms of
+//
+//	p99<=DUR   p50<=DUR    (Go duration syntax: 2ms, 500us)
+//	drops=0    drops<=FRAC (fraction of issued requests, e.g. 0.01)
+//	throughput>=N          (delivered requests per second)
+//
+// e.g. "p99<=2ms,drops=0". Terms may repeat; the tightest bound wins.
+func ParseSLO(s string) (SLO, error) {
+	slo := SLO{src: s}
+	if strings.TrimSpace(s) == "" {
+		return slo, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		var key, op, val string
+		for _, o := range []string{"<=", ">=", "="} {
+			if i := strings.Index(term, o); i >= 0 {
+				key, op, val = strings.TrimSpace(term[:i]), o, strings.TrimSpace(term[i+len(o):])
+				break
+			}
+		}
+		if op == "" {
+			return SLO{}, fmt.Errorf("tune: SLO term %q: want key<=value, key>=value or key=value", term)
+		}
+		switch key {
+		case "p99", "p50":
+			if op == ">=" {
+				return SLO{}, fmt.Errorf("tune: SLO term %q: latency bounds are upper bounds (use <=)", term)
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return SLO{}, fmt.Errorf("tune: SLO term %q: want a positive Go duration (e.g. 2ms): %v", term, err)
+			}
+			if key == "p99" && (slo.P99 == 0 || d < slo.P99) {
+				slo.P99 = d
+			}
+			if key == "p50" && (slo.P50 == 0 || d < slo.P50) {
+				slo.P50 = d
+			}
+		case "drops":
+			if op == ">=" {
+				return SLO{}, fmt.Errorf("tune: SLO term %q: drops is an upper bound (use = or <=)", term)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f >= 1 {
+				return SLO{}, fmt.Errorf("tune: SLO term %q: want a drop fraction in [0,1): %v", term, err)
+			}
+			if !slo.HasDropRate || f < slo.MaxDropRate {
+				slo.MaxDropRate, slo.HasDropRate = f, true
+			}
+		case "throughput":
+			if op == "<=" {
+				return SLO{}, fmt.Errorf("tune: SLO term %q: throughput is a lower bound (use >=)", term)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return SLO{}, fmt.Errorf("tune: SLO term %q: want a positive requests/second: %v", term, err)
+			}
+			if f > slo.MinThroughput {
+				slo.MinThroughput = f
+			}
+		default:
+			return SLO{}, fmt.Errorf("tune: SLO term %q: unknown key %q (accepted: p99, p50, drops, throughput)", term, key)
+		}
+	}
+	return slo, nil
+}
+
+// String returns the canonical spelling of the parsed SLO.
+func (s SLO) String() string {
+	var terms []string
+	if s.P99 > 0 {
+		terms = append(terms, fmt.Sprintf("p99<=%v", s.P99))
+	}
+	if s.P50 > 0 {
+		terms = append(terms, fmt.Sprintf("p50<=%v", s.P50))
+	}
+	if s.HasDropRate {
+		terms = append(terms, fmt.Sprintf("drops<=%v", s.MaxDropRate))
+	}
+	if s.MinThroughput > 0 {
+		terms = append(terms, fmt.Sprintf("throughput>=%v", s.MinThroughput))
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, ",")
+}
+
+// Check evaluates the SLO against measured metrics, returning the
+// violated terms (empty = feasible).
+func (s SLO) Check(m Metrics) []string {
+	var v []string
+	if s.P99 > 0 && m.P99 > s.P99 {
+		v = append(v, fmt.Sprintf("p99 %v > %v", m.P99, s.P99))
+	}
+	if s.P50 > 0 && m.P50 > s.P50 {
+		v = append(v, fmt.Sprintf("p50 %v > %v", m.P50, s.P50))
+	}
+	if s.HasDropRate && m.DropRate > s.MaxDropRate {
+		v = append(v, fmt.Sprintf("drop rate %.4f > %v", m.DropRate, s.MaxDropRate))
+	}
+	if s.MinThroughput > 0 && m.Throughput < s.MinThroughput {
+		v = append(v, fmt.Sprintf("throughput %.0f/s < %v/s", m.Throughput, s.MinThroughput))
+	}
+	return v
+}

@@ -1,0 +1,178 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fixed"
+	"repro/internal/ir"
+	"repro/internal/serve"
+)
+
+func TestParseSLO(t *testing.T) {
+	slo, err := ParseSLO("p99<=2ms,drops=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.P99 != 2*time.Millisecond || !slo.HasDropRate || slo.MaxDropRate != 0 {
+		t.Fatalf("parsed %+v", slo)
+	}
+	if slo.String() != "drops<=0,p99<=2ms" {
+		t.Fatalf("canonical spelling: %q", slo.String())
+	}
+	slo, err = ParseSLO(" p50<=500us , throughput>=1000 , drops<=0.01 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.P50 != 500*time.Microsecond || slo.MinThroughput != 1000 || slo.MaxDropRate != 0.01 {
+		t.Fatalf("parsed %+v", slo)
+	}
+	for _, bad := range []string{"p99", "p99>=2ms", "latency<=2ms", "drops=2", "p99<=x", "throughput<=5"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Fatalf("%q must be rejected", bad)
+		}
+	}
+	if v := slo.Check(Metrics{P50: time.Millisecond, Throughput: 10, DropRate: 0.5}); len(v) != 3 {
+		t.Fatalf("want 3 violations, got %v", v)
+	}
+}
+
+// TestRunDeterminism is the reproducibility gate: fixed seed + same
+// trace (here: same deterministic evaluator) ⇒ identical frontier and
+// chosen config, byte-for-byte through JSON.
+func TestRunDeterminism(t *testing.T) {
+	slo, _ := ParseSLO("p99<=2ms,drops=0")
+	opts := Options{Seed: 7, Budget: 12, SLO: slo, MaxShards: 4, Evaluate: SimEvaluator()}
+	a, err := Run(context.Background(), nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("fixed-seed runs diverged:\n%s\n%s", aj, bj)
+	}
+	if len(a.Front) == 0 || len(a.Evaluations) != 12 {
+		t.Fatalf("want a frontier from exactly 12 evaluations, got front=%d evals=%d", len(a.Front), len(a.Evaluations))
+	}
+	if !a.Chosen.Feasible {
+		t.Fatal("chosen config must be feasible")
+	}
+	if v := slo.Check(a.Chosen.Metrics); len(v) != 0 {
+		t.Fatalf("chosen config violates the SLO: %v", v)
+	}
+	// A different seed explores differently (evaluation order/points),
+	// proving the seed is actually load-bearing.
+	c, err := Run(context.Background(), nil, nil, Options{Seed: 8, Budget: 12, SLO: slo, MaxShards: 4, Evaluate: SimEvaluator()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _ := json.Marshal(c.Evaluations)
+	ajE, _ := json.Marshal(a.Evaluations)
+	if string(cj) == string(ajE) {
+		t.Fatal("different seeds produced identical evaluation histories")
+	}
+}
+
+// TestRunInfeasibleSLO: an SLO nothing can meet must fail with the
+// typed error carrying the closest miss — never a junk config.
+func TestRunInfeasibleSLO(t *testing.T) {
+	slo, _ := ParseSLO("p99<=1us")
+	rep, err := Run(context.Background(), nil, nil, Options{Seed: 3, Budget: 8, SLO: slo, MaxShards: 4, Evaluate: SimEvaluator()})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InfeasibleError, got %T", err)
+	}
+	if len(ie.Violations) == 0 || ie.Best.Metrics.P99 == 0 {
+		t.Fatalf("infeasible error must carry the closest miss: %+v", ie)
+	}
+	if rep == nil || len(rep.Evaluations) != 8 || len(rep.Front) != 0 {
+		t.Fatalf("partial report must keep the history and an empty frontier: %+v", rep)
+	}
+}
+
+// TestTunerLandsOnGrid is the AutoTM-style gate: on the deterministic
+// landscape, the tuner's chosen config must be within 10% of the best
+// coarse-grid point on every objective.
+func TestTunerLandsOnGrid(t *testing.T) {
+	slo, _ := ParseSLO("p99<=2ms,drops=0")
+	eval := SimEvaluator()
+	rep, err := Run(context.Background(), nil, nil, Options{Seed: 1, Budget: 24, SLO: slo, MaxShards: 8, Evaluate: eval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Grid(context.Background(), eval, slo, CoarseGrid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := choose(paretoFront(grid))
+	if !ok {
+		t.Fatal("grid has no feasible point")
+	}
+	if got, want := rep.Chosen.Metrics.Throughput, best.Metrics.Throughput; got < want*0.9 {
+		t.Fatalf("tuner throughput %.0f more than 10%% below grid best %.0f", got, want)
+	}
+	if got, want := rep.Chosen.Metrics.P99, best.Metrics.P99; float64(got) > float64(want)*1.1 {
+		t.Fatalf("tuner p99 %v more than 10%% above grid best %v", got, want)
+	}
+	if rep.Chosen.Metrics.DropRate > best.Metrics.DropRate+0.001 {
+		t.Fatalf("tuner drop rate %v above grid best %v", rep.Chosen.Metrics.DropRate, best.Metrics.DropRate)
+	}
+}
+
+func tuneModel(t *testing.T) *ir.Model {
+	t.Helper()
+	// A decision stump the serve runtime accepts: class 1 iff x[0] > 0.
+	return &ir.Model{
+		Kind: ir.DTree, Name: "tune-test", Inputs: 2, Outputs: 2, Format: fixed.Q8_8,
+		Tree: &ir.TreeNode{
+			Feature: 0, Threshold: 0,
+			Left:  &ir.TreeNode{Feature: -1, Class: 0},
+			Right: &ir.TreeNode{Feature: -1, Class: 1},
+		},
+	}
+}
+
+// TestRunRealReplay exercises the default replay evaluator end to end
+// on a tiny budget: sandboxed runtimes come up, measure, and tear
+// down, and the report is structurally sound.
+func TestRunRealReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay tuning is wall-clock bound")
+	}
+	rng := rand.New(rand.NewSource(5))
+	xs := make([][]float64, 300)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+	}
+	slo, _ := ParseSLO("p99<=50ms")
+	rep, err := Run(context.Background(), tuneModel(t), xs, Options{
+		Seed: 2, Budget: 4, SLO: slo, Clients: 4, MaxShards: 2,
+		Burst: serve.BurstOptions{Period: 10 * time.Millisecond, Burst: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 300 || len(rep.Evaluations) != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, c := range rep.Evaluations {
+		if c.Metrics.Delivered == 0 || c.Metrics.P99 == 0 {
+			t.Fatalf("replay evaluation carried no measurements: %+v", c)
+		}
+	}
+	if _, err := rep.Chosen.Config.Canonical(); err != nil {
+		t.Fatalf("chosen config must be canonical: %v", err)
+	}
+}
