@@ -245,6 +245,47 @@ func (c *flightCache) complete(key string, f *flight, pipe *Pipeline, err error)
 	close(f.done)
 }
 
+// insert plants an externally produced pipeline as a completed success
+// (a broadcast install from a peer). A key with any existing entry — in
+// flight or completed — is left alone: the local flight owns it.
+func (c *flightCache) insert(key string, pipe *Pipeline) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	f := &flight{done: make(chan struct{}), pipe: pipe}
+	close(f.done)
+	c.entries[key] = f
+	c.order = append(c.order, key)
+	for c.cap > 0 && len(c.order) > c.cap {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, evict)
+	}
+}
+
+// peek returns the completed success cached under key without waiting on
+// in-flight compilations (a peer asking for an artifact must not block
+// behind a leader).
+func (c *flightCache) peek(key string) (*Pipeline, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-f.done:
+	default:
+		return nil, false
+	}
+	if f.err != nil || f.pipe == nil {
+		return nil, false
+	}
+	return f.pipe, true
+}
+
 // len reports cached + in-flight entries (for tests).
 func (c *flightCache) len() int {
 	c.mu.Lock()

@@ -262,6 +262,7 @@ func main() {
 	modelPath := flag.String("model", "", "serialized model JSON to validate -code against (artifact mode; requires -validate)")
 	codeFile := flag.String("code", "", "emitted artifact file (.p4/.spatial) to validate against -model")
 	reproPath := flag.String("repro", "", "replay a saved divergence repro JSON; exit nonzero if it still reproduces")
+	clusterURL := flag.String("cluster", "", "print the cluster status of the daemon at this base URL (peer table, cache and steal counters) and exit")
 	flag.Parse()
 	showProgress = *progress
 	replayCfg = replaySettings{
@@ -312,6 +313,12 @@ func main() {
 		}
 		return
 	}
+	if *clusterURL != "" {
+		if err := runClusterStatus(*clusterURL, *timeout); err != nil {
+			log.Fatalf("homunculus: %v", err)
+		}
+		return
+	}
 	if *specPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -348,6 +355,50 @@ func runServe(addr string) error {
 	log.Printf("homunculus: serving on %s (max in-flight %d, queue depth %d, cache %d)",
 		addr, opts.MaxInFlight, opts.QueueDepth, opts.CacheEntries)
 	return httpapi.ListenAndServe(addr, svc)
+}
+
+// runClusterStatus renders a cluster-mode daemon's view of the fabric:
+// `homunculus -cluster http://node-a:8077`.
+func runClusterStatus(baseURL string, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	st, err := httpapi.NewClient(baseURL).ClusterStatus(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster status from %s: %w", baseURL, err)
+	}
+	fmt.Printf("node %s at %s (cache mode %s)\n", st.Self.ID, st.Self.Addr, st.CacheMode)
+	fmt.Printf("  load: %d queued, %d running (max in-flight %d, queue depth %d)\n",
+		st.Self.Queued, st.Self.Running, st.Self.MaxInFlight, st.Self.QueueDepth)
+	if len(st.Peers) == 0 {
+		fmt.Println("peers: none known")
+	} else {
+		fmt.Printf("peers (%d):\n", len(st.Peers))
+		for _, p := range st.Peers {
+			extra := ""
+			if p.Quarantined {
+				extra = " QUARANTINED"
+			}
+			id := p.ID
+			if id == "" {
+				id = "?"
+			}
+			fmt.Printf("  %-10s %s  %s  queued=%d running=%d last_seen=%dms%s\n",
+				p.State, id, p.Addr, p.Queued, p.Running, p.LastSeenMS, extra)
+		}
+	}
+	fmt.Printf("cache [%s]: %d remote hits, %d misses, %d poisoned, %d served, %d broadcast, %d installed (fetch p50 %s, p99 %s)\n",
+		st.Cache.Mode, st.Cache.RemoteHits, st.Cache.RemoteMisses, st.Cache.Poisoned,
+		st.Cache.Served, st.Cache.BroadcastsSent, st.Cache.Installs,
+		time.Duration(st.Cache.FetchP50NS), time.Duration(st.Cache.FetchP99NS))
+	fmt.Printf("steal: %d delegated (%d ran local), %d granted, %d completed remotely, %d reclaimed; as thief: %d attempts, %d executed\n",
+		st.Steal.Delegated, st.Steal.DelegatedLocal, st.Steal.StolenGranted,
+		st.Steal.StolenCompleted, st.Steal.Reclaimed,
+		st.Steal.StealsAttempted, st.Steal.StealsExecuted)
+	return nil
 }
 
 // runRemote ships the spec to a running daemon over the retrying HTTP

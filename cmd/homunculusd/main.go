@@ -8,6 +8,7 @@
 //	homunculusd -addr :8077
 //	homunculusd -addr :8077 -max-inflight 4 -queue-depth 128 -cache 256
 //	homunculusd -addr :8077 -state-dir /var/lib/homunculus
+//	homunculusd -addr :8077 -peers http://b:8077,http://c:8077 -node-addr http://a:8077
 //
 // -state-dir makes the daemon crash-safe (docs/operations.md): compiled
 // pipelines persist in a content-addressed artifact store, every job
@@ -18,21 +19,28 @@
 // endpoints resume serving their restored revisions. Without it the
 // daemon is in-memory only and a restart forfeits everything.
 //
+// -peers joins a cluster fabric (docs/cluster.md): nodes gossip
+// membership and health, resolve artifacts from each other's caches by
+// content address before compiling (-cache-mode local|fetch|broadcast),
+// delegate queue-full submissions to the least-loaded live peer, and
+// steal queued work when idle. -node-addr is the base URL peers dial
+// back; it defaults from -addr only when -addr carries a concrete host.
+//
 // Endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/events (SSE), DELETE /v1/jobs/{id},
-// GET /v1/backends. Finished jobs can be promoted to live inference
-// servers through POST /v1/deployments, classified in batches via
-// POST /v1/deployments/{id}/classify, observed at
+// GET /v1/backends, GET /v1/healthz. Finished jobs can be promoted to
+// live inference servers through POST /v1/deployments, classified in
+// batches via POST /v1/deployments/{id}/classify, observed at
 // GET /v1/deployments/{id}/stats, and drained with DELETE
 // (docs/serving.md). The versioned serving surface lives under
 // /v1/endpoints: named routes whose revisions roll out gradually
 // (POST {name}/rollout with a canary percent or shadow mirror), get
 // promoted or rolled back atomically (POST {name}/promote|rollback),
 // and report per-revision stats plus shadow divergence
-// (GET {name}/stats). The bundled synthetic dataset generators
-// ("nslkdd", "iottc", "botnet") are pre-registered in the dataset
-// catalog; embed the daemon to register custom loaders with
-// alchemy.RegisterLoader.
+// (GET {name}/stats, ?scope=cluster for the cross-node merge). The
+// bundled synthetic dataset generators ("nslkdd", "iottc", "botnet")
+// are pre-registered in the dataset catalog; embed the daemon to
+// register custom loaders with alchemy.RegisterLoader.
 //
 // SIGINT/SIGTERM shut down gracefully: HTTP drains, running
 // compilations finish, queued jobs fail with ErrServiceClosed
@@ -42,7 +50,10 @@ package main
 import (
 	"flag"
 	"log"
+	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/httpapi"
 
 	homunculus "repro"
@@ -55,6 +66,12 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "max queued submissions (0 = default 64, negative = unbounded)")
 	cacheEntries := flag.Int("cache", 0, "cached pipelines (0 = default 128, negative = disable caching)")
 	stateDir := flag.String("state-dir", "", "durable state directory (artifact store + job journal + endpoint manifest); empty = in-memory only")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; non-empty joins a cluster fabric")
+	nodeAddr := flag.String("node-addr", "", "advertised base URL peers dial back (default http://<addr> when -addr has a host)")
+	cacheMode := flag.String("cache-mode", "fetch", "cluster cache mode: local, fetch, or broadcast")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster gossip interval")
+	stealInterval := flag.Duration("steal-interval", time.Second, "idle work-steal poll interval (negative = disable stealing)")
+	stealLease := flag.Duration("steal-lease", 30*time.Second, "how long a thief holds a stolen job before the origin reclaims it")
 	flag.Parse()
 
 	httpapi.RegisterBuiltinLoaders()
@@ -74,10 +91,55 @@ func main() {
 			len(rep.JobsRecovered), len(rep.JobsRequeued), len(rep.JobsSkipped),
 			len(rep.EndpointsRestored), len(rep.EndpointsSkipped))
 	}
+
+	serverOpts := httpapi.ServerOptions{}
+	if *peers != "" {
+		mode, err := cluster.ParseMode(*cacheMode)
+		if err != nil {
+			log.Fatalf("homunculusd: %v", err)
+		}
+		self := *nodeAddr
+		if self == "" {
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				log.Fatalf("homunculusd: -peers needs -node-addr (cannot derive an advertised URL from %q)", *addr)
+			}
+			self = "http://" + host
+		}
+		fab, err := cluster.New(svc, cluster.Config{
+			SelfAddr:      self,
+			Peers:         splitPeers(*peers),
+			Mode:          mode,
+			Heartbeat:     *heartbeat,
+			StealInterval: *stealInterval,
+			StealLease:    *stealLease,
+		})
+		if err != nil {
+			log.Fatalf("homunculusd: %v", err)
+		}
+		fab.Start()
+		defer fab.Close()
+		serverOpts = fab.Options()
+		log.Printf("homunculusd: cluster fabric %s at %s (%d seed peers, cache mode %s)",
+			fab.ID(), self, len(splitPeers(*peers)), mode)
+	}
+
 	opts := svc.Options()
 	log.Printf("homunculusd: listening on %s (max in-flight %d, queue depth %d, cache %d)",
 		*addr, opts.MaxInFlight, opts.QueueDepth, opts.CacheEntries)
-	if err := httpapi.ListenAndServe(*addr, svc); err != nil {
+	if err := httpapi.ListenAndServeHandler(*addr, svc, httpapi.NewServerWith(svc, serverOpts)); err != nil {
 		log.Fatalf("homunculusd: %v", err)
 	}
+}
+
+// splitPeers parses the -peers flag, tolerating spaces and empty
+// entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
 }

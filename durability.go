@@ -82,27 +82,35 @@ func (s *Service) journal(rec store.Record, sync bool) {
 	}
 }
 
-// journalSubmitted writes a job's admission record ahead of any work.
-// The record carries the full spec when it has a wire form (catalog data
+// recordSubmission writes a job's admission record ahead of any work
+// and, when the cluster fabric enabled work sharing, stashes the wire
+// form on the job so a peer can steal it while queued. The journal
+// record carries the full spec when it has a wire form (catalog data
 // loaders); submissions with anonymous loaders journal spec-less and are
 // reported, not recompiled, after a crash. Written without fsync: the OS
 // page cache survives process death (SIGKILL, panic), and syncing every
 // admission would put a disk flush on the sub-millisecond Submit path —
 // only an OS crash can lose the tail, and the journal's replay tolerates
 // exactly that debris.
-func (s *Service) journalSubmitted(j *Job, p *alchemy.Platform, o *options) {
-	if s.store == nil {
+func (s *Service) recordSubmission(j *Job, p *alchemy.Platform, o *options) {
+	sharing := s.workSharing.Load()
+	if s.store == nil && !sharing {
 		return
 	}
-	rec := store.Record{Op: store.OpSubmitted, Job: j.id, Platform: j.platform}
-	if spec, err := alchemy.MarshalPlatform(p); err == nil {
-		if search, serr := marshalSearchConfig(o.search, o.validate); serr == nil {
-			rec.Spec, rec.Search = spec, search
-		} else {
+	var spec, search []byte
+	if sp, err := alchemy.MarshalPlatform(p); err == nil {
+		if se, serr := marshalSearchConfig(o.search, o.validate); serr == nil {
+			spec, search = sp, se
+		} else if s.store != nil {
 			s.storeErr(fmt.Errorf("journal job %s search config: %w", j.id, serr))
 		}
 	}
-	s.journal(rec, false)
+	if sharing && spec != nil {
+		j.setWire(spec, search)
+	}
+	if s.store != nil {
+		s.journal(store.Record{Op: store.OpSubmitted, Job: j.id, Platform: j.platform, Spec: spec, Search: search}, false)
+	}
 }
 
 // journalFinish is the Job.onFinish hook: it records the terminal
@@ -148,9 +156,11 @@ func (s *Service) loadArtifact(key string) (*Pipeline, bool) {
 }
 
 // storeArtifact writes a compiled pipeline through to the artifact
-// store (best effort).
+// store (best effort) and offers it to cluster peers (broadcast
+// consistency mode installs it everywhere; other modes ignore offers).
 func (s *Service) storeArtifact(key string, pipe *Pipeline) {
-	if s.store == nil {
+	box := s.remote.Load()
+	if s.store == nil && box == nil {
 		return
 	}
 	raw, err := MarshalPipeline(pipe)
@@ -158,8 +168,13 @@ func (s *Service) storeArtifact(key string, pipe *Pipeline) {
 		s.storeErr(fmt.Errorf("serialize artifact %s: %w", key, err))
 		return
 	}
-	if err := s.store.Artifacts.Put(key, raw); err != nil {
-		s.storeErr(fmt.Errorf("artifact %s: %w", key, err))
+	if s.store != nil {
+		if perr := s.store.Artifacts.Put(key, raw); perr != nil {
+			s.storeErr(fmt.Errorf("artifact %s: %w", key, perr))
+		}
+	}
+	if box != nil {
+		box.ra.Offer(key, raw)
 	}
 }
 
@@ -389,6 +404,7 @@ func (s *Service) resubmitRecovered(id string, p *alchemy.Platform, cfg core.Sea
 	o := options{search: cfg, validate: validate}
 	jctx, cancel := context.WithCancel(context.Background())
 	j := newJob(id, p.Kind.String(), cancel)
+	j.ctx = jctx
 	j.onFinish = s.journalFinish
 	ticket, err := s.queue.Submit(
 		func() { s.run(jctx, j, p, &o) },

@@ -547,6 +547,17 @@ func (e *Endpoint) Stats() EndpointStats {
 	return out
 }
 
+// RawServingStats is the wire (mergeable) form of serving metrics:
+// plain counters plus the log2 latency histogram. Counters from
+// different nodes sum exactly; quantiles are derived only after the
+// histograms merge (serve.RawStats).
+type RawServingStats = serve.RawStats
+
+// RawStats returns the endpoint's merged metrics in wire form — what a
+// node ships so `?scope=cluster` stats can be summed across the
+// cluster (docs/cluster.md).
+func (e *Endpoint) RawStats() RawServingStats { return e.ep.RawStats() }
+
 // Close drains the endpoint (every accepted request across every
 // revision is delivered) and removes it from the service's table.
 // Idempotent; blocks until the drain completes.

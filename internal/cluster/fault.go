@@ -1,0 +1,119 @@
+// FaultPeer is the wire-level counterpart of the store's FaultFS: a
+// minimal fake node speaking just enough of the cluster surface to join
+// a fabric, whose artifact responses pass through a mutation hook.
+// Tests use it to serve corrupt envelopes, wrong payloads, truncated
+// bodies, or arbitrary statuses and assert the poisoning defences:
+// nothing unverified is ever installed or returned, and the offending
+// peer is quarantined.
+
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/store"
+)
+
+// FaultPeer is a fake cluster node for fault-injection tests.
+type FaultPeer struct {
+	// ID and Epoch are reported in heartbeats. Bump Epoch to simulate a
+	// restart (which clears a quarantine verdict on the probing side).
+	ID    string
+	Epoch int64
+
+	// MutateArtifact, when set, intercepts every artifact response: it
+	// receives the hash and the correct envelope (nil when the hash is
+	// unknown) and returns the status and body actually sent.
+	MutateArtifact func(hash string, env []byte) (status int, body []byte)
+
+	mu        sync.Mutex
+	artifacts map[string][]byte // hash → verified envelope
+	served    int
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewFaultPeer starts the fake node on a loopback port.
+func NewFaultPeer(id string) (*FaultPeer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fp := &FaultPeer{
+		ID:        id,
+		Epoch:     time.Now().UnixNano(),
+		artifacts: make(map[string][]byte),
+		ln:        ln,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/health", fp.handleHealth)
+	mux.HandleFunc("GET /v1/cluster/artifacts/{hash}", fp.handleArtifact)
+	fp.srv = &http.Server{Handler: mux}
+	go fp.srv.Serve(ln)
+	return fp, nil
+}
+
+// Addr returns the node's base URL.
+func (fp *FaultPeer) Addr() string { return "http://" + fp.ln.Addr().String() }
+
+// Close shuts the fake node down.
+func (fp *FaultPeer) Close() { fp.srv.Close() }
+
+// Seed stores payload under hash as a correctly wrapped envelope — the
+// honest baseline MutateArtifact then corrupts (or doesn't).
+func (fp *FaultPeer) Seed(hash string, payload []byte) error {
+	env, err := store.WrapEnvelope(hash, payload)
+	if err != nil {
+		return err
+	}
+	fp.mu.Lock()
+	fp.artifacts[hash] = env
+	fp.mu.Unlock()
+	return nil
+}
+
+// Served reports how many artifact requests reached this peer.
+func (fp *FaultPeer) Served() int {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.served
+}
+
+func (fp *FaultPeer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hb := httpapi.HeartbeatJSON{
+		Node: httpapi.ClusterNodeJSON{
+			ID:    fp.ID,
+			Addr:  fp.Addr(),
+			Epoch: fp.Epoch,
+			State: "self",
+		},
+		Health: httpapi.HealthJSON{Status: "ok"},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(hb)
+}
+
+func (fp *FaultPeer) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	fp.mu.Lock()
+	env := fp.artifacts[hash]
+	fp.served++
+	fp.mu.Unlock()
+	status, body := http.StatusOK, env
+	if env == nil {
+		status, body = http.StatusNotFound, []byte(fmt.Sprintf(`{"error":"artifact %s not stored here"}`, hash))
+	}
+	if fp.MutateArtifact != nil {
+		status, body = fp.MutateArtifact(hash, env)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -1,0 +1,78 @@
+// Cross-node endpoint stats: ?scope=cluster fans out to every live
+// peer's ?scope=raw wire accumulator and merges exactly — counters sum,
+// quantiles are derived only after the histograms are combined. The
+// node answering the request contributes its own accumulator directly.
+
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/httpapi"
+
+	homunculus "repro"
+)
+
+// ClusterStats is the httpapi hook behind
+// GET /v1/endpoints/{name}/stats?scope=cluster.
+func (f *Fabric) ClusterStats(ctx context.Context, name string) (*httpapi.ClusterStatsJSON, error) {
+	out := &httpapi.ClusterStatsJSON{Name: name, Scope: "cluster"}
+	var merged homunculus.RawServingStats
+
+	if ep, ok := f.svc.Endpoint(name); ok {
+		raw := ep.RawStats()
+		merged.Merge(raw)
+		out.Nodes = append(out.Nodes, httpapi.NodeStatsJSON{
+			Node:  f.id,
+			Addr:  f.cfg.SelfAddr,
+			Stats: httpapi.StatsJSON(raw.Stats()),
+		})
+	}
+
+	// Fan out to live peers concurrently; a peer without the endpoint
+	// (404) simply contributes nothing, and an unreachable peer is
+	// skipped — the merge covers the nodes that answered.
+	peers := f.livePeers(time.Now())
+	type nodeRaw struct {
+		node httpapi.NodeStatsJSON
+		raw  homunculus.RawServingStats
+		ok   bool
+	}
+	results := make([]nodeRaw, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			raw, err := p.client.EndpointRawStats(ctx, name)
+			if err != nil {
+				return
+			}
+			f.mu.Lock()
+			id := p.id
+			f.mu.Unlock()
+			results[i] = nodeRaw{
+				node: httpapi.NodeStatsJSON{Node: id, Addr: p.addr, Stats: httpapi.StatsJSON(raw.Stats())},
+				raw:  raw,
+				ok:   true,
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		merged.Merge(r.raw)
+		out.Nodes = append(out.Nodes, r.node)
+	}
+
+	if len(out.Nodes) == 0 {
+		return nil, httpapi.ErrEndpointNotFound
+	}
+	out.Raw = merged
+	out.Merged = httpapi.StatsJSON(merged.Stats())
+	return out, nil
+}

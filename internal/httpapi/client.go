@@ -59,6 +59,14 @@ type Client struct {
 	// Retry-After is honored even above the cap — the server knows its
 	// own queue.
 	MaxDelay time.Duration
+	// AttemptTimeout, when positive, bounds each individual attempt
+	// (connect through body read) with its own deadline, derived from the
+	// caller's context. Without it, one hung attempt consumes the whole
+	// request budget before any retry fires — with it, a stalled peer
+	// costs one attempt, not the request. The caller's context still
+	// bounds the total: its cancellation interrupts both attempts and the
+	// backoff sleeps between them.
+	AttemptTimeout time.Duration
 
 	// sleep is the backoff seam (tests shrink waits to observe them).
 	sleep func(ctx context.Context, d time.Duration) error
@@ -75,6 +83,23 @@ func NewClient(baseURL string) *Client {
 		MaxDelay:    5 * time.Second,
 		sleep:       sleepCtx,
 	}
+}
+
+// sleeper returns the backoff sleep, tolerating Clients constructed as
+// struct literals (nil seam) instead of via NewClient.
+func (c *Client) sleeper() func(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep
+	}
+	return sleepCtx
+}
+
+// httpClient tolerates struct-literal Clients the same way.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -154,34 +179,49 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if attempts <= 0 {
 		attempts = 1
 	}
+	sleep := c.sleeper()
 	var lastErr error
 	for n := 0; n < attempts; n++ {
 		if n > 0 {
-			if err := c.sleep(ctx, c.delayFor(lastErr, n-1)); err != nil {
+			if err := sleep(ctx, c.delayFor(lastErr, n-1)); err != nil {
 				return err
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+		// Each attempt gets its own deadline (when configured) derived
+		// from the caller's context: a hung connection costs one attempt,
+		// and a caller cancel mid-attempt or mid-backoff returns
+		// immediately with ctx.Err.
+		attemptCtx, cancelAttempt := ctx, context.CancelFunc(func() {})
+		if c.AttemptTimeout > 0 {
+			attemptCtx, cancelAttempt = context.WithTimeout(ctx, c.AttemptTimeout)
+		}
+		req, err := http.NewRequestWithContext(attemptCtx, method, c.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
+			cancelAttempt()
 			return fmt.Errorf("httpapi: build request: %w", err)
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
-		resp, err := c.HTTPClient.Do(req)
+		resp, err := c.httpClient().Do(req)
 		if err != nil {
+			cancelAttempt()
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			// Transport failure (refused, reset, torn connection): the
-			// daemon may be restarting — exactly the window retries are
-			// for.
+			// Transport failure (refused, reset, torn connection, or an
+			// expired attempt deadline): the daemon may be restarting or
+			// stalled — exactly the window retries are for.
 			lastErr = &transientError{err: err}
 			continue
 		}
 		raw, readErr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
+		cancelAttempt()
 		if readErr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			lastErr = &transientError{err: readErr}
 			continue
 		}
@@ -275,7 +315,7 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Jo
 		case homunculus.JobDone, homunculus.JobFailed, homunculus.JobCancelled:
 			return job, nil
 		}
-		if err := c.sleep(ctx, poll); err != nil {
+		if err := c.sleeper()(ctx, poll); err != nil {
 			return job, err
 		}
 	}
@@ -314,4 +354,35 @@ func (c *Client) TuneEndpoint(ctx context.Context, name string, req TuneRequest)
 	var resp TuneResponse
 	err := c.Post(ctx, "/v1/endpoints/"+name+"/tune", req, &resp)
 	return resp, err
+}
+
+// Health fetches the daemon's health document (GET /v1/healthz).
+func (c *Client) Health(ctx context.Context) (HealthJSON, error) {
+	var out HealthJSON
+	err := c.Get(ctx, "/v1/healthz", &out)
+	return out, err
+}
+
+// EndpointRawStats fetches an endpoint's mergeable wire stats
+// (?scope=raw): counters plus the log2 latency histogram.
+func (c *Client) EndpointRawStats(ctx context.Context, name string) (homunculus.RawServingStats, error) {
+	var out homunculus.RawServingStats
+	err := c.Get(ctx, "/v1/endpoints/"+name+"/stats?scope=raw", &out)
+	return out, err
+}
+
+// EndpointClusterStats fetches an endpoint's cluster-merged stats
+// (?scope=cluster) from a cluster-mode daemon.
+func (c *Client) EndpointClusterStats(ctx context.Context, name string) (ClusterStatsJSON, error) {
+	var out ClusterStatsJSON
+	err := c.Get(ctx, "/v1/endpoints/"+name+"/stats?scope=cluster", &out)
+	return out, err
+}
+
+// ClusterStatus fetches the node + peer table and fabric counters
+// (GET /v1/cluster) from a cluster-mode daemon.
+func (c *Client) ClusterStatus(ctx context.Context) (ClusterStatusJSON, error) {
+	var out ClusterStatusJSON
+	err := c.Get(ctx, "/v1/cluster", &out)
+	return out, err
 }

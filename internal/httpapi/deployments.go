@@ -110,6 +110,11 @@ func statsJSON(st homunculus.DeploymentStats) *DeployStatsJSON {
 	}
 }
 
+// StatsJSON renders a serving-stats snapshot in wire form — exported so
+// internal/cluster can render per-node and merged documents with the
+// exact schema the local stats surface uses.
+func StatsJSON(st homunculus.DeploymentStats) DeployStatsJSON { return *statsJSON(st) }
+
 // flatDeploymentName matches the auto-minted names the alias surface
 // assigns — what distinguishes its endpoints in the flat listing.
 var flatDeploymentName = regexp.MustCompile(`^dep-\d{6}$`)

@@ -273,11 +273,39 @@ func (h *handler) endpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) endpointStats(w http.ResponseWriter, r *http.Request) {
-	ep, ok := h.endpointFor(w, r)
-	if !ok {
-		return
+	switch scope := r.URL.Query().Get("scope"); scope {
+	case "", "local":
+		ep, ok := h.endpointFor(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, endpointStatsJSON(ep.Stats()))
+	case "raw":
+		// The mergeable wire form: counters + log2 latency histogram,
+		// what a peer sums into a cluster-scope view (docs/cluster.md).
+		ep, ok := h.endpointFor(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, ep.RawStats())
+	case "cluster":
+		if h.opts.ClusterStats == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("scope=cluster requires cluster mode (start the daemon with -peers)"))
+			return
+		}
+		doc, err := h.opts.ClusterStats(r.Context(), r.PathValue("name"))
+		if err != nil {
+			if errors.Is(err, ErrEndpointNotFound) {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown stats scope %q (want local, raw, or cluster)", scope))
 	}
-	writeJSON(w, http.StatusOK, endpointStatsJSON(ep.Stats()))
 }
 
 func (h *handler) rollout(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,77 @@
+package httpapi
+
+// GET /v1/healthz: liveness plus the signals PR6's durability layer
+// used to leave in logs only — absorbed store errors, the boot recovery
+// summary, and the admission backlog. The same document doubles as the
+// cluster heartbeat payload (internal/cluster embeds it in
+// GET /v1/cluster/health), so "what a peer knows about a node" and
+// "what an operator's probe sees" never drift apart.
+
+import (
+	"net/http"
+
+	homunculus "repro"
+)
+
+// HealthJSON is the health document. Status is "ok", or "degraded" once
+// the durability layer has absorbed store errors (results still serve
+// correctly but may not survive a restart — see docs/operations.md).
+type HealthJSON struct {
+	Status      string `json:"status"`
+	Queued      int    `json:"queued"`
+	Running     int    `json:"running"`
+	MaxInFlight int    `json:"max_in_flight"`
+	QueueDepth  int    `json:"queue_depth"`
+	Endpoints   int    `json:"endpoints"`
+	Durable     bool   `json:"durable"`
+	StoreErrors uint64 `json:"store_errors"`
+	// Recovery summarizes what boot replay found (durable services only).
+	Recovery *RecoveryJSON `json:"recovery,omitempty"`
+}
+
+// RecoveryJSON is the wire summary of a boot recovery report.
+type RecoveryJSON struct {
+	JournalRecords    int `json:"journal_records"`
+	JournalSkipped    int `json:"journal_skipped"`
+	JobsRecovered     int `json:"jobs_recovered"`
+	JobsRequeued      int `json:"jobs_requeued"`
+	JobsSkipped       int `json:"jobs_skipped"`
+	EndpointsRestored int `json:"endpoints_restored"`
+	EndpointsSkipped  int `json:"endpoints_skipped"`
+}
+
+// Health renders the service's current health document.
+func Health(svc *homunculus.Service) HealthJSON {
+	queued, running := svc.Stats()
+	o := svc.Options()
+	out := HealthJSON{
+		Status:      "ok",
+		Queued:      queued,
+		Running:     running,
+		MaxInFlight: o.MaxInFlight,
+		QueueDepth:  o.QueueDepth,
+		Endpoints:   len(svc.Endpoints()),
+		Durable:     o.StateDir != "",
+		StoreErrors: svc.StoreErrors(),
+	}
+	if out.StoreErrors > 0 {
+		out.Status = "degraded"
+	}
+	if out.Durable {
+		rep := svc.Recovery()
+		out.Recovery = &RecoveryJSON{
+			JournalRecords:    rep.JournalRecords,
+			JournalSkipped:    rep.JournalSkipped,
+			JobsRecovered:     len(rep.JobsRecovered),
+			JobsRequeued:      len(rep.JobsRequeued),
+			JobsSkipped:       len(rep.JobsSkipped),
+			EndpointsRestored: len(rep.EndpointsRestored),
+			EndpointsSkipped:  len(rep.EndpointsSkipped),
+		}
+	}
+	return out
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health(h.svc))
+}

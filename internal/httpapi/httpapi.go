@@ -70,6 +70,11 @@ type SubmitRequest struct {
 	// Validate runs translation validation after codegen and attaches
 	// each app's verdict to the job result (docs/validation.md).
 	Validate bool `json:"validate,omitempty"`
+	// Delegated marks a submission forwarded by a peer's queue-full
+	// fallback. A delegated submission that sheds here is a plain 429 —
+	// never re-delegated — so a saturated cluster bounds forwarding at
+	// one hop instead of ping-ponging jobs.
+	Delegated bool `json:"delegated,omitempty"`
 }
 
 // SearchJSON mirrors the CLI spec's search knobs; zero fields keep
@@ -182,7 +187,14 @@ type errorJSON struct {
 // (30 s bound), then Close the service so running compilations finish
 // and queued jobs fail with their ErrServiceClosed terminal state.
 func ListenAndServe(addr string, svc *homunculus.Service) error {
-	srv := &http.Server{Addr: addr, Handler: NewServer(svc)}
+	return ListenAndServeHandler(addr, svc, NewServer(svc))
+}
+
+// ListenAndServeHandler is ListenAndServe with a caller-built handler —
+// the daemon uses it to mount the cluster fabric's routes
+// (NewServerWith) around the same graceful-shutdown loop.
+func ListenAndServeHandler(addr string, svc *homunculus.Service, handler http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -203,10 +215,36 @@ func ListenAndServe(addr string, svc *homunculus.Service) error {
 	return svc.Close()
 }
 
+// ServerOptions extends the handler set with the cluster fabric's
+// seams. The zero value is a plain single-node server.
+type ServerOptions struct {
+	// SubmitFallback is consulted when local job admission sheds with
+	// ErrQueueFull (and the submission is not already delegated): it may
+	// place the work elsewhere — delegation to the least-loaded live
+	// peer — and return the local job handle tracking it. An error falls
+	// through to the plain 429.
+	SubmitFallback func(ctx context.Context, p *alchemy.Platform, opts []homunculus.Option, req SubmitRequest) (*homunculus.Job, error)
+	// ClusterStats resolves GET /v1/endpoints/{name}/stats?scope=cluster
+	// by merging the endpoint's histograms across live nodes. Nil maps
+	// the scope to a 400 (not running in cluster mode).
+	ClusterStats func(ctx context.Context, name string) (*ClusterStatsJSON, error)
+	// Routes mounts extra patterns — the /v1/cluster/* surface.
+	Routes map[string]http.HandlerFunc
+}
+
 // NewServer wraps the service in the /v1 HTTP handler set.
 func NewServer(svc *homunculus.Service) http.Handler {
-	h := &handler{svc: svc}
+	return NewServerWith(svc, ServerOptions{})
+}
+
+// NewServerWith is NewServer plus cluster hooks.
+func NewServerWith(svc *homunculus.Service, opts ServerOptions) http.Handler {
+	h := &handler{svc: svc, opts: opts}
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", h.healthz)
+	for pattern, fn := range opts.Routes {
+		mux.HandleFunc(pattern, fn)
+	}
 	mux.HandleFunc("POST /v1/jobs", h.submit)
 	mux.HandleFunc("GET /v1/jobs", h.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
@@ -236,7 +274,8 @@ func NewServer(svc *homunculus.Service) http.Handler {
 }
 
 type handler struct {
-	svc *homunculus.Service
+	svc  *homunculus.Service
+	opts ServerOptions
 
 	// depSeq mints the auto-generated endpoint names ("dep-%06d") behind
 	// the flat /v1/deployments alias surface (deployments.go).
@@ -305,6 +344,17 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, homunculus.ErrQueueFull):
+			// Cluster delegation: instead of shedding, hand the wire spec
+			// to a less-loaded peer and return a local job tracking it —
+			// unless this submission already crossed a node (bounded at
+			// one hop).
+			if h.opts.SubmitFallback != nil && !req.Delegated {
+				if djob, derr := h.opts.SubmitFallback(r.Context(), p, opts, req); derr == nil {
+					w.Header().Set("Location", "/v1/jobs/"+djob.ID())
+					writeJSON(w, http.StatusAccepted, jobJSON(djob, false))
+					return
+				}
+			}
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, homunculus.ErrServiceClosed):
 			writeError(w, http.StatusServiceUnavailable, err)

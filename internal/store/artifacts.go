@@ -33,8 +33,10 @@ var (
 // name, so nothing path-like may pass.
 var keyRE = regexp.MustCompile(`^[0-9a-f]{16,128}$`)
 
-// envelope is the on-disk artifact frame. Payload carries the pipeline
-// document verbatim; PayloadSHA256 is the digest Get re-checks.
+// envelope is the artifact frame, shared by the on-disk store and the
+// cluster wire (`GET /v1/cluster/artifacts/{hash}` serves these bytes
+// verbatim). Payload carries the pipeline document; PayloadSHA256 is the
+// digest every reader — local Get or a peer fetch — re-checks.
 type envelope struct {
 	Version       int             `json:"version"`
 	SpecHash      string          `json:"spec_hash"`
@@ -43,6 +45,64 @@ type envelope struct {
 }
 
 const envelopeVersion = 1
+
+// ValidKey reports whether key is an acceptable artifact key (a bare hex
+// digest — the key doubles as a file name, so nothing path-like passes).
+func ValidKey(key string) bool { return keyRE.MatchString(key) }
+
+// WrapEnvelope frames payload under key in the artifact envelope: the
+// payload is compacted, digested, and wrapped exactly as Put writes it
+// to disk, so the result can be stored or shipped to a peer.
+func WrapEnvelope(key string, payload []byte) ([]byte, error) {
+	if !keyRE.MatchString(key) {
+		return nil, fmt.Errorf("store: invalid artifact key %q", key)
+	}
+	// Compact the payload so the digest covers exactly the bytes the
+	// envelope's encoder will emit (json.Marshal compacts RawMessage).
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return nil, fmt.Errorf("store: artifact payload is not JSON: %w", err)
+	}
+	compact := buf.Bytes()
+	sum := sha256.Sum256(compact)
+	raw, err := json.Marshal(envelope{
+		Version:       envelopeVersion,
+		SpecHash:      key,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		Payload:       compact,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: encode artifact %s: %w", key, err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// VerifyEnvelope parses raw as an artifact envelope for key and returns
+// the payload after full verification: version, embedded key, and
+// payload digest must all check out. This is the trust boundary for
+// bytes from a peer — a forged or corrupt envelope never yields a
+// payload. Failures are reported as ErrCorrupt (the caller decides
+// whether quarantine applies).
+func VerifyEnvelope(key string, raw []byte) ([]byte, error) {
+	if !keyRE.MatchString(key) {
+		return nil, fmt.Errorf("store: invalid artifact key %q", key)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("%w: %s: parse: %v", ErrCorrupt, key, err)
+	}
+	if env.Version != envelopeVersion {
+		return nil, fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, key, env.Version)
+	}
+	if env.SpecHash != key {
+		return nil, fmt.Errorf("%w: %s: embedded key %s does not match", ErrCorrupt, key, env.SpecHash)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.PayloadSHA256 {
+		return nil, fmt.Errorf("%w: %s: payload digest mismatch", ErrCorrupt, key)
+	}
+	return env.Payload, nil
+}
 
 // Artifacts is a content-addressed blob store under dir. Safe for
 // concurrent use; writes serialize on an internal mutex (artifact writes
@@ -66,28 +126,10 @@ func (a *Artifacts) path(key string) string { return filepath.Join(a.dir, key+".
 // An existing artifact for key is replaced (content-addressed: the bytes
 // are equivalent by construction).
 func (a *Artifacts) Put(key string, payload []byte) error {
-	if !keyRE.MatchString(key) {
-		return fmt.Errorf("store: invalid artifact key %q", key)
-	}
-	// Compact the payload so the digest covers exactly the bytes the
-	// envelope's encoder will emit (json.Marshal compacts RawMessage).
-	var buf bytes.Buffer
-	if err := json.Compact(&buf, payload); err != nil {
-		return fmt.Errorf("store: artifact payload is not JSON: %w", err)
-	}
-	compact := buf.Bytes()
-	sum := sha256.Sum256(compact)
-	raw, err := json.Marshal(envelope{
-		Version:       envelopeVersion,
-		SpecHash:      key,
-		PayloadSHA256: hex.EncodeToString(sum[:]),
-		Payload:       compact,
-	})
+	raw, err := WrapEnvelope(key, payload)
 	if err != nil {
-		return fmt.Errorf("store: encode artifact %s: %w", key, err)
+		return err
 	}
-	raw = append(raw, '\n')
-
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	tmp := a.path(key) + ".tmp"
@@ -112,21 +154,47 @@ func (a *Artifacts) Get(key string) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("store: read artifact %s: %w", key, err)
 	}
-	var env envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return nil, a.quarantineKey(key, fmt.Sprintf("parse: %v", err))
+	payload, err := VerifyEnvelope(key, raw)
+	if err != nil {
+		return nil, a.quarantineKey(key, err.Error())
 	}
-	if env.Version != envelopeVersion {
-		return nil, a.quarantineKey(key, fmt.Sprintf("unsupported version %d", env.Version))
+	return payload, nil
+}
+
+// Envelope returns the stored artifact for key as a verified envelope —
+// the exact bytes a peer can install with Install. Verification failures
+// quarantine the file just like Get.
+func (a *Artifacts) Envelope(key string) ([]byte, error) {
+	if !keyRE.MatchString(key) {
+		return nil, fmt.Errorf("store: invalid artifact key %q", key)
 	}
-	if env.SpecHash != key {
-		return nil, a.quarantineKey(key, fmt.Sprintf("embedded key %s does not match", env.SpecHash))
+	raw, err := a.fs.ReadFile(a.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: read artifact %s: %w", key, err)
 	}
-	sum := sha256.Sum256(env.Payload)
-	if hex.EncodeToString(sum[:]) != env.PayloadSHA256 {
-		return nil, a.quarantineKey(key, "payload digest mismatch")
+	if _, err := VerifyEnvelope(key, raw); err != nil {
+		return nil, a.quarantineKey(key, err.Error())
 	}
-	return env.Payload, nil
+	return raw, nil
+}
+
+// Install verifies an envelope received from elsewhere (a peer fetch or
+// broadcast) and, only if it checks out, stores its payload under key.
+// The verify-before-write order is the cache-poisoning defence: corrupt
+// bytes never reach the artifacts directory. Returns the verified
+// payload.
+func (a *Artifacts) Install(key string, raw []byte) ([]byte, error) {
+	payload, err := VerifyEnvelope(key, raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Put(key, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
 }
 
 // Has reports whether an artifact exists for key without verifying it.
@@ -164,6 +232,11 @@ func (a *Artifacts) quarantineKey(key, reason string) error {
 	defer a.mu.Unlock()
 	if err := a.fs.Rename(a.path(key), filepath.Join(a.quarantine, key+".json")); err != nil {
 		_ = a.fs.Remove(a.path(key))
+	}
+	if strings.Contains(reason, ErrCorrupt.Error()) {
+		// The reason came from VerifyEnvelope and already carries the
+		// ErrCorrupt prefix; re-wrapping would stutter.
+		return fmt.Errorf("%w: %s", ErrCorrupt, strings.TrimPrefix(reason, ErrCorrupt.Error()+": "))
 	}
 	return fmt.Errorf("%w: %s: %s", ErrCorrupt, key, reason)
 }

@@ -71,24 +71,33 @@ type Job struct {
 	id        string
 	platform  string
 	cancelCtx context.CancelFunc
+	// ctx is the job's run context (derived from the Submit ctx); the
+	// cluster fabric's RunLocal fallback executes under it so a client
+	// Cancel still lands after a job has been claimed by a peer.
+	ctx context.Context
 
 	// onFinish, when set by a durable service before the job can reach a
 	// terminal state, runs exactly once after the terminal transition
 	// (outside the job's mutex) — it is the write-ahead journal's hook.
 	onFinish func(*Job)
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	state     JobState
-	cacheHit  bool
-	specHash  string
-	stages    map[Stage]*StageProgress
-	events    []Event
-	cancelled bool
-	ticket    *jobqueue.Ticket
-	pipe      *Pipeline
-	err       error
-	done      chan struct{}
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    JobState
+	cacheHit bool
+	specHash string
+	// wireSpec/wireSearch retain the submission's wire form while the
+	// job is queued on a work-sharing service, so peers can steal it
+	// (cluster.go). Nil everywhere else.
+	wireSpec   []byte
+	wireSearch []byte
+	stages     map[Stage]*StageProgress
+	events     []Event
+	cancelled  bool
+	ticket     *jobqueue.Ticket
+	pipe       *Pipeline
+	err        error
+	done       chan struct{}
 }
 
 func newJob(id, platform string, cancel context.CancelFunc) *Job {
@@ -234,6 +243,13 @@ func (j *Job) setRunning() {
 	if j.state == JobQueued {
 		j.state = JobRunning
 	}
+	j.mu.Unlock()
+}
+
+// setWire retains the submission's wire form for work stealing.
+func (j *Job) setWire(spec, search []byte) {
+	j.mu.Lock()
+	j.wireSpec, j.wireSearch = spec, search
 	j.mu.Unlock()
 }
 

@@ -122,6 +122,12 @@ type Service struct {
 	store     *store.Store
 	storeErrs atomic.Uint64
 	recovery  RecoveryReport
+
+	// Cluster hooks (cluster.go): the peer fabric's artifact exchange
+	// and the work-sharing switch that keeps queued submissions'
+	// wire form around for stealing.
+	remote      atomic.Pointer[remoteArtifactsBox]
+	workSharing atomic.Bool
 }
 
 // New constructs a service with the given bounds. It panics when a
@@ -201,6 +207,7 @@ func (s *Service) Submit(ctx context.Context, p *alchemy.Platform, opts ...Optio
 
 	jctx, cancel := context.WithCancel(ctx)
 	j := newJob(id, clone.Kind.String(), cancel)
+	j.ctx = jctx
 	if s.store != nil {
 		// The hook is installed before the job can reach any terminal
 		// transition, including the queue's drop callback below.
@@ -231,7 +238,7 @@ func (s *Service) Submit(ctx context.Context, p *alchemy.Platform, opts ...Optio
 	s.order = append(s.order, id)
 	s.pruneLocked()
 	s.mu.Unlock()
-	s.journalSubmitted(j, &clone, &o)
+	s.recordSubmission(j, &clone, &o)
 	return j, nil
 }
 
@@ -340,7 +347,7 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 	}
 	j.setRunning()
 	s.journal(store.Record{Op: store.OpRunning, Job: j.id}, false)
-	if s.cache == nil && s.store == nil {
+	if s.cache == nil && s.store == nil && s.remote.Load() == nil {
 		pipe, err := s.compileJob(ctx, j, p, o)
 		j.finish(pipe, err)
 		return
@@ -359,7 +366,7 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 	if s.cache == nil {
 		// Durable but memory-cache-disabled: the artifact store still
 		// deduplicates identical specs across restarts.
-		if pipe, ok := s.loadArtifact(key); ok {
+		if pipe, ok := s.lookupStored(ctx, key); ok {
 			j.markCacheHit()
 			j.finish(pipe, nil)
 			return
@@ -371,10 +378,11 @@ func (s *Service) run(ctx context.Context, j *Job, p *alchemy.Platform, o *optio
 	for {
 		f, leader := s.cache.acquire(key)
 		if leader {
-			// Read through to the artifact store first: a result compiled
-			// before the last restart (or by another process on the same
-			// state dir) is a warm hit with zero search events.
-			if pipe, ok := s.loadArtifact(key); ok {
+			// Read through to the artifact store first, then to cluster
+			// peers: a result compiled before the last restart, by another
+			// process on the same state dir, or by any peer node is a warm
+			// hit with zero search events.
+			if pipe, ok := s.lookupStored(ctx, key); ok {
 				s.cache.complete(key, f, pipe, nil)
 				j.markCacheHit()
 				j.finish(pipe, nil)
